@@ -1,0 +1,177 @@
+package exaclim_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// as required by DESIGN.md's experiment index. Each benchmark executes
+// the same experiment generator used by cmd/repro, so `go test -bench=.`
+// regenerates the full evaluation and reports its cost.
+//
+// Science benchmarks (Fig2, Fig4) run the real pipeline end-to-end on
+// the synthetic-ERA5 substitute; performance benchmarks (Fig5..Fig8,
+// Table1) evaluate the calibrated machine model at paper scale; Runtime
+// executes the real mixed-precision task runtime on this host.
+
+import (
+	"testing"
+
+	"exaclim/internal/cluster"
+	"exaclim/internal/experiments"
+	"exaclim/internal/tile"
+)
+
+func reportRows(b *testing.B, t experiments.Table) {
+	b.ReportMetric(float64(len(t.Rows)), "rows")
+}
+
+// BenchmarkFig1_CostLandscape regenerates the emulator cost landscape
+// (paper Fig. 1).
+func BenchmarkFig1_CostLandscape(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig1()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkFig2_HourlyEmulation trains on sub-daily synthetic ERA5 and
+// emulates (paper Fig. 2).
+func BenchmarkFig2_HourlyEmulation(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Fig2(experiments.DefaultHourly())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkFig4_PrecisionVariants runs the daily pipeline under all four
+// Cholesky precision variants (paper Fig. 4).
+func BenchmarkFig4_PrecisionVariants(b *testing.B) {
+	cfg := experiments.DefaultDaily()
+	cfg.Years = 1
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkFig5_ConversionPolicy compares sender- and receiver-side
+// precision conversion on 128 Summit nodes (paper Fig. 5).
+func BenchmarkFig5_ConversionPolicy(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig5()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkFig6_Summit2048 sweeps matrix sizes and variants on 2,048
+// Summit nodes (paper Fig. 6).
+func BenchmarkFig6_Summit2048(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig6()
+	}
+	// Report the headline numbers as metrics.
+	dp := cluster.Predict(cluster.Summit(), 2048, 8390000, cluster.DefaultTile, tile.VariantDP, cluster.DefaultPolicy())
+	hp := cluster.Predict(cluster.Summit(), 2048, 8390000, cluster.DefaultTile, tile.VariantDPHP, cluster.DefaultPolicy())
+	b.ReportMetric(dp.PctOfDPPeak*100, "DP_pct_peak")
+	b.ReportMetric(dp.Seconds/hp.Seconds, "DPHP_speedup")
+	reportRows(b, t)
+}
+
+// BenchmarkFig7_Scaling runs the weak- and strong-scaling study on
+// Summit (paper Fig. 7).
+func BenchmarkFig7_Scaling(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig7()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkFig8_LargestRuns evaluates the flagship runs on all four
+// systems (paper Fig. 8).
+func BenchmarkFig8_LargestRuns(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig8()
+	}
+	fro := cluster.Predict(cluster.Frontier(), 9025, 27240000, cluster.DefaultTile, tile.VariantDPHP, cluster.DefaultPolicy())
+	b.ReportMetric(fro.PFlops, "Frontier_PF")
+	reportRows(b, t)
+}
+
+// BenchmarkTable1_CrossSystem reproduces the DP/HP comparison on 1,024
+// nodes of each system (paper Table I).
+func BenchmarkTable1_CrossSystem(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Table1()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkStorage_Savings evaluates the petabyte-savings analysis
+// (paper Sections I and VI).
+func BenchmarkStorage_Savings(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Storage()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkRuntime_TileCholesky executes the real task runtime and
+// mixed-precision solver on this host (paper Fig. 3 / Section III
+// mechanics).
+func BenchmarkRuntime_TileCholesky(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Runtime()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkAblation_Accuracy sweeps factor accuracy across variants (the
+// numerical side of Fig. 4).
+func BenchmarkAblation_Accuracy(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.MixedPrecisionAccuracy(int64(i))
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkAblation_Energy evaluates energy-to-solution across variants
+// and machines (the power claim of Section III-D).
+func BenchmarkAblation_Energy(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Energy()
+	}
+	reportRows(b, t)
+}
+
+// BenchmarkAblation_Extremes validates emulated tail behaviour against
+// the simulation (Section I's extremes motivation).
+func BenchmarkAblation_Extremes(b *testing.B) {
+	cfg := experiments.DefaultDaily()
+	cfg.Years = 1
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Extremes(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, t)
+}

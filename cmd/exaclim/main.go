@@ -1,0 +1,143 @@
+// Command exaclim is the emulator's end-to-end CLI: it synthesizes (or
+// will later load) training data, trains the emulator, reports training
+// diagnostics and statistical consistency, emulates new realizations,
+// and saves/loads trained models.
+//
+//	exaclim -L 16 -years 3 -variant DP/HP -save model.gob
+//	exaclim -load model.gob -emulate 365 -maps out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"exaclim"
+	"exaclim/internal/stats"
+)
+
+func main() {
+	var (
+		gridL    = flag.Int("gridL", 24, "band limit defining the data grid resolution")
+		l        = flag.Int("L", 16, "emulator spherical-harmonic band limit")
+		years    = flag.Int("years", 3, "training years of synthetic data")
+		daily    = flag.Int("stepsPerDay", 1, "time steps per day (1=daily, 24=hourly)")
+		p        = flag.Int("P", 3, "VAR order")
+		variant  = flag.String("variant", "DP/HP", "Cholesky precision: DP|DP/SP|DP/SP/HP|DP/HP")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		emulateN = flag.Int("emulate", 90, "steps to emulate after training")
+		savePath = flag.String("save", "", "save the trained model to this file")
+		loadPath = flag.String("load", "", "load a model instead of training")
+		mapDir   = flag.String("maps", "", "write PGM maps of the first emulated field")
+	)
+	flag.Parse()
+
+	var v exaclim.Variant
+	switch strings.ToUpper(*variant) {
+	case "DP":
+		v = exaclim.DP
+	case "DP/SP":
+		v = exaclim.DPSP
+	case "DP/SP/HP":
+		v = exaclim.DPSPHP
+	case "DP/HP":
+		v = exaclim.DPHP
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	var model *exaclim.Model
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = exaclim.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded model: L=%d covDim=%d variant=%s\n",
+			model.Cfg.L, model.Diag.CovDim, model.Diag.Variant)
+	} else {
+		gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+			Grid: exaclim.GridForBandLimit(*gridL), L: *gridL,
+			Seed: *seed, StartYear: 1990, StepsPerDay: *daily,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		steps := *years * exaclim.DaysPerYear * *daily
+		fmt.Printf("synthesizing %d steps on %v...\n", steps, exaclim.GridForBandLimit(*gridL))
+		sim := gen.Run(steps)
+
+		trendOpt := exaclim.TrendOptions{
+			StepsPerYear: exaclim.DaysPerYear * *daily, K: 2,
+			RhoGrid: []float64{0.5, 0.85},
+		}
+		if *daily > 1 {
+			trendOpt.StepsPerDay = *daily
+			trendOpt.KDiurnal = 1
+		}
+		fmt.Printf("training emulator: L=%d P=%d variant=%s...\n", *l, *p, v)
+		model, err = exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(15, *years+1), 15, exaclim.Config{
+			L: *l, P: *p, Variant: v, SenderConvert: true, Trend: trendOpt,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		d := model.Diag
+		fmt.Printf("trained: covariance %dx%d, tiles %d, factor %.2f MB (DP would be %.2f MB), factorization %.2fs, %d conversions\n",
+			d.CovDim, d.CovDim, d.TileSize, float64(d.FactorBytes)/1e6, float64(d.FactorBytesDP)/1e6,
+			d.FactorSeconds, d.Conversions)
+		cons, err := model.CheckConsistency(sim, *seed+100)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("consistency vs training simulation: %v\n", cons)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		size, _ := model.SizeBytes()
+		fmt.Printf("saved model to %s (%.2f MB)\n", *savePath, float64(size)/1e6)
+	}
+
+	if *emulateN > 0 {
+		fmt.Printf("emulating %d steps...\n", *emulateN)
+		emu, err := model.Emulate(*seed+1, 0, *emulateN)
+		if err != nil {
+			fatal(err)
+		}
+		sum := stats.Summarize(emu)
+		fmt.Printf("emulation summary: %v\n", sum)
+		fmt.Println(emu[0].ASCIIMap(18, 72))
+		if *mapDir != "" {
+			if err := os.MkdirAll(*mapDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*mapDir, "emulation_t0.pgm")
+			lo, hi := emu[0].MinMax()
+			if err := emu[0].SavePGM(path, lo, hi); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exaclim:", err)
+	os.Exit(1)
+}

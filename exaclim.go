@@ -1,0 +1,151 @@
+// Package exaclim is a from-scratch Go implementation of the exascale
+// climate emulator of Abdulah et al., "Boosting Earth System Model
+// Outputs And Saving PetaBytes in Their Storage Using Exascale Climate
+// Emulators" (SC 2024, arXiv:2408.04440).
+//
+// The emulator represents spatio-temporal climate fields as a
+// deterministic trend (radiative-forcing response plus harmonic cycles)
+// and a stochastic component modeled in the spherical harmonic domain: an
+// exact fast SHT moves fields to spectral space, a diagonal VAR(P)
+// captures temporal dependence, the innovation covariance is estimated
+// empirically and factorized with a tile-based mixed-precision Cholesky
+// (DP / DP-SP / DP-SP-HP / DP-HP tile layouts) on a dynamic task runtime,
+// and emulation runs the chain in reverse. A calibrated performance model
+// of Frontier, Alps, Leonardo and Summit reproduces the paper's
+// scalability study; see DESIGN.md and EXPERIMENTS.md.
+//
+// This root package is the stable public surface. Typical use:
+//
+//	gen, _ := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+//		Grid: exaclim.GridForBandLimit(24), L: 24, StepsPerDay: 1,
+//	})
+//	sim := gen.Run(2 * exaclim.DaysPerYear)
+//	model, _ := exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(15, 3), 15,
+//		exaclim.Config{L: 16, P: 3, Variant: exaclim.DPHP,
+//			Trend: exaclim.TrendOptions{StepsPerYear: exaclim.DaysPerYear, K: 2}})
+//	fields, _ := model.Emulate(1, 0, 365)
+package exaclim
+
+import (
+	"io"
+
+	"exaclim/internal/cluster"
+	"exaclim/internal/emulator"
+	"exaclim/internal/era5"
+	"exaclim/internal/forcing"
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+	"exaclim/internal/stats"
+	"exaclim/internal/tile"
+	"exaclim/internal/trend"
+)
+
+// Core geometric and data types.
+type (
+	// Grid is an equiangular latitude-longitude grid with both poles.
+	Grid = sphere.Grid
+	// Field is a scalar field on a Grid.
+	Field = sphere.Field
+	// Coeffs holds spherical harmonic coefficients of a real field.
+	Coeffs = sht.Coeffs
+	// SHT is a planned spherical harmonic transform.
+	SHT = sht.Plan
+)
+
+// Emulator types.
+type (
+	// Config specifies an emulator design (band limit, VAR order,
+	// trend options, Cholesky precision variant).
+	Config = emulator.Config
+	// Model is a trained emulator.
+	Model = emulator.Model
+	// TrendOptions configures the deterministic component (eq. 2).
+	TrendOptions = trend.Options
+	// Variant names a mixed-precision Cholesky configuration.
+	Variant = tile.Variant
+	// Consistency bundles emulation-vs-simulation statistics.
+	Consistency = stats.Consistency
+)
+
+// Data substrate types.
+type (
+	// SyntheticConfig configures the ERA5-like synthetic data generator.
+	SyntheticConfig = era5.Config
+	// Synthetic generates ERA5-like global temperature series.
+	Synthetic = era5.Generator
+	// Scenario is a radiative-forcing pathway.
+	Scenario = forcing.Scenario
+)
+
+// Performance-model types.
+type (
+	// MachineSpec describes one of the paper's four supercomputers.
+	MachineSpec = cluster.MachineSpec
+	// PerfRun is a predicted distributed factorization.
+	PerfRun = cluster.Run
+	// PerfPolicy captures runtime choices (conversion side, collective
+	// priority).
+	PerfPolicy = cluster.Policy
+)
+
+// Mixed-precision Cholesky variants, in the paper's order.
+const (
+	DP     = tile.VariantDP
+	DPSP   = tile.VariantDPSP
+	DPSPHP = tile.VariantDPSPHP
+	DPHP   = tile.VariantDPHP
+)
+
+// DaysPerYear matches the paper's no-leap calendar.
+const DaysPerYear = era5.DaysPerYear
+
+// NewGrid returns an NLat x NLon grid.
+func NewGrid(nlat, nlon int) Grid { return sphere.NewGrid(nlat, nlon) }
+
+// GridForBandLimit returns the smallest grid supporting the exact SHT at
+// band limit L.
+func GridForBandLimit(L int) Grid { return sphere.GridForBandLimit(L) }
+
+// NewSHT plans a spherical harmonic transform on grid g at band limit L.
+func NewSHT(g Grid, L int) (*SHT, error) { return sht.NewPlan(g, L) }
+
+// Train fits an emulator to an ensemble of simulated series sharing the
+// annual radiative-forcing record annualRF, whose first `lead` entries
+// precede the data window.
+func Train(ensemble [][]Field, annualRF []float64, lead int, cfg Config) (*Model, error) {
+	return emulator.Train(ensemble, annualRF, lead, cfg)
+}
+
+// LoadModel deserializes a model saved with Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return emulator.Load(r) }
+
+// NewSynthetic builds an ERA5-like synthetic data generator (the
+// repository's stand-in for the paper's training archive).
+func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) { return era5.New(cfg) }
+
+// Historical returns the default (historical-then-high) forcing pathway.
+func Historical() Scenario { return forcing.Historical() }
+
+// Stabilization returns a mitigation pathway that relaxes toward
+// targetPPM after startYear with the given e-folding time.
+func Stabilization(startYear, targetPPM, efold float64) Scenario {
+	return forcing.Stabilization(startYear, targetPPM, efold)
+}
+
+// Machines lists the paper's four systems (Frontier, Alps, Leonardo,
+// Summit) with calibrated performance constants.
+func Machines() []MachineSpec { return cluster.Machines() }
+
+// PredictCholesky estimates a distributed mixed-precision factorization
+// of an n x n covariance on `nodes` nodes of machine m (tile edge b; use
+// cluster defaults via DefaultTile/DefaultPerfPolicy).
+func PredictCholesky(m MachineSpec, nodes int, n int64, b int, v Variant, pol PerfPolicy) PerfRun {
+	return cluster.Predict(m, nodes, n, b, v, pol)
+}
+
+// DefaultTile is the tile edge used at paper scale.
+const DefaultTile = cluster.DefaultTile
+
+// DefaultPerfPolicy is the paper's optimized runtime configuration
+// (sender-side conversion, latency-prioritized collectives).
+func DefaultPerfPolicy() PerfPolicy { return cluster.DefaultPolicy() }

@@ -1,0 +1,97 @@
+package exaclim_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"exaclim"
+)
+
+// TestPublicAPIEndToEnd exercises the documented public workflow:
+// synthesize data, train, emulate, check consistency, save and reload.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+		Grid: exaclim.GridForBandLimit(16), L: 16, Seed: 3, StartYear: 1995, StepsPerDay: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := gen.Run(2 * exaclim.DaysPerYear)
+	model, err := exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(10, 3), 10, exaclim.Config{
+		L: 10, P: 2, Variant: exaclim.DPHP, SenderConvert: true,
+		Trend: exaclim.TrendOptions{StepsPerYear: exaclim.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.85}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := model.Emulate(1, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emu) != 30 || emu[0].Grid != sim[0].Grid {
+		t.Fatalf("emulation shape wrong: %d fields on %v", len(emu), emu[0].Grid)
+	}
+	// Plausible Kelvin range.
+	min, max := emu[0].MinMax()
+	if min < 150 || max > 360 {
+		t.Errorf("emulated temperatures [%g, %g] implausible", min, max)
+	}
+	cons, err := model.CheckConsistency(sim, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.StdRatio < 0.7 || cons.StdRatio > 1.4 {
+		t.Errorf("consistency out of range: %v", cons)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := exaclim.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Diag.CovDim != model.Diag.CovDim {
+		t.Error("reloaded model differs")
+	}
+}
+
+func TestPublicSHT(t *testing.T) {
+	g := exaclim.GridForBandLimit(12)
+	plan, err := exaclim.NewSHT(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := exaclim.Field{Grid: g, Data: make([]float64, g.Points())}
+	for i := range f.Data {
+		f.Data[i] = 1 // constant field = sqrt(4 pi) Y_00
+	}
+	c := plan.Analyze(f)
+	want := math.Sqrt(4 * math.Pi)
+	if got := real(c.At(0, 0)); math.Abs(got-want) > 1e-10 {
+		t.Errorf("Y00 coefficient of unit field = %g, want %g", got, want)
+	}
+}
+
+func TestPublicPerformanceModel(t *testing.T) {
+	machines := exaclim.Machines()
+	if len(machines) != 4 {
+		t.Fatalf("expected the paper's 4 systems, got %d", len(machines))
+	}
+	for _, m := range machines {
+		r := exaclim.PredictCholesky(m, 1024, 8390000, exaclim.DefaultTile, exaclim.DPHP, exaclim.DefaultPerfPolicy())
+		if r.PFlops < 50 || r.PFlops > 1000 {
+			t.Errorf("%s: implausible prediction %.1f PF", m.Name, r.PFlops)
+		}
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	h := exaclim.Historical()
+	s := exaclim.Stabilization(2030, 450, 40)
+	if h.RF(2100) <= s.RF(2100) {
+		t.Error("stabilization should have lower end-century forcing than historical-high")
+	}
+}

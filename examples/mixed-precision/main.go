@@ -1,0 +1,51 @@
+// Mixed-precision: the paper's Fig. 4 message — emulations built on
+// DP, DP/SP, DP/SP/HP and DP/HP covariance factors are statistically
+// indistinguishable, while the factor's storage and traffic shrink.
+//
+//	go run ./examples/mixed-precision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exaclim"
+)
+
+func main() {
+	gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+		Grid: exaclim.GridForBandLimit(16), L: 16, Seed: 21,
+		StartYear: 2000, StepsPerDay: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := gen.Run(2 * exaclim.DaysPerYear)
+	rf := gen.AnnualRF(15, 3)
+
+	fmt.Printf("%-9s  %-9s  %-7s  %-12s  %-12s  %s\n",
+		"variant", "stdRatio", "KS", "factorMB", "vsDP", "conversions")
+	for _, v := range []exaclim.Variant{exaclim.DP, exaclim.DPSP, exaclim.DPSPHP, exaclim.DPHP} {
+		model, err := exaclim.Train([][]exaclim.Field{sim}, rf, 15, exaclim.Config{
+			L: 12, P: 2, Variant: v, SenderConvert: true,
+			Trend: exaclim.TrendOptions{
+				StepsPerYear: exaclim.DaysPerYear, K: 2, RhoGrid: []float64{0.85},
+			},
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", v, err)
+		}
+		cons, err := model.CheckConsistency(sim, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := model.Diag
+		fmt.Printf("%-9s  %-9.3f  %-7.4f  %-12.3f  %-12.2fx  %d\n",
+			v, cons.StdRatio, cons.KS,
+			float64(d.FactorBytes)/1e6,
+			float64(d.FactorBytesDP)/float64(d.FactorBytes),
+			d.Conversions)
+	}
+	fmt.Println("\nevery variant remains statistically consistent (stdRatio ~ 1, small KS);")
+	fmt.Println("DP/HP cuts factor storage ~3.5x, which is what frees GPU memory at scale.")
+}

@@ -1,0 +1,212 @@
+// Command calib fits the cluster model's calibration constants against
+// the paper's published performance numbers by randomized search. It is a
+// development tool: the fitted constants are frozen into machines.go and
+// verified by the package tests.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"exaclim/internal/cluster"
+	"exaclim/internal/tile"
+)
+
+// params bundles every tunable constant.
+type params struct {
+	// per machine: effDP, effSP, effHP, fan, ovhC, ovhE, netEff
+	sum [7]float64
+	fro [7]float64
+	alp [7]float64
+	leo [7]float64
+}
+
+func (p params) apply() (sum, fro, alp, leo cluster.MachineSpec) {
+	set := func(m cluster.MachineSpec, v [7]float64) cluster.MachineSpec {
+		m.GPU.Eff[tile.FP64] = v[0]
+		m.GPU.Eff[tile.FP32] = v[1]
+		m.GPU.Eff[tile.FP16] = v[2]
+		m.FanScale = v[3]
+		m.StepOvhMS = v[4]
+		m.OvhExp = v[5]
+		m.NetEff = v[6]
+		return m
+	}
+	return set(cluster.Summit(), p.sum), set(cluster.Frontier(), p.fro),
+		set(cluster.Alps(), p.alp), set(cluster.Leonardo(), p.leo)
+}
+
+type target struct {
+	name   string
+	want   float64
+	weight float64
+	eval   func(sum, fro, alp, leo cluster.MachineSpec) float64
+}
+
+func pf(m cluster.MachineSpec, nodes int, n int64, v tile.Variant) float64 {
+	return cluster.Predict(m, nodes, n, cluster.DefaultTile, v, cluster.DefaultPolicy()).PFlops
+}
+
+func sec(m cluster.MachineSpec, nodes int, n int64, v tile.Variant) float64 {
+	return cluster.Predict(m, nodes, n, cluster.DefaultTile, v, cluster.DefaultPolicy()).Seconds
+}
+
+func targets() []target {
+	t := []target{
+		// Table I.
+		{"T1 Frontier", 223.7, 2, func(s, f, a, l cluster.MachineSpec) float64 { return pf(f, 1024, 8390000, tile.VariantDPHP) }},
+		{"T1 Alps", 384.2, 2, func(s, f, a, l cluster.MachineSpec) float64 { return pf(a, 1024, 10490000, tile.VariantDPHP) }},
+		{"T1 Leonardo", 243.1, 2, func(s, f, a, l cluster.MachineSpec) float64 { return pf(l, 1024, 8390000, tile.VariantDPHP) }},
+		{"T1 Summit", 153.6, 2, func(s, f, a, l cluster.MachineSpec) float64 { return pf(s, 1024, 6290000, tile.VariantDPHP) }},
+		// Fig 6.
+		{"F6 DP pct", 0.617, 3, func(s, f, a, l cluster.MachineSpec) float64 {
+			return cluster.Predict(s, 2048, 8390000, cluster.DefaultTile, tile.VariantDP, cluster.DefaultPolicy()).PctOfDPPeak
+		}},
+		{"F6 DPHP PF", 304.84, 3, func(s, f, a, l cluster.MachineSpec) float64 { return pf(s, 2048, 8390000, tile.VariantDPHP) }},
+		{"F6 spd DPSP", 2.0, 2, func(s, f, a, l cluster.MachineSpec) float64 {
+			return sec(s, 2048, 8390000, tile.VariantDP) / sec(s, 2048, 8390000, tile.VariantDPSP)
+		}},
+		{"F6 spd DPSPHP", 3.2, 2, func(s, f, a, l cluster.MachineSpec) float64 {
+			return sec(s, 2048, 8390000, tile.VariantDP) / sec(s, 2048, 8390000, tile.VariantDPSPHP)
+		}},
+		{"F6 spd DPHP", 5.2, 2, func(s, f, a, l cluster.MachineSpec) float64 {
+			return sec(s, 2048, 8390000, tile.VariantDP) / sec(s, 2048, 8390000, tile.VariantDPHP)
+		}},
+		// Fig 8.
+		{"F8 Fro 2048", 316, 1, func(s, f, a, l cluster.MachineSpec) float64 { return pf(f, 2048, 12580000, tile.VariantDPHP) }},
+		{"F8 Fro 4096", 523, 1, func(s, f, a, l cluster.MachineSpec) float64 { return pf(f, 4096, 16780000, tile.VariantDPHP) }},
+		{"F8 Fro 6400", 715, 1, func(s, f, a, l cluster.MachineSpec) float64 { return pf(f, 6400, 20970000, tile.VariantDPHP) }},
+		{"F8 Fro 9025", 976, 3, func(s, f, a, l cluster.MachineSpec) float64 { return pf(f, 9025, 27240000, tile.VariantDPHP) }},
+		{"F8 Alps 1600", 623, 1, func(s, f, a, l cluster.MachineSpec) float64 { return pf(a, 1600, 14420000, tile.VariantDPHP) }},
+		{"F8 Alps 1936", 739, 2, func(s, f, a, l cluster.MachineSpec) float64 { return pf(a, 1936, 15730000, tile.VariantDPHP) }},
+		{"F8 Summit 3072", 375, 2, func(s, f, a, l cluster.MachineSpec) float64 { return pf(s, 3072, 12580000, tile.VariantDPHP) }},
+	}
+	// Fig 7 strong scaling efficiencies (2048 vs 512 nodes, n=6.29M).
+	strong := map[tile.Variant]float64{
+		tile.VariantDP: 0.55, tile.VariantDPSP: 0.72,
+		tile.VariantDPSPHP: 0.60, tile.VariantDPHP: 0.56,
+	}
+	for v, want := range strong {
+		v := v
+		t = append(t, target{fmt.Sprintf("F7 strong %v", v), want, 4,
+			func(s, f, a, l cluster.MachineSpec) float64 {
+				// Fixed workload: the largest problem a 512-node (3,072 GPU)
+				// memory footprint accommodates (paper Section IV-C).
+				return sec(s, 512, 4200000, v) / (4 * sec(s, 2048, 4200000, v))
+			}})
+	}
+	// Fig 7 weak scaling: per-GPU performance at 2048 nodes relative to 64
+	// nodes with memory-proportional sizes, target ~1.
+	for _, v := range []tile.Variant{tile.VariantDP, tile.VariantDPHP} {
+		v := v
+		t = append(t, target{fmt.Sprintf("F7 weak %v", v), 1.0, 2,
+			func(s, f, a, l cluster.MachineSpec) float64 {
+				base := cluster.Predict(s, 64, 1650000, cluster.DefaultTile, v, cluster.DefaultPolicy())
+				big := cluster.Predict(s, 2048, 9333000, cluster.DefaultTile, v, cluster.DefaultPolicy())
+				return (big.PFlops / float64(big.GPUs)) / (base.PFlops / float64(base.GPUs))
+			}})
+	}
+	// Fig 5: sender vs receiver conversion speedups at 128 nodes.
+	f5 := map[tile.Variant]float64{tile.VariantDPSP: 1.06, tile.VariantDPHP: 1.53}
+	for v, want := range f5 {
+		v := v
+		t = append(t, target{fmt.Sprintf("F5 %v", v), want, 2,
+			func(s, f, a, l cluster.MachineSpec) float64 {
+				old := cluster.Predict(s, 128, 1270000, 1024, v, cluster.Policy{LatencyPriority: true})
+				neu := cluster.Predict(s, 128, 1270000, 1024, v, cluster.DefaultPolicy())
+				return old.Seconds / neu.Seconds
+			}})
+	}
+	return t
+}
+
+func loss(p params, ts []target) float64 {
+	sum, fro, alp, leo := p.apply()
+	total := 0.0
+	for _, t := range ts {
+		got := t.eval(sum, fro, alp, leo)
+		if got <= 0 || math.IsNaN(got) {
+			return math.Inf(1)
+		}
+		e := math.Log(got / t.want)
+		total += t.weight * e * e
+	}
+	return total
+}
+
+func main() {
+	ts := targets()
+	rng := rand.New(rand.NewSource(1))
+	// Bounds: effDP, effSP, effHP, fan, ovhC, ovhE, netEff.
+	lo := [7]float64{0.5, 0.4, 0.05, 0.8, 0.0, 0.3, 0.4}
+	hi := [7]float64{0.95, 0.95, 0.45, 3.0, 2.5, 1.3, 1.0}
+	sample := func() [7]float64 {
+		var v [7]float64
+		for i := range v {
+			v[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		return v
+	}
+	defaults := func(m cluster.MachineSpec) [7]float64 {
+		return [7]float64{m.GPU.Eff[tile.FP64], m.GPU.Eff[tile.FP32], m.GPU.Eff[tile.FP16],
+			m.FanScale, m.StepOvhMS, m.OvhExp, m.NetEff}
+	}
+	best := params{defaults(cluster.Summit()), defaults(cluster.Frontier()),
+		defaults(cluster.Alps()), defaults(cluster.Leonardo())}
+	bestLoss := loss(best, ts)
+	iters := 0 // set > 0 to refit from the frozen constants
+	for iter := 0; iter < iters; iter++ {
+		cand := best
+		switch iter % 4 {
+		case 0:
+			cand.sum = mutate(rng, cand.sum, lo, hi)
+		case 1:
+			cand.fro = mutate(rng, cand.fro, lo, hi)
+		case 2:
+			cand.alp = mutate(rng, cand.alp, lo, hi)
+		case 3:
+			cand.leo = mutate(rng, cand.leo, lo, hi)
+		}
+		if iter < 5000 && rng.Float64() < 0.3 {
+			cand = params{sample(), sample(), sample(), sample()}
+		}
+		if l := loss(cand, ts); l < bestLoss {
+			bestLoss = l
+			best = cand
+		}
+	}
+	fmt.Printf("best loss %.4f\n", bestLoss)
+	names := []string{"effDP", "effSP", "effHP", "fan", "ovhC", "ovhE", "netEff"}
+	for _, mv := range []struct {
+		label string
+		v     [7]float64
+	}{{"Summit", best.sum}, {"Frontier", best.fro}, {"Alps", best.alp}, {"Leonardo", best.leo}} {
+		fmt.Printf("%-9s", mv.label)
+		for i, n := range names {
+			fmt.Printf(" %s=%.3f", n, mv.v[i])
+		}
+		fmt.Println()
+	}
+	sum, fro, alp, leo := best.apply()
+	for _, t := range ts {
+		got := t.eval(sum, fro, alp, leo)
+		fmt.Printf("  %-18s want %8.3f got %8.3f (%+.0f%%)\n", t.name, t.want, got, 100*(got/t.want-1))
+	}
+}
+
+func mutate(rng *rand.Rand, v, lo, hi [7]float64) [7]float64 {
+	out := v
+	for i := range out {
+		if rng.Float64() < 0.4 {
+			out[i] += rng.NormFloat64() * 0.07 * (hi[i] - lo[i])
+			if out[i] < lo[i] {
+				out[i] = lo[i]
+			}
+			if out[i] > hi[i] {
+				out[i] = hi[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"math"
+
+	"exaclim/internal/tile"
+)
+
+// DESResult summarizes a discrete-event simulation of the tile Cholesky
+// task graph on a machine model.
+type DESResult struct {
+	Seconds   float64
+	PFlops    float64
+	CommBytes float64
+	Tasks     int
+	// BusySeconds is the summed kernel time across GPUs; Utilization is
+	// BusySeconds / (GPUs * Seconds).
+	BusySeconds float64
+	Utilization float64
+}
+
+// SimulateDES runs a tile-level discrete-event simulation of the
+// right-looking Cholesky DAG on `nodes` nodes of machine m with tiles of
+// edge b and nt tiles per side, under 2-D block-cyclic ownership and
+// owner-computes scheduling. Tasks start when their GPU is free and
+// their inputs have arrived (inter-node transfers pay latency plus
+// bytes over the node injection bandwidth; intra-node transfers are
+// free). It is exact on the dependency structure but ignores network
+// contention, so it bounds the analytic model from below at small scale.
+//
+// Cost is O(nt^3) events; keep nt at a few hundred.
+func SimulateDES(m MachineSpec, nodes, nt, b int, v tile.Variant, pol Policy) DESResult {
+	G := m.GPUs(nodes)
+	// Near-square process grid.
+	p := int(math.Sqrt(float64(G)))
+	for G%p != 0 {
+		p--
+	}
+	q := G / p
+	owner := func(i, j int) int { return (i%p)*q + (j % q) }
+	node := func(rank int) int { return rank / m.GPUsPerNode }
+
+	pm := v.Map(nt)
+	bf := float64(b)
+	tileFlops := bf * bf * bf
+
+	kernelSec := func(prec tile.Precision, flops float64) float64 {
+		return flops / (rate(m.GPU, prec, b) * 1e12)
+	}
+	// transfer returns the arrival time of tile (i,j), produced at
+	// prodTime on prodRank, at consumer rank cons.
+	latency := m.LatencyUS * 1e-6
+	perNodeBW := m.InjectionGBs * 1e9 * m.NetEff
+	commBytes := 0.0
+	transfer := func(prodTime float64, prodRank, cons int, bytes float64) float64 {
+		if node(prodRank) == node(cons) {
+			return prodTime
+		}
+		commBytes += bytes
+		return prodTime + latency + bytes/perNodeBW
+	}
+
+	gpuFree := make([]float64, G)
+	ready := make([][]float64, nt) // ready[i][j]: time tile (i,j) last written
+	for i := range ready {
+		ready[i] = make([]float64, i+1)
+	}
+	tasks := 0
+	busy := 0.0
+
+	transportB := func(prec tile.Precision) float64 {
+		if pol.SenderConvert {
+			return float64(prec.Bytes()) * bf * bf
+		}
+		if prec == tile.FP64 {
+			return 8 * bf * bf
+		}
+		return 4 * bf * bf
+	}
+
+	run := func(rank int, start, dur float64, i, j int) {
+		if start < gpuFree[rank] {
+			start = gpuFree[rank]
+		}
+		end := start + dur
+		gpuFree[rank] = end
+		ready[i][j] = end
+		busy += dur
+		tasks++
+	}
+
+	for k := 0; k < nt; k++ {
+		// POTRF(k,k): DP diagonal.
+		dr := owner(k, k)
+		run(dr, ready[k][k], kernelSec(tile.FP64, tileFlops/3), k, k)
+
+		// TRSM(i,k) consumes the diagonal tile.
+		diagDone := ready[k][k]
+		for i := k + 1; i < nt; i++ {
+			r := owner(i, k)
+			arr := transfer(diagDone, dr, r, transportB(tile.FP64))
+			start := math.Max(arr, ready[i][k])
+			run(r, start, kernelSec(tile.FP64, tileFlops), i, k)
+		}
+
+		// Updates consume panel tiles.
+		for i := k + 1; i < nt; i++ {
+			pi := owner(i, k)
+			for j := k + 1; j <= i; j++ {
+				pj := owner(j, k)
+				out := pm(i, j)
+				r := owner(i, j)
+				tb := transportB(out)
+				arrI := transfer(ready[i][k], pi, r, tb)
+				arrJ := arrI
+				if j != i {
+					arrJ = transfer(ready[j][k], pj, r, tb)
+				}
+				start := math.Max(math.Max(arrI, arrJ), ready[i][j])
+				flops := 2 * tileFlops
+				if j == i {
+					flops = tileFlops
+				}
+				run(r, start, kernelSec(computePrec(out), flops), i, j)
+			}
+		}
+	}
+
+	makespan := 0.0
+	for _, t := range gpuFree {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	n := float64(nt) * bf
+	flops := n * n * n / 3
+	return DESResult{
+		Seconds:     makespan,
+		PFlops:      flops / makespan / 1e15,
+		CommBytes:   commBytes,
+		Tasks:       tasks,
+		BusySeconds: busy,
+		Utilization: busy / (float64(G) * makespan),
+	}
+}
+
+// computePrec maps storage precision to kernel precision (HP computes in
+// the tensor-core pipeline modeled at its own rate).
+func computePrec(p tile.Precision) tile.Precision { return p }

@@ -1,0 +1,83 @@
+package cluster
+
+import "exaclim/internal/tile"
+
+// The paper's mixed-precision line of work reports "improved performance
+// and reduced power consumption" ([35], Section III-D). This file adds a
+// first-order energy model on top of Predict: GPUs draw near their TDP
+// while busy, idle power while waiting, and the network charges per
+// byte. Because mixed precision shortens the run far more than it raises
+// power, DP/HP cuts energy-to-solution roughly in proportion to its
+// speedup — the claim the Energy method lets callers quantify.
+
+// Energy summarizes the energy-to-solution estimate of a Run.
+type Energy struct {
+	// ComputeJ is GPU busy energy, IdleJ the node idle/overhead energy
+	// over the makespan, NetworkJ the per-byte transport energy.
+	ComputeJ, IdleJ, NetworkJ float64
+}
+
+// TotalJ returns the total energy in joules.
+func (e Energy) TotalJ() float64 { return e.ComputeJ + e.IdleJ + e.NetworkJ }
+
+// TotalMWh returns megawatt-hours, the facility-scale unit.
+func (e Energy) TotalMWh() float64 { return e.TotalJ() / 3.6e9 }
+
+// GFlopsPerWatt returns the efficiency metric of the Green500, using
+// the run's nominal n^3/3 flops.
+func (r Run) GFlopsPerWatt(e Energy) float64 {
+	watts := e.TotalJ() / r.Seconds
+	return r.PFlops * 1e6 / watts
+}
+
+// gpuTDP returns nominal board power in watts for the modeled GPUs.
+func gpuTDP(name string) float64 {
+	switch name {
+	case "V100":
+		return 300
+	case "A100":
+		return 400
+	case "MI250X":
+		return 560
+	case "GH200":
+		return 700
+	default:
+		return 400
+	}
+}
+
+// networkJPerByte is a typical HPC interconnect energy cost.
+const networkJPerByte = 0.5e-9
+
+// idleFraction is the node draw while a GPU waits, as a fraction of TDP.
+const idleFraction = 0.25
+
+// EstimateEnergy attaches an energy-to-solution estimate to a predicted
+// run on machine m.
+func EstimateEnergy(m MachineSpec, r Run) Energy {
+	tdp := gpuTDP(m.GPU.Name)
+	g := float64(r.GPUs)
+	busy := r.TWork + r.TConv
+	if busy > r.Seconds {
+		busy = r.Seconds
+	}
+	idleT := r.Seconds - busy
+	return Energy{
+		ComputeJ: busy * g * tdp,
+		IdleJ:    idleT * g * tdp * idleFraction,
+		NetworkJ: r.CommBytes * networkJPerByte,
+	}
+}
+
+// EnergyComparison evaluates all four variants at one configuration and
+// returns the energy reduction of each relative to DP.
+func EnergyComparison(m MachineSpec, nodes int, n int64, b int, pol Policy) map[tile.Variant]float64 {
+	base := Predict(m, nodes, n, b, tile.VariantDP, pol)
+	baseE := EstimateEnergy(m, base).TotalJ()
+	out := make(map[tile.Variant]float64, len(tile.Variants))
+	for _, v := range tile.Variants {
+		r := Predict(m, nodes, n, b, v, pol)
+		out[v] = baseE / EstimateEnergy(m, r).TotalJ()
+	}
+	return out
+}

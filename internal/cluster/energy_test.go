@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+
+	"exaclim/internal/tile"
+)
+
+func TestEnergyComponentsPositive(t *testing.T) {
+	sum := Summit()
+	r := Predict(sum, 2048, 8390000, DefaultTile, tile.VariantDPHP, DefaultPolicy())
+	e := EstimateEnergy(sum, r)
+	if e.ComputeJ <= 0 || e.IdleJ < 0 || e.NetworkJ <= 0 {
+		t.Fatalf("bad energy components: %+v", e)
+	}
+	if e.TotalJ() != e.ComputeJ+e.IdleJ+e.NetworkJ {
+		t.Error("total does not sum components")
+	}
+	// A 12,288-GPU machine running for minutes consumes MWh-scale energy.
+	if mwh := e.TotalMWh(); mwh < 0.05 || mwh > 100 {
+		t.Errorf("energy %.2f MWh outside plausible range", mwh)
+	}
+}
+
+// TestMixedPrecisionSavesEnergy is the paper's power claim: DP/HP's
+// shorter time-to-solution cuts energy well beyond any power increase.
+func TestMixedPrecisionSavesEnergy(t *testing.T) {
+	for _, m := range Machines() {
+		cmp := EnergyComparison(m, 1024, 8388608, DefaultTile, DefaultPolicy())
+		if cmp[tile.VariantDP] != 1 {
+			t.Errorf("%s: DP baseline ratio %g, want 1", m.Name, cmp[tile.VariantDP])
+		}
+		if cmp[tile.VariantDPHP] < 1.5 {
+			t.Errorf("%s: DP/HP energy reduction %.2fx, want > 1.5x", m.Name, cmp[tile.VariantDPHP])
+		}
+		// DP/SP only saves energy where the chip's SP rate actually
+		// exceeds its DP rate (on A100, FP64 tensor cores match FP32, so
+		// DP/SP buys memory, not speed).
+		spFaster := m.GPU.PeakTF[tile.FP32]*m.GPU.Eff[tile.FP32] >
+			m.GPU.PeakTF[tile.FP64]*m.GPU.Eff[tile.FP64]
+		if spFaster && cmp[tile.VariantDPSP] <= 1 {
+			t.Errorf("%s: DP/SP should save energy (got %.2fx)", m.Name, cmp[tile.VariantDPSP])
+		}
+		if cmp[tile.VariantDPHP] < cmp[tile.VariantDPSP] {
+			t.Errorf("%s: DP/HP (%.2fx) should save at least as much as DP/SP (%.2fx)",
+				m.Name, cmp[tile.VariantDPHP], cmp[tile.VariantDPSP])
+		}
+	}
+}
+
+func TestGFlopsPerWattPlausible(t *testing.T) {
+	sum := Summit()
+	r := Predict(sum, 1024, 6291456, DefaultTile, tile.VariantDPHP, DefaultPolicy())
+	e := EstimateEnergy(sum, r)
+	gfw := r.GFlopsPerWatt(e)
+	// V100-era systems: a few to ~100 GFlops/W with HP arithmetic.
+	if gfw < 1 || gfw > 500 {
+		t.Errorf("efficiency %.1f GFlops/W implausible", gfw)
+	}
+}

@@ -1,0 +1,126 @@
+// Package complexity reproduces the computational-cost landscape of the
+// paper's Figure 1: the cost of designing a climate emulator as a
+// function of spatial resolution (band limit L) and temporal resolution
+// (samples per year T), for axially symmetric models, O(L^3 T + L^4),
+// versus longitudinally anisotropic models, O(L^4 T + L^6), and the
+// cost profile of this work's design (exact SHT + diagonal-VAR +
+// empirical covariance + Cholesky).
+package complexity
+
+import (
+	"exaclim/internal/sphere"
+)
+
+// Temporal is a named temporal resolution.
+type Temporal struct {
+	Name         string
+	StepsPerYear float64
+}
+
+// The paper's temporal scales (tau = 12, 365, 8760 plus annual).
+var (
+	Annual  = Temporal{"annual", 1}
+	Monthly = Temporal{"monthly", 12}
+	Daily   = Temporal{"daily", 365}
+	Hourly  = Temporal{"hourly", 8760}
+)
+
+// Temporals lists the scales in increasing resolution.
+func Temporals() []Temporal { return []Temporal{Annual, Monthly, Daily, Hourly} }
+
+// KMForBandLimit converts a band limit to the paper's equatorial
+// kilometre resolution (L = 720 -> 0.25 deg -> ~27.8 km; the paper
+// rounds to 25 km).
+func KMForBandLimit(L int) float64 {
+	return sphere.GridForBandLimit(L).ResolutionKM()
+}
+
+// BandLimitForKM returns the band limit whose grid spacing is closest to
+// the requested kilometre resolution.
+func BandLimitForKM(km float64) int {
+	L := int(180*sphere.EarthKMPerDegree/km + 0.5)
+	if L < 1 {
+		L = 1
+	}
+	return L
+}
+
+// AxiallySymmetric returns the design cost of an emulator that assumes
+// stationarity in longitude: O(L^3 T + L^4).
+func AxiallySymmetric(L int, t Temporal, years float64) float64 {
+	lf := float64(L)
+	T := t.StepsPerYear * years
+	return lf*lf*lf*T + lf*lf*lf*lf
+}
+
+// Anisotropic returns the design cost without the axial-symmetry
+// simplification: O(L^4 T + L^6).
+func Anisotropic(L int, t Temporal, years float64) float64 {
+	lf := float64(L)
+	T := t.StepsPerYear * years
+	return lf*lf*lf*lf*T + lf*lf*lf*lf*lf*lf
+}
+
+// ThisWorkBreakdown itemizes the paper's design cost (Section III-A):
+// SHT of every step O(L^3 T), empirical covariance O(L^4 T), Cholesky
+// O(L^6), emulation O(L^3 T).
+type ThisWorkBreakdown struct {
+	SHT, Covariance, Cholesky, Emulation float64
+}
+
+// Total returns the summed design cost.
+func (b ThisWorkBreakdown) Total() float64 {
+	return b.SHT + b.Covariance + b.Cholesky + b.Emulation
+}
+
+// ThisWork returns the cost breakdown of the paper's emulator design.
+func ThisWork(L int, t Temporal, years float64) ThisWorkBreakdown {
+	lf := float64(L)
+	T := t.StepsPerYear * years
+	l2 := lf * lf
+	return ThisWorkBreakdown{
+		SHT:        lf * lf * lf * T,
+		Covariance: l2 * l2 * T,      // eq. (9): L^2 x L^2 outer products over T
+		Cholesky:   l2 * l2 * l2 / 3, // L^2-dimensional Cholesky
+		Emulation:  lf * lf * lf * T,
+	}
+}
+
+// Entry is one point of the Fig. 1 landscape.
+type Entry struct {
+	Model    string
+	L        int
+	KM       float64
+	Temporal Temporal
+	Flops    float64
+}
+
+// Landscape enumerates the published emulator operating points (axially
+// symmetric designs up to 100 km daily; anisotropic designs up to 100 km
+// annual) and this work's points (L = 720, 1440, 2880, 5219 at hourly
+// resolution), mirroring the markers of Fig. 1.
+func Landscape(years float64) []Entry {
+	var out []Entry
+	kms := []float64{500, 250, 100}
+	for _, km := range kms {
+		L := BandLimitForKM(km)
+		for _, t := range []Temporal{Annual, Monthly, Daily} {
+			out = append(out, Entry{"axisymmetric", L, km, t, AxiallySymmetric(L, t, years)})
+		}
+		out = append(out, Entry{"anisotropic", L, km, Annual, Anisotropic(L, Annual, years)})
+	}
+	for _, L := range []int{720, 1440, 2880, 5219} {
+		out = append(out, Entry{"this-work", L, KMForBandLimit(L), Hourly,
+			ThisWork(L, Hourly, years).Total()})
+	}
+	return out
+}
+
+// ResolutionAdvance returns the paper's headline factors: 28x spatial
+// (100 km -> 3.5 km), 8760x temporal (annual -> hourly), and their
+// product 245,280x.
+func ResolutionAdvance() (spatial, temporal, total float64) {
+	spatial = 100.0 / 3.5715 // ~28x
+	temporal = Hourly.StepsPerYear / Annual.StepsPerYear
+	return spatial, temporal, spatial * temporal
+}

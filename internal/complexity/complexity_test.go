@@ -1,0 +1,125 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResolutionMapping(t *testing.T) {
+	// L=720 is the ERA5 0.25-degree grid, ~27.8 km at the equator.
+	if km := KMForBandLimit(720); math.Abs(km-27.8) > 0.5 {
+		t.Errorf("KMForBandLimit(720) = %g, want ~27.8", km)
+	}
+	// L=5219 is the paper's 0.034-degree / ~3.5-4 km target.
+	if km := KMForBandLimit(5219); km < 3.4 || km > 4.1 {
+		t.Errorf("KMForBandLimit(5219) = %g, want 3.5-4", km)
+	}
+	// Round trip within quantization.
+	for _, L := range []int{100, 720, 2880} {
+		back := BandLimitForKM(KMForBandLimit(L))
+		if math.Abs(float64(back-L)) > 2 {
+			t.Errorf("band limit round trip %d -> %d", L, back)
+		}
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Anisotropic must dominate axially symmetric at every configuration.
+	for _, L := range []int{100, 300, 720} {
+		for _, tm := range Temporals() {
+			ax := AxiallySymmetric(L, tm, 35)
+			an := Anisotropic(L, tm, 35)
+			if an <= ax {
+				t.Errorf("L=%d %s: anisotropic %g <= axisymmetric %g", L, tm.Name, an, ax)
+			}
+		}
+	}
+	// Cost grows with both resolutions.
+	if AxiallySymmetric(200, Daily, 35) <= AxiallySymmetric(100, Daily, 35) {
+		t.Error("cost not increasing in L")
+	}
+	if Anisotropic(200, Hourly, 35) <= Anisotropic(200, Daily, 35) {
+		t.Error("cost not increasing in T")
+	}
+}
+
+func TestThisWorkBreakdown(t *testing.T) {
+	b := ThisWork(720, Hourly, 35)
+	if b.SHT <= 0 || b.Covariance <= 0 || b.Cholesky <= 0 || b.Emulation <= 0 {
+		t.Fatalf("non-positive cost component: %+v", b)
+	}
+	if math.Abs(b.Total()-(b.SHT+b.Covariance+b.Cholesky+b.Emulation)) > 1 {
+		t.Error("total does not sum components")
+	}
+	// For the paper's hourly configuration the covariance accumulation
+	// O(L^4 T) dominates the Cholesky O(L^6) at L=720, T=306600.
+	if b.Covariance <= b.Cholesky {
+		t.Errorf("expected covariance (%.3g) to dominate Cholesky (%.3g) at L=720 hourly", b.Covariance, b.Cholesky)
+	}
+	// At very large L with short series, the Cholesky takes over
+	// (the crossover the paper's HPC machinery targets).
+	b2 := ThisWork(5219, Annual, 35)
+	if b2.Cholesky <= b2.Covariance {
+		t.Errorf("expected Cholesky to dominate at L=5219 annual: %+v", b2)
+	}
+}
+
+// TestThisWorkCheaperThanGeneralAnisotropic: the design exploits the
+// diagonal VAR to avoid the O(L^4 T + L^6) general anisotropic cost at
+// the same resolution; the paper's Fig. 1 places the green stars below
+// the anisotropic trend line.
+func TestThisWorkCheaperThanGeneralAnisotropic(t *testing.T) {
+	for _, L := range []int{720, 1440, 2880, 5219} {
+		ours := ThisWork(L, Hourly, 35).Total()
+		general := Anisotropic(L, Hourly, 35)
+		if ours >= general {
+			t.Errorf("L=%d: this work %g not below general anisotropic %g", L, ours, general)
+		}
+	}
+}
+
+func TestLandscape(t *testing.T) {
+	entries := Landscape(35)
+	var nAxi, nAniso, nOurs int
+	for _, e := range entries {
+		switch e.Model {
+		case "axisymmetric":
+			nAxi++
+			if e.Temporal.StepsPerYear > Daily.StepsPerYear {
+				t.Error("axisymmetric entries are limited to daily resolution in the literature")
+			}
+		case "anisotropic":
+			nAniso++
+			if e.Temporal != Annual {
+				t.Error("anisotropic literature entries are annual only")
+			}
+			if e.KM < 99 {
+				t.Error("anisotropic literature entries are 100 km or coarser")
+			}
+		case "this-work":
+			nOurs++
+			if e.Temporal != Hourly {
+				t.Error("this work's entries are hourly")
+			}
+		}
+		if e.Flops <= 0 {
+			t.Errorf("non-positive cost for %+v", e)
+		}
+	}
+	if nAxi == 0 || nAniso == 0 || nOurs != 4 {
+		t.Errorf("landscape counts: axi=%d aniso=%d ours=%d", nAxi, nAniso, nOurs)
+	}
+}
+
+func TestResolutionAdvance(t *testing.T) {
+	spatial, temporal, total := ResolutionAdvance()
+	if math.Abs(spatial-28) > 0.5 {
+		t.Errorf("spatial advance %g, paper says 28x", spatial)
+	}
+	if temporal != 8760 {
+		t.Errorf("temporal advance %g, paper says 8760x", temporal)
+	}
+	if math.Abs(total-245280) > 5000 {
+		t.Errorf("total advance %g, paper says 245,280x", total)
+	}
+}

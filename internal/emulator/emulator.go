@@ -1,0 +1,355 @@
+// Package emulator assembles the paper's full climate emulator (Fig. 3):
+// deterministic trend fit (eq. 2), spherical harmonic analysis of the
+// standardized stochastic component, diagonal VAR(P) temporal model,
+// empirical innovation covariance (eq. 9), mixed-precision tile Cholesky
+// factorization, and the generation pipeline of Section III-B
+// (sample xi = V eta, run the VAR, inverse SHT, add the nugget and the
+// deterministic parts).
+//
+// A trained Model is serializable; its storage footprint is what replaces
+// petabytes of raw simulation output (the paper's headline storage
+// saving), so the covariance factor is stored in its tiled
+// mixed-precision form.
+package emulator
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"exaclim/internal/linalg"
+	"exaclim/internal/mpchol"
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+	"exaclim/internal/stats"
+	"exaclim/internal/tile"
+	"exaclim/internal/trend"
+	"exaclim/internal/varm"
+)
+
+// Config specifies the emulator design.
+type Config struct {
+	// L is the spherical harmonic band limit; the covariance dimension is
+	// L^2 (the paper runs L = 720 ... 5219; tests use small L).
+	L int
+	// P is the VAR order (the paper uses 3).
+	P int
+	// Trend configures the deterministic component fit.
+	Trend trend.Options
+	// TileSize is the covariance tile edge; 0 picks the largest divisor
+	// of L^2 at most 96.
+	TileSize int
+	// Variant selects the Cholesky precision configuration.
+	Variant tile.Variant
+	// SenderConvert enables sender-side precision conversion.
+	SenderConvert bool
+	// JitterEps scales the diagonal perturbation applied when the
+	// empirical covariance is not positive definite; default 1e-8.
+	JitterEps float64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// TrainDiagnostics records what happened during training, including the
+// communication accounting of the mixed-precision factorization.
+type TrainDiagnostics struct {
+	CovDim         int
+	TileSize       int
+	Variant        string
+	Members        int
+	StepsPerMember int
+	FactorSeconds  float64
+	Conversions    int64
+	MovedBytes     int64
+	JitterApplied  float64
+	FactorBytes    int64 // tiled mixed-precision storage
+	FactorBytesDP  int64 // what full DP would need
+}
+
+// Model is a trained climate emulator.
+type Model struct {
+	Cfg    Config
+	Grid   sphere.Grid
+	Trend  *trend.Fit
+	VAR    *varm.Model
+	Factor *tile.SymmMatrix // lower Cholesky factor of U, mixed precision
+	// NuggetVar is the per-pixel variance v^2 of the truncation residual
+	// epsilon (Section III-A1).
+	NuggetVar []float64
+	Diag      TrainDiagnostics
+
+	plan        *sht.Plan      // rebuilt on demand, not serialized
+	denseFactor *linalg.Matrix // widened factor cache for sampling
+}
+
+func chooseTile(n int) int {
+	for b := 96; b >= 2; b-- {
+		if n%b == 0 && b <= n {
+			return b
+		}
+	}
+	return n
+}
+
+// Train fits the emulator on an ensemble of simulation series sharing a
+// forcing record. annualRF must include `lead` years of history before
+// the data window (for the distributed-lag terms).
+func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Model, error) {
+	if len(ens) == 0 || len(ens[0]) == 0 {
+		return nil, errors.New("emulator: empty training ensemble")
+	}
+	if cfg.L < 2 {
+		return nil, fmt.Errorf("emulator: band limit %d too small", cfg.L)
+	}
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("emulator: VAR order %d must be >= 1", cfg.P)
+	}
+	if cfg.JitterEps == 0 {
+		cfg.JitterEps = 1e-8
+	}
+	grid := ens[0][0].Grid
+	if !grid.SupportsBandLimit(cfg.L) {
+		return nil, fmt.Errorf("emulator: grid %v does not support band limit %d", grid, cfg.L)
+	}
+	cfg.Trend.Workers = cfg.Workers
+
+	// Step 1: deterministic component (eq. 2).
+	fit, err := trend.FitEnsemble(ens, annualRF, lead, cfg.Trend)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: trend fit: %w", err)
+	}
+
+	// Step 2: spherical harmonic analysis of standardized residuals, and
+	// the nugget variance from the truncation error.
+	plan, err := sht.NewPlan(grid, cfg.L, sht.WithWorkers(cfg.Workers))
+	if err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+	nugget := make([]float64, grid.Points())
+	packed := make([][][]float64, len(ens))
+	recon := sphere.NewField(grid)
+	totalSteps := 0
+	for r := range ens {
+		z := fit.Standardize(ens[r])
+		packed[r] = make([][]float64, len(z))
+		for t := range z {
+			coeffs := plan.Analyze(z[t])
+			packed[r][t] = coeffs.PackReal(nil)
+			plan.SynthesizeInto(recon, coeffs)
+			for pix, v := range z[t].Data {
+				d := v - recon.Data[pix]
+				nugget[pix] += d * d
+			}
+			totalSteps++
+		}
+	}
+	for pix := range nugget {
+		nugget[pix] /= float64(totalSteps)
+	}
+
+	// Step 3: temporal model on the coefficient vectors.
+	vm, err := varm.Fit(packed, cfg.P, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: VAR fit: %w", err)
+	}
+	resid := make([][][]float64, len(packed))
+	for r := range packed {
+		resid[r] = vm.Residuals(packed[r])
+	}
+
+	// Step 4: empirical innovation covariance (eq. 9) with the paper's
+	// diagonal perturbation when rank-deficient.
+	u, err := varm.EmpiricalCovariance(resid)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: covariance: %w", err)
+	}
+	samples := 0
+	for r := range resid {
+		samples += len(resid[r])
+	}
+	jit := 0.0
+	if samples < u.Rows {
+		jit = varm.Jitter(u, cfg.JitterEps*float64(u.Rows-samples+1))
+	}
+
+	// Step 5: mixed-precision tile Cholesky of U.
+	b := cfg.TileSize
+	if b == 0 {
+		b = chooseTile(u.Rows)
+	}
+	if u.Rows%b != 0 {
+		return nil, fmt.Errorf("emulator: tile size %d does not divide covariance dimension %d", b, u.Rows)
+	}
+	nt := u.Rows / b
+	var s *tile.SymmMatrix
+	var res mpchol.Result
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		s = tile.FromDense(u, b, cfg.Variant.Map(nt))
+		res, err = mpchol.Factor(s, mpchol.Options{
+			Workers:       cfg.Workers,
+			SenderConvert: cfg.SenderConvert,
+		})
+		if err == nil {
+			break
+		}
+		if attempt >= 4 {
+			return nil, fmt.Errorf("emulator: covariance factorization: %w", err)
+		}
+		// Escalate the jitter: low-precision rounding can push tiny
+		// eigenvalues negative.
+		jit += varm.Jitter(u, cfg.JitterEps*math.Pow(10, float64(attempt+2)))
+	}
+	elapsed := time.Since(start).Seconds()
+
+	m := &Model{
+		Cfg:       cfg,
+		Grid:      grid,
+		Trend:     fit,
+		VAR:       vm,
+		Factor:    s,
+		NuggetVar: nugget,
+		Diag: TrainDiagnostics{
+			CovDim:         u.Rows,
+			TileSize:       b,
+			Variant:        cfg.Variant.String(),
+			Members:        len(ens),
+			StepsPerMember: len(ens[0]),
+			FactorSeconds:  elapsed,
+			Conversions:    res.Conversions,
+			MovedBytes:     res.MovedBytes,
+			JitterApplied:  jit,
+			FactorBytes:    s.Bytes(),
+			FactorBytesDP:  s.BytesAllDP(),
+		},
+		plan: plan,
+	}
+	return m, nil
+}
+
+// EnsurePlan rebuilds the transform plan after deserialization.
+func (m *Model) EnsurePlan() error {
+	if m.plan != nil {
+		return nil
+	}
+	p, err := sht.NewPlan(m.Grid, m.Cfg.L, sht.WithWorkers(m.Cfg.Workers))
+	if err != nil {
+		return err
+	}
+	m.plan = p
+	return nil
+}
+
+// Plan exposes the transform plan (for consistency checks).
+func (m *Model) Plan() (*sht.Plan, error) {
+	if err := m.EnsurePlan(); err != nil {
+		return nil, err
+	}
+	return m.plan, nil
+}
+
+func (m *Model) dense() *linalg.Matrix {
+	if m.denseFactor == nil {
+		d := m.Factor.ToDense()
+		// The factor is lower triangular; clear the mirrored upper half
+		// produced by ToDense's symmetric completion.
+		for i := 0; i < d.Rows; i++ {
+			for j := i + 1; j < d.Cols; j++ {
+				d.Data[i*d.Cols+j] = 0
+			}
+		}
+		m.denseFactor = d
+	}
+	return m.denseFactor
+}
+
+// EmulateForEach streams T emulated fields beginning at training step
+// offset t0, calling fn for each (fields are freshly allocated and may be
+// retained). Distinct seeds give independent ensemble members.
+func (m *Model) EmulateForEach(seed int64, t0, T int, fn func(t int, f sphere.Field)) error {
+	if err := m.EnsurePlan(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := m.dense()
+	burn := 10*m.VAR.P + 50
+	nug := make([]float64, len(m.NuggetVar))
+	for pix, vv := range m.NuggetVar {
+		if vv > 0 {
+			nug[pix] = math.Sqrt(vv)
+		}
+	}
+	var innerErr error
+	m.VAR.Simulate(v, rng, burn, T, func(t int, f []float64) {
+		if innerErr != nil {
+			return
+		}
+		coeffs := sht.UnpackReal(f)
+		field := m.plan.Synthesize(coeffs)
+		for pix := range field.Data {
+			field.Data[pix] += nug[pix] * rng.NormFloat64()
+		}
+		m.Trend.Unstandardize(field, t0+t)
+		fn(t, field)
+	})
+	return innerErr
+}
+
+// Emulate returns T emulated fields beginning at training step t0.
+func (m *Model) Emulate(seed int64, t0, T int) ([]sphere.Field, error) {
+	out := make([]sphere.Field, T)
+	err := m.EmulateForEach(seed, t0, T, func(t int, f sphere.Field) { out[t] = f })
+	return out, err
+}
+
+// CheckConsistency compares a simulated series with a fresh emulation of
+// equal length, returning the Fig. 2/4 style metrics.
+func (m *Model) CheckConsistency(sim []sphere.Field, seed int64) (stats.Consistency, error) {
+	emu, err := m.Emulate(seed, 0, len(sim))
+	if err != nil {
+		return stats.Consistency{}, err
+	}
+	p, err := m.Plan()
+	if err != nil {
+		return stats.Consistency{}, err
+	}
+	return stats.CheckConsistency(p, sim, emu), nil
+}
+
+// Save serializes the model with encoding/gob. The mixed-precision tiled
+// factor is stored as-is, so the on-disk footprint reflects the paper's
+// storage savings.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// Load deserializes a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// countingWriter measures serialized size without buffering.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// SizeBytes returns the serialized size of the model, the quantity the
+// storage-savings analysis compares against raw simulation output.
+func (m *Model) SizeBytes() (int64, error) {
+	var c countingWriter
+	if err := m.Save(&c); err != nil {
+		return 0, err
+	}
+	return c.n, nil
+}

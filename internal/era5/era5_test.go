@@ -1,0 +1,308 @@
+package era5
+
+import (
+	"math"
+	"testing"
+
+	"exaclim/internal/forcing"
+	"exaclim/internal/sphere"
+)
+
+func testConfig(stepsPerDay int) Config {
+	return Config{
+		Grid:        sphere.GridForBandLimit(24),
+		L:           24,
+		Seed:        42,
+		StartYear:   1988,
+		StepsPerDay: stepsPerDay,
+	}
+}
+
+func TestGeneratorBasics(t *testing.T) {
+	g, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Next()
+	if f.Grid != g.cfg.Grid {
+		t.Error("field grid mismatch")
+	}
+	min, max := f.MinMax()
+	if min < 180 || max > 340 {
+		t.Errorf("temperatures [%g, %g] K outside plausible Earth range", min, max)
+	}
+	mean := f.Mean()
+	if mean < 265 || mean > 295 {
+		t.Errorf("global mean %g K outside plausible range", mean)
+	}
+}
+
+func TestLandFraction(t *testing.T) {
+	g, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := g.LandMask()
+	// Area-weighted land fraction should be near the 30% target.
+	frac := mask.Mean()
+	if frac < 0.15 || frac < 0 || frac > 0.45 {
+		t.Errorf("land fraction %g, want around 0.3", frac)
+	}
+	for _, v := range mask.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("mask value %g outside [0,1]", v)
+		}
+	}
+}
+
+func TestSeasonalCycleHemisphericOpposition(t *testing.T) {
+	g, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := g.cfg.Grid
+	// Average January and July over several years at 45N and 45S.
+	nlat := grid.NLat
+	north := nlat / 4
+	south := 3 * nlat / 4
+	var janN, julN, janS, julS float64
+	years := 4
+	count := 0
+	g.ForEach(years*DaysPerYear, func(tt int, f sphere.Field) {
+		doy := tt % DaysPerYear
+		rowN, rowS := f.Ring(north), f.Ring(south)
+		mn, ms := 0.0, 0.0
+		for j := range rowN {
+			mn += rowN[j]
+			ms += rowS[j]
+		}
+		mn /= float64(len(rowN))
+		ms /= float64(len(rowS))
+		if doy < 31 { // January
+			janN += mn
+			janS += ms
+			count++
+		}
+		if doy >= 181 && doy < 212 { // July
+			julN += mn
+			julS += ms
+		}
+	})
+	if julN <= janN {
+		t.Errorf("northern hemisphere not warmer in July: jan %g jul %g", janN, julN)
+	}
+	if janS <= julS {
+		t.Errorf("southern hemisphere not warmer in January: jan %g jul %g", janS, julS)
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	cfg := testConfig(24)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the land pixel with the largest diurnal amplitude and check
+	// afternoon (14h) is warmer than pre-dawn (2h) on average.
+	best, bestAmp := 0, 0.0
+	for p, a := range g.diurnalAmp {
+		if a > bestAmp {
+			bestAmp = a
+			best = p
+		}
+	}
+	var afternoon, predawn float64
+	days := 20
+	g.ForEach(days*24, func(tt int, f sphere.Field) {
+		switch tt % 24 {
+		case 14:
+			afternoon += f.Data[best]
+		case 2:
+			predawn += f.Data[best]
+		}
+	})
+	afternoon /= float64(days)
+	predawn /= float64(days)
+	if afternoon-predawn < bestAmp {
+		t.Errorf("diurnal range %g K at amplitude-%g pixel, want clear afternoon warmth", afternoon-predawn, bestAmp)
+	}
+}
+
+func TestWarmingTrend(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Scenario = forcing.Historical()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := 30
+	annual := make([]float64, years)
+	g.ForEach(years*DaysPerYear, func(tt int, f sphere.Field) {
+		annual[tt/DaysPerYear] += f.Mean() / DaysPerYear
+	})
+	first := (annual[0] + annual[1] + annual[2]) / 3
+	last := (annual[years-3] + annual[years-2] + annual[years-1]) / 3
+	if last-first < 0.2 {
+		t.Errorf("30-year warming %g K, want a visible trend", last-first)
+	}
+	if last-first > 4 {
+		t.Errorf("30-year warming %g K is implausibly large", last-first)
+	}
+}
+
+func TestControlRunHasNoTrend(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Scenario = forcing.Constant(forcing.PreindustrialPPM)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := 12
+	annual := make([]float64, years)
+	g.ForEach(years*DaysPerYear, func(tt int, f sphere.Field) {
+		annual[tt/DaysPerYear] += f.Mean() / DaysPerYear
+	})
+	first := (annual[0] + annual[1] + annual[2]) / 3
+	last := (annual[years-3] + annual[years-2] + annual[years-1]) / 3
+	if math.Abs(last-first) > 0.25 {
+		t.Errorf("control run drifted %g K over %d years", last-first, years)
+	}
+}
+
+func TestWeatherVarianceIsAnisotropic(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Scenario = forcing.Constant(forcing.PreindustrialPPM)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.cfg.Grid.Points()
+	const T = 500
+	sum := make([]float64, n)
+	sum2 := make([]float64, n)
+	g.ForEach(T, func(tt int, f sphere.Field) {
+		for p, v := range f.Data {
+			sum[p] += v
+			sum2[p] += v * v
+		}
+	})
+	// Deseasonalized comparison: pick two pixels on the same ring (same
+	// seasonal cycle) with very different land fraction.
+	grid := g.cfg.Grid
+	ring := grid.NLat / 3
+	landiest, oceaniest := -1, -1
+	for j := 0; j < grid.NLon; j++ {
+		p := ring*grid.NLon + j
+		if landiest < 0 || g.land[p] > g.land[landiest] {
+			landiest = p
+		}
+		if oceaniest < 0 || g.land[p] < g.land[oceaniest] {
+			oceaniest = p
+		}
+	}
+	if g.land[landiest] < 0.8 || g.land[oceaniest] > 0.2 {
+		t.Skip("procedural continents left no land/ocean contrast on the test ring")
+	}
+	varAt := func(p int) float64 {
+		m := sum[p] / T
+		return sum2[p]/T - m*m
+	}
+	if varAt(landiest) <= varAt(oceaniest) {
+		t.Errorf("land pixel variance %g not larger than ocean %g", varAt(landiest), varAt(oceaniest))
+	}
+}
+
+func TestTemporalPersistence(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Scenario = forcing.Constant(forcing.PreindustrialPPM)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lag-1 autocorrelation of the global-mean weather anomaly must be
+	// clearly positive (planetary scales persist across days).
+	const T = 400
+	series := make([]float64, T)
+	g.ForEach(T, func(tt int, f sphere.Field) { series[tt] = f.Mean() })
+	// Remove the seasonal signal crudely with a 31-day moving mean.
+	anom := make([]float64, T)
+	for i := range series {
+		lo, hi := i-15, i+16
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > T {
+			hi = T
+		}
+		m := 0.0
+		for _, v := range series[lo:hi] {
+			m += v
+		}
+		anom[i] = series[i] - m/float64(hi-lo)
+	}
+	var c0, c1 float64
+	for i := 0; i+1 < T; i++ {
+		c0 += anom[i] * anom[i]
+		c1 += anom[i] * anom[i+1]
+	}
+	if r := c1 / c0; r < 0.3 {
+		t.Errorf("lag-1 autocorrelation %g, want > 0.3", r)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	g1, _ := New(testConfig(1))
+	g2, _ := New(testConfig(1))
+	f1 := g1.Next()
+	f2 := g2.Next()
+	for i := range f1.Data {
+		if f1.Data[i] != f2.Data[i] {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+	g3, _ := New(Config{Grid: sphere.GridForBandLimit(24), L: 24, Seed: 43, StartYear: 1988, StepsPerDay: 1})
+	f3 := g3.Next()
+	same := true
+	for i := range f1.Data {
+		if f1.Data[i] != f3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestAnnualRFAlignment(t *testing.T) {
+	g, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := g.AnnualRF(10, 5)
+	if len(rf) != 15 {
+		t.Fatalf("AnnualRF length %d, want 15", len(rf))
+	}
+	want := g.cfg.Scenario.RF(float64(g.cfg.StartYear))
+	if math.Abs(rf[10]-want) > 1e-12 {
+		t.Errorf("AnnualRF[lead] = %g, want RF(StartYear) = %g", rf[10], want)
+	}
+}
+
+func TestRejectsTinyBandLimit(t *testing.T) {
+	_, err := New(Config{Grid: sphere.GridForBandLimit(8), L: 2})
+	if err == nil {
+		t.Fatal("expected error for tiny band limit")
+	}
+}
+
+func BenchmarkNextDaily_L24(b *testing.B) {
+	g, err := New(testConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") || !strings.Contains(s, "note: hello") {
+		t.Errorf("rendered table missing content:\n%s", s)
+	}
+	csv := tb.CSV()
+	if csv != "a,bb\n1,2\n333,4\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	tb := Fig1()
+	if len(tb.Rows) < 10 {
+		t.Errorf("Fig1 has %d rows, want the full landscape", len(tb.Rows))
+	}
+	found245k := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "245") {
+			found245k = true
+		}
+	}
+	if !found245k {
+		t.Error("Fig1 should state the 245,280x advance")
+	}
+}
+
+func TestFig5Through8AndTable1(t *testing.T) {
+	for _, tb := range []Table{Fig5(), Fig6(), Fig7(), Fig8(), Table1(), Storage()} {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s: row width %d vs header %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+	}
+}
+
+func TestFig2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long pipeline")
+	}
+	cfg := DefaultHourly()
+	tb, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Errorf("Fig2 rows = %d, want 4 (sim/emu x 2 days)", len(tb.Rows))
+	}
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "stdRatio") {
+		t.Error("Fig2 missing consistency note")
+	}
+}
+
+func TestFig4EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long pipeline")
+	}
+	cfg := DefaultDaily()
+	cfg.Years = 1
+	tb, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Errorf("Fig4 rows = %d, want one per variant", len(tb.Rows))
+	}
+}
+
+func TestRuntimeTable(t *testing.T) {
+	tb := Runtime()
+	if len(tb.Rows) != 8 {
+		t.Errorf("Runtime rows = %d, want 8 (4 variants x 2 policies)", len(tb.Rows))
+	}
+}
+
+func TestMixedPrecisionAccuracy(t *testing.T) {
+	tb := MixedPrecisionAccuracy(1)
+	if len(tb.Rows) != 2 {
+		t.Errorf("accuracy rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, c := range row[1:] {
+			if c == "ERR" {
+				t.Errorf("accuracy sweep failed: %v", row)
+			}
+		}
+	}
+}

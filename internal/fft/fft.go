@@ -1,0 +1,249 @@
+// Package fft provides fast Fourier transforms of arbitrary length built
+// from an iterative radix-2 kernel and Bluestein's chirp-z algorithm.
+//
+// The forward transform computes X[k] = sum_j x[j] exp(-2*pi*i*j*k/n) and
+// the inverse computes x[j] = (1/n) sum_k X[k] exp(+2*pi*i*j*k/n), so that
+// Inverse(Forward(x)) == x up to rounding.
+//
+// The package is the workhorse under the spherical harmonic transform: the
+// longitudinal transform of every latitude ring and the colatitude
+// extension transform both reduce to FFTs whose lengths (e.g. 1440, 96,
+// 2Nθ-2) are not powers of two, hence the Bluestein path.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan holds the precomputed twiddle factors and scratch buffers for
+// transforms of a fixed length. A Plan is cheap to reuse and amortizes all
+// trigonometric evaluation; it is not safe for concurrent use (clone one
+// per goroutine with Clone).
+type Plan struct {
+	n    int
+	pow2 bool
+
+	// Radix-2 machinery (used directly when n is a power of two, and for
+	// the inner transforms of the Bluestein path otherwise).
+	m        int          // power-of-two transform length
+	twiddle  []complex128 // m/2 forward twiddles
+	itwiddle []complex128 // m/2 inverse twiddles
+	rev      []int        // bit-reversal permutation of length m
+
+	// Bluestein machinery (nil when n is a power of two).
+	chirp    []complex128 // exp(-i*pi*j^2/n), length n
+	bfft     []complex128 // FFT of the zero-padded conjugate chirp, length m
+	scratch  []complex128 // length m work area
+	scratchB []complex128 // second length m work area
+}
+
+// NewPlan creates a transform plan for length n. It panics if n <= 0;
+// degenerate lengths are programming errors, not runtime conditions.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.m = n
+		p.initRadix2()
+		return p
+	}
+	// Bluestein: we need a power-of-two length m >= 2n-1.
+	p.m = 1 << bits.Len(uint(2*n-2))
+	p.initRadix2()
+	p.initBluestein()
+	return p
+}
+
+// Len returns the transform length the plan was built for.
+func (p *Plan) Len() int { return p.n }
+
+// Clone returns an independent plan sharing the immutable twiddle tables
+// but with private scratch space, suitable for use in another goroutine.
+func (p *Plan) Clone() *Plan {
+	q := *p
+	if p.scratch != nil {
+		q.scratch = make([]complex128, p.m)
+		q.scratchB = make([]complex128, p.m)
+	}
+	return &q
+}
+
+func (p *Plan) initRadix2() {
+	m := p.m
+	p.twiddle = make([]complex128, m/2)
+	p.itwiddle = make([]complex128, m/2)
+	for i := 0; i < m/2; i++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(i) / float64(m))
+		p.twiddle[i] = complex(c, s)
+		p.itwiddle[i] = complex(c, -s)
+	}
+	p.rev = make([]int, m)
+	shift := 64 - uint(bits.Len(uint(m-1)))
+	if m == 1 {
+		shift = 64
+	}
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+}
+
+func (p *Plan) initBluestein() {
+	n, m := p.n, p.m
+	p.chirp = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// exp(-i*pi*j^2/n); reduce j^2 mod 2n first to keep the argument
+		// small and the sincos accurate for large n.
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(jj) / float64(n))
+		p.chirp[j] = complex(c, s)
+	}
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(p.chirp[0])
+	for j := 1; j < n; j++ {
+		cc := cmplx.Conj(p.chirp[j])
+		b[j] = cc
+		b[m-j] = cc
+	}
+	p.radix2(b, p.twiddle)
+	p.bfft = b
+	p.scratch = make([]complex128, m)
+	p.scratchB = make([]complex128, m)
+}
+
+// radix2 runs an in-place decimation-in-time FFT of length p.m on x using
+// the supplied twiddle table (forward or inverse).
+func (p *Plan) radix2(x []complex128, tw []complex128) {
+	m := p.m
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	for size := 2; size <= m; size <<= 1 {
+		half := size >> 1
+		step := m / size
+		for start := 0; start < m; start += size {
+			k := 0
+			for j := start; j < start+half; j++ {
+				t := tw[k] * x[j+half]
+				x[j+half] = x[j] - t
+				x[j] = x[j] + t
+				k += step
+			}
+		}
+	}
+}
+
+// Forward computes the forward DFT of src into dst. The slices must both
+// have length Plan.Len and may alias each other.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.transform(dst, src, false)
+}
+
+// Inverse computes the inverse DFT (including the 1/n normalization) of
+// src into dst. The slices must both have length Plan.Len and may alias.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.transform(dst, src, true)
+}
+
+func (p *Plan) transform(dst, src []complex128, inverse bool) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("fft: length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src)))
+	}
+	if p.pow2 {
+		if &dst[0] != &src[0] {
+			copy(dst, src)
+		}
+		if inverse {
+			p.radix2(dst, p.itwiddle)
+			scale := 1 / float64(p.n)
+			for i := range dst {
+				dst[i] = complex(real(dst[i])*scale, imag(dst[i])*scale)
+			}
+		} else {
+			p.radix2(dst, p.twiddle)
+		}
+		return
+	}
+	p.bluestein(dst, src, inverse)
+}
+
+// bluestein evaluates the length-n DFT as a convolution with a chirp. The
+// inverse is obtained from the forward transform by conjugation:
+// IDFT(x) = conj(DFT(conj(x)))/n.
+func (p *Plan) bluestein(dst, src []complex128, inverse bool) {
+	n, m := p.n, p.m
+	a := p.scratch
+	for i := range a {
+		a[i] = 0
+	}
+	if inverse {
+		for j := 0; j < n; j++ {
+			a[j] = cmplx.Conj(src[j]) * p.chirp[j]
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			a[j] = src[j] * p.chirp[j]
+		}
+	}
+	p.radix2(a, p.twiddle)
+	for i := 0; i < m; i++ {
+		a[i] *= p.bfft[i]
+	}
+	// Unscaled inverse radix-2 of a.
+	p.radix2(a, p.itwiddle)
+	scale := 1 / float64(m)
+	if inverse {
+		scale /= float64(n)
+		for k := 0; k < n; k++ {
+			v := a[k] * p.chirp[k]
+			dst[k] = complex(real(v)*scale, -imag(v)*scale)
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		v := a[k] * p.chirp[k]
+		dst[k] = complex(real(v)*scale, imag(v)*scale)
+	}
+}
+
+// Forward is a convenience one-shot forward transform. For repeated
+// transforms of the same length build a Plan.
+func Forward(x []complex128) {
+	NewPlan(len(x)).Forward(x, x)
+}
+
+// Inverse is a convenience one-shot inverse transform.
+func Inverse(x []complex128) {
+	NewPlan(len(x)).Inverse(x, x)
+}
+
+// Naive computes the DFT by direct summation in O(n^2). It exists as an
+// oracle for tests and as a reference for very small n.
+func Naive(src []complex128, inverse bool) []complex128 {
+	n := len(src)
+	dst := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64((j*k)%n) / float64(n)
+			s, c := math.Sincos(ang)
+			sum += src[j] * complex(c, s)
+		}
+		if inverse {
+			sum /= complex(float64(n), 0)
+		}
+		dst[k] = sum
+	}
+	return dst
+}

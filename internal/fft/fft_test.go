@@ -1,0 +1,271 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSlice(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// testLengths exercises powers of two, primes, and the composite lengths
+// that the SHT actually produces (2Nθ-2 and Nφ for ERA5-like grids).
+var testLengths = []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 45, 64, 96, 97, 128, 180, 240, 360, 719, 720, 1440}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range testLengths {
+		if n > 512 {
+			continue // keep the O(n^2) oracle cheap
+		}
+		src := randSlice(rng, n)
+		want := Naive(src, false)
+		got := make([]complex128, n)
+		NewPlan(n).Forward(got, src)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: forward mismatch vs naive DFT: max diff %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range testLengths {
+		if n > 512 {
+			continue
+		}
+		src := randSlice(rng, n)
+		want := Naive(src, true)
+		got := make([]complex128, n)
+		NewPlan(n).Inverse(got, src)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: inverse mismatch vs naive IDFT: max diff %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range testLengths {
+		src := randSlice(rng, n)
+		p := NewPlan(n)
+		mid := make([]complex128, n)
+		out := make([]complex128, n)
+		p.Forward(mid, src)
+		p.Inverse(out, mid)
+		if d := maxAbsDiff(out, src); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip error %g", n, d)
+		}
+	}
+}
+
+func TestInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 12, 97, 1440} {
+		src := randSlice(rng, n)
+		want := make([]complex128, n)
+		p := NewPlan(n)
+		p.Forward(want, src)
+		inplace := append([]complex128(nil), src...)
+		p.Forward(inplace, inplace)
+		if d := maxAbsDiff(inplace, want); d > 1e-12*float64(n) {
+			t.Errorf("n=%d: in-place forward differs from out-of-place by %g", n, d)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 45, 97, 720} {
+		src := randSlice(rng, n)
+		dst := make([]complex128, n)
+		NewPlan(n).Forward(dst, src)
+		var et, ef float64
+		for i := 0; i < n; i++ {
+			et += real(src[i])*real(src[i]) + imag(src[i])*imag(src[i])
+			ef += real(dst[i])*real(dst[i]) + imag(dst[i])*imag(dst[i])
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef) > 1e-8*et {
+			t.Errorf("n=%d: Parseval violated: time %g vs freq %g", n, et, ef)
+		}
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	p := NewPlan(45)
+	f := func(ar, ai, br, bi float64) bool {
+		rng := rand.New(rand.NewSource(42))
+		x := randSlice(rng, 45)
+		y := randSlice(rng, 45)
+		a := complex(math.Mod(ar, 10), math.Mod(ai, 10))
+		b := complex(math.Mod(br, 10), math.Mod(bi, 10))
+		comb := make([]complex128, 45)
+		for i := range comb {
+			comb[i] = a*x[i] + b*y[i]
+		}
+		fx := make([]complex128, 45)
+		fy := make([]complex128, 45)
+		fc := make([]complex128, 45)
+		p.Forward(fx, x)
+		p.Forward(fy, y)
+		p.Forward(fc, comb)
+		for i := range fc {
+			if cmplx.Abs(fc[i]-(a*fx[i]+b*fy[i])) > 1e-8*(1+cmplx.Abs(a)+cmplx.Abs(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImpulseAndConstant(t *testing.T) {
+	for _, n := range []int{8, 13, 100} {
+		p := NewPlan(n)
+		// Transform of a unit impulse is all ones.
+		src := make([]complex128, n)
+		src[0] = 1
+		dst := make([]complex128, n)
+		p.Forward(dst, src)
+		for k := range dst {
+			if cmplx.Abs(dst[k]-1) > 1e-10 {
+				t.Fatalf("n=%d: impulse transform at %d = %v, want 1", n, k, dst[k])
+			}
+		}
+		// Transform of a constant is an impulse of height n at bin 0.
+		for i := range src {
+			src[i] = 2.5
+		}
+		p.Forward(dst, src)
+		if cmplx.Abs(dst[0]-complex(2.5*float64(n), 0)) > 1e-9*float64(n) {
+			t.Fatalf("n=%d: DC bin %v, want %v", n, dst[0], 2.5*float64(n))
+		}
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(dst[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: leakage at bin %d: %v", n, k, dst[k])
+			}
+		}
+	}
+}
+
+func TestShiftTheoremProperty(t *testing.T) {
+	n := 96
+	p := NewPlan(n)
+	rng := rand.New(rand.NewSource(7))
+	x := randSlice(rng, n)
+	fx := make([]complex128, n)
+	p.Forward(fx, x)
+	f := func(shiftRaw uint8) bool {
+		s := int(shiftRaw) % n
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[(i+s)%n]
+		}
+		fs := make([]complex128, n)
+		p.Forward(fs, shifted)
+		for k := 0; k < n; k++ {
+			ang := 2 * math.Pi * float64(k*s%n) / float64(n)
+			si, co := math.Sincos(ang)
+			want := fx[k] * complex(co, si)
+			if cmplx.Abs(fs[k]-want) > 1e-8*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealInputHermitianSymmetry(t *testing.T) {
+	n := 180
+	p := NewPlan(n)
+	rng := rand.New(rand.NewSource(8))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	fx := make([]complex128, n)
+	p.Forward(fx, x)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(fx[k]-cmplx.Conj(fx[n-k])) > 1e-9 {
+			t.Fatalf("Hermitian symmetry violated at k=%d", k)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewPlan(45)
+	q := p.Clone()
+	rng := rand.New(rand.NewSource(9))
+	x := randSlice(rng, 45)
+	y := randSlice(rng, 45)
+	outP := make([]complex128, 45)
+	outQ := make([]complex128, 45)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			p.Forward(outP, x)
+		}
+		close(done)
+	}()
+	for i := 0; i < 50; i++ {
+		q.Forward(outQ, y)
+	}
+	<-done
+	wantP := Naive(x, false)
+	wantQ := Naive(y, false)
+	if d := maxAbsDiff(outP, wantP); d > 1e-9 {
+		t.Errorf("concurrent clone corrupted original plan output: %g", d)
+	}
+	if d := maxAbsDiff(outQ, wantQ); d > 1e-9 {
+		t.Errorf("concurrent clone output wrong: %g", d)
+	}
+}
+
+func TestNewPlanPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPlan(0) did not panic")
+		}
+	}()
+	NewPlan(0)
+}
+
+func BenchmarkForwardPow2_1024(b *testing.B)      { benchForward(b, 1024) }
+func BenchmarkForwardBluestein_720(b *testing.B)  { benchForward(b, 720) }
+func BenchmarkForwardBluestein_1440(b *testing.B) { benchForward(b, 1440) }
+
+func benchForward(b *testing.B, n int) {
+	p := NewPlan(n)
+	rng := rand.New(rand.NewSource(1))
+	x := randSlice(rng, n)
+	dst := make([]complex128, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(dst, x)
+	}
+}

@@ -1,0 +1,93 @@
+// Package forcing provides radiative forcing (RF) trajectories, the
+// exogenous driver x_t of the paper's mean-trend model (eq. 2). The
+// paper trains on reanalysis (ERA5) over 1940-2022, whose forcing history
+// we approximate with a smooth CO2-equivalent concentration pathway and
+// the standard logarithmic forcing law; scenario pathways support the
+// emulator's "multiple runs with varied parameter values for a single
+// emissions scenario" use case (Section I).
+package forcing
+
+import "math"
+
+// PreindustrialPPM is the reference CO2 concentration for the logarithmic
+// forcing law.
+const PreindustrialPPM = 280.0
+
+// CO2Log converts a CO2-equivalent concentration (ppm) to radiative
+// forcing in W/m^2 using the IPCC logarithmic relation F = 5.35 ln(C/C0).
+func CO2Log(ppm float64) float64 {
+	return 5.35 * math.Log(ppm/PreindustrialPPM)
+}
+
+// Scenario is a concentration pathway; RF values derive from it.
+type Scenario struct {
+	Name string
+	// PPM returns the CO2-equivalent concentration at a (possibly
+	// fractional) calendar year.
+	PPM func(year float64) float64
+}
+
+// RF returns the radiative forcing (W/m^2) at the given year.
+func (s Scenario) RF(year float64) float64 { return CO2Log(s.PPM(year)) }
+
+// Annual returns n annual forcing values starting at firstYear.
+func (s Scenario) Annual(firstYear, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.RF(float64(firstYear + i))
+	}
+	return out
+}
+
+// Historical approximates the observed CO2 record and extends it along a
+// high-emissions path: about 311 ppm in 1940, 370 ppm in 2000, 412 ppm in
+// 2020, accelerating beyond.
+func Historical() Scenario {
+	return Scenario{
+		Name: "historical-high",
+		PPM: func(year float64) float64 {
+			return PreindustrialPPM + 132*math.Exp((year-2020)/57)
+		},
+	}
+}
+
+// Stabilization follows Historical until startYear, then relaxes the
+// concentration toward targetPPM with the given e-folding time in years;
+// an idealized mitigation pathway.
+func Stabilization(startYear, targetPPM, efold float64) Scenario {
+	hist := Historical()
+	base := hist.PPM(startYear)
+	return Scenario{
+		Name: "stabilization",
+		PPM: func(year float64) float64 {
+			if year <= startYear {
+				return hist.PPM(year)
+			}
+			return targetPPM + (base-targetPPM)*math.Exp(-(year-startYear)/efold)
+		},
+	}
+}
+
+// Constant holds concentration fixed, the control-run scenario that
+// isolates internal variability.
+func Constant(ppm float64) Scenario {
+	return Scenario{
+		Name: "constant",
+		PPM:  func(year float64) float64 { return ppm },
+	}
+}
+
+// LaggedResponse applies the paper's infinite distributed lag filter to
+// an annual forcing series: out_t = (1-rho) * sum_{s>=1} rho^(s-1) x_{t-s},
+// computed recursively. The first element uses spinup as the pre-series
+// steady forcing. This is the physical "ocean memory" the beta2 term of
+// eq. (2) regresses on.
+func LaggedResponse(annual []float64, rho, spinup float64) []float64 {
+	out := make([]float64, len(annual))
+	state := spinup // steady state: sum (1-rho) rho^(s-1) * spinup = spinup
+	for i := range annual {
+		out[i] = state
+		state = rho*state + (1-rho)*annual[i]
+	}
+	return out
+}

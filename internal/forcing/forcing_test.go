@@ -1,0 +1,110 @@
+package forcing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCO2LogAnchors(t *testing.T) {
+	if got := CO2Log(PreindustrialPPM); got != 0 {
+		t.Errorf("forcing at preindustrial = %g, want 0", got)
+	}
+	// Doubling CO2 gives the canonical ~3.7 W/m^2.
+	if got := CO2Log(2 * PreindustrialPPM); math.Abs(got-3.71) > 0.02 {
+		t.Errorf("2xCO2 forcing = %g, want about 3.71", got)
+	}
+}
+
+func TestHistoricalAnchors(t *testing.T) {
+	h := Historical()
+	checks := map[float64][2]float64{ // year -> [min ppm, max ppm]
+		1940: {300, 320},
+		2000: {355, 380},
+		2020: {405, 418},
+	}
+	for year, bounds := range checks {
+		ppm := h.PPM(year)
+		if ppm < bounds[0] || ppm > bounds[1] {
+			t.Errorf("historical PPM(%g) = %g, want in [%g, %g]", year, ppm, bounds[0], bounds[1])
+		}
+	}
+	// Forcing must increase monotonically.
+	prev := math.Inf(-1)
+	for y := 1900; y <= 2100; y += 10 {
+		rf := h.RF(float64(y))
+		if rf <= prev {
+			t.Fatalf("historical forcing not increasing at %d", y)
+		}
+		prev = rf
+	}
+}
+
+func TestAnnualSeries(t *testing.T) {
+	h := Historical()
+	s := h.Annual(1940, 83)
+	if len(s) != 83 {
+		t.Fatalf("series length %d, want 83", len(s))
+	}
+	if s[0] != h.RF(1940) || s[82] != h.RF(2022) {
+		t.Error("annual series endpoints wrong")
+	}
+}
+
+func TestStabilizationConverges(t *testing.T) {
+	s := Stabilization(2020, 450, 30)
+	if math.Abs(s.PPM(2019)-Historical().PPM(2019)) > 1e-9 {
+		t.Error("stabilization should follow historical before start")
+	}
+	if got := s.PPM(2500); math.Abs(got-450) > 1 {
+		t.Errorf("stabilization PPM(2500) = %g, want about 450", got)
+	}
+	// Continuous at the branch point.
+	if d := math.Abs(s.PPM(2020.0001) - s.PPM(2019.9999)); d > 0.5 {
+		t.Errorf("discontinuity %g at branch point", d)
+	}
+}
+
+func TestConstantScenario(t *testing.T) {
+	c := Constant(280)
+	for _, y := range []float64{1800, 2000, 2200} {
+		if c.RF(y) != 0 {
+			t.Errorf("constant preindustrial forcing at %g = %g, want 0", y, c.RF(y))
+		}
+	}
+}
+
+func TestLaggedResponseSteadyState(t *testing.T) {
+	// Constant forcing: the lagged response equals the input.
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 2.5
+	}
+	lag := LaggedResponse(x, 0.8, 2.5)
+	for i, v := range lag {
+		if math.Abs(v-2.5) > 1e-12 {
+			t.Fatalf("steady-state lag at %d = %g, want 2.5", i, v)
+		}
+	}
+}
+
+func TestLaggedResponseStepDelay(t *testing.T) {
+	// Step input: response must approach the new level geometrically with
+	// rate rho and lag strictly behind the input.
+	n := 60
+	x := make([]float64, n)
+	for i := 10; i < n; i++ {
+		x[i] = 1
+	}
+	rho := 0.7
+	lag := LaggedResponse(x, rho, 0)
+	if lag[10] != 0 {
+		t.Errorf("lag responds instantaneously: lag[10] = %g", lag[10])
+	}
+	// After the step, 1 - lag[t] decays like rho^t.
+	for i := 15; i < n; i++ {
+		want := 1 - math.Pow(rho, float64(i-10))
+		if math.Abs(lag[i]-want) > 1e-12 {
+			t.Fatalf("lag[%d] = %g, want %g", i, lag[i], want)
+		}
+	}
+}

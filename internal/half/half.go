@@ -1,0 +1,161 @@
+// Package half implements IEEE 754 binary16 ("half precision") storage.
+//
+// The paper's DP/HP and DP/SP/HP Cholesky variants store weakly-correlated
+// covariance tiles in half precision on GPU tensor cores. This machine has
+// no tensor cores, so tiles are held as uint16 payloads with
+// round-to-nearest-even conversion; arithmetic on HP tiles is performed in
+// float32 after widening, which matches the accumulate-in-higher-precision
+// behaviour of tensor-core GEMM. The numerical effects the paper relies on
+// (≈3 decimal digits, range ±65504, gradual underflow) are reproduced
+// exactly; the speed of HP arithmetic is captured by the cluster
+// performance model instead.
+package half
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored in its raw bit pattern.
+type Float16 uint16
+
+const (
+	// MaxValue is the largest finite half-precision value.
+	MaxValue = 65504.0
+	// MinNormal is the smallest positive normal half-precision value.
+	MinNormal = 6.103515625e-05 // 2^-14
+	// MinSubnormal is the smallest positive subnormal value.
+	MinSubnormal = 5.9604644775390625e-08 // 2^-24
+	// Epsilon is the gap between 1 and the next representable value.
+	Epsilon = 0.0009765625 // 2^-10
+)
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
+// following the same semantics as hardware F32->F16 conversion: values
+// beyond the finite range become infinities, NaNs are preserved (quieted).
+func FromFloat32(f float32) Float16 {
+	b := math.Float32bits(f)
+	sign := uint16((b >> 16) & 0x8000)
+	exp := int32((b>>23)&0xff) - 127 + 15
+	mant := b & 0x7fffff
+
+	if (b>>23)&0xff == 0xff { // Inf or NaN
+		if mant != 0 {
+			// NaN: keep a payload bit so it stays a NaN; set quiet bit.
+			return Float16(sign | 0x7e00 | uint16(mant>>13) | 1)
+		}
+		return Float16(sign | 0x7c00)
+	}
+	if exp >= 0x1f { // overflow -> infinity
+		return Float16(sign | 0x7c00)
+	}
+	if exp <= 0 {
+		// Subnormal half (or zero). Shift the implicit leading 1 in.
+		if exp < -10 {
+			return Float16(sign) // underflow to signed zero
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := mant + half
+		// Round to nearest even: if exactly halfway and result odd, the
+		// +half trick combined with the tie check below fixes it up.
+		if mant&(half*2-1) == half && rounded&(1<<shift) != 0 && (rounded>>shift)&1 == 1 {
+			rounded--
+		}
+		return Float16(sign | uint16(rounded>>shift))
+	}
+	// Normal half. Round mantissa from 23 to 10 bits, nearest-even.
+	rounded := mant + 0xfff + ((mant >> 13) & 1)
+	if rounded&0x800000 != 0 { // mantissa overflowed into the exponent
+		rounded = 0
+		exp++
+		if exp >= 0x1f {
+			return Float16(sign | 0x7c00)
+		}
+	}
+	return Float16(sign | uint16(exp)<<10 | uint16((rounded&0x7fffff)>>13))
+}
+
+// FromFloat64 converts a float64 via float32 (double rounding here is
+// harmless for the 11-bit target mantissa except in adversarial cases that
+// hardware pipelines share).
+func FromFloat64(f float64) Float16 { return FromFloat32(float32(f)) }
+
+// Float32 widens the half-precision value exactly (conversion up is exact).
+func (h Float16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf / NaN
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	case exp != 0: // normal
+		return math.Float32frombits(sign | (exp+112)<<23 | mant<<13)
+	case mant != 0: // subnormal: normalize
+		e := uint32(113)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	default: // signed zero
+		return math.Float32frombits(sign)
+	}
+}
+
+// Float64 widens the half-precision value exactly.
+func (h Float16) Float64() float64 { return float64(h.Float32()) }
+
+// IsNaN reports whether h is a NaN.
+func (h Float16) IsNaN() bool { return h&0x7c00 == 0x7c00 && h&0x3ff != 0 }
+
+// IsInf reports whether h is an infinity.
+func (h Float16) IsInf() bool { return h&0x7fff == 0x7c00 }
+
+// FromSlice64 converts a float64 slice to half precision in place into dst,
+// allocating when dst is too small, and returns it.
+func FromSlice64(dst []Float16, src []float64) []Float16 {
+	if cap(dst) < len(src) {
+		dst = make([]Float16, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = FromFloat64(v)
+	}
+	return dst
+}
+
+// ToSlice64 widens a half-precision slice into dst, allocating when needed.
+func ToSlice64(dst []float64, src []Float16) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = v.Float64()
+	}
+	return dst
+}
+
+// FromSlice32 converts a float32 slice to half precision.
+func FromSlice32(dst []Float16, src []float32) []Float16 {
+	if cap(dst) < len(src) {
+		dst = make([]Float16, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+	return dst
+}
+
+// ToSlice32 widens a half-precision slice to float32.
+func ToSlice32(dst []float32, src []Float16) []float32 {
+	if cap(dst) < len(src) {
+		dst = make([]float32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = v.Float32()
+	}
+	return dst
+}

@@ -1,0 +1,196 @@
+package half
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                  // max finite
+		{6.103515625e-05, 0x0400},        // min normal
+		{5.9604644775390625e-08, 0x0001}, // min subnormal
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{0.333251953125, 0x3555}, // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if c.bits.IsNaN() {
+			continue
+		}
+		if got := c.bits.Float32(); got != c.f {
+			t.Errorf("Float32(%#04x) = %g, want %g", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	nz := FromFloat32(float32(math.Copysign(0, -1)))
+	if nz != 0x8000 {
+		t.Fatalf("negative zero encodes as %#04x, want 0x8000", nz)
+	}
+	if f := nz.Float32(); f != 0 || !math.Signbit(float64(f)) {
+		t.Fatalf("negative zero decodes to %g (signbit %v)", f, math.Signbit(float64(f)))
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Fatalf("NaN converted to %#04x which is not NaN", h)
+	}
+	if !math.IsNaN(float64(h.Float32())) {
+		t.Fatal("NaN did not survive the round trip")
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	for _, f := range []float32{65520, 1e6, 1e30} {
+		h := FromFloat32(f)
+		if !h.IsInf() || h&0x8000 != 0 {
+			t.Errorf("FromFloat32(%g) = %#04x, want +Inf (0x7c00)", f, h)
+		}
+	}
+	h := FromFloat32(-1e9)
+	if !h.IsInf() || h&0x8000 == 0 {
+		t.Errorf("FromFloat32(-1e9) = %#04x, want -Inf (0xfc00)", h)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	tiny := float32(1e-10)
+	if h := FromFloat32(tiny); h != 0 {
+		t.Errorf("FromFloat32(1e-10) = %#04x, want 0", h)
+	}
+	if h := FromFloat32(-1e-10); h != 0x8000 {
+		t.Errorf("FromFloat32(-1e-10) = %#04x, want signed zero 0x8000", h)
+	}
+}
+
+// TestRoundTripAllBitPatterns widens every finite half to float32 and
+// narrows it back; the composition must be the identity on bit patterns.
+func TestRoundTripAllBitPatterns(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		h := Float16(b)
+		if h.IsNaN() {
+			if !FromFloat32(h.Float32()).IsNaN() {
+				t.Fatalf("NaN pattern %#04x lost", b)
+			}
+			continue
+		}
+		if got := FromFloat32(h.Float32()); got != h {
+			t.Fatalf("round trip %#04x -> %g -> %#04x", b, h.Float32(), got)
+		}
+	}
+}
+
+// TestRoundNearestEven verifies ties round to the even mantissa.
+func TestRoundNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 (even mantissa) and 1+2^-10.
+	f := float32(1) + float32(math.Ldexp(1, -11))
+	if h := FromFloat32(f); h != 0x3c00 {
+		t.Errorf("tie 1+2^-11 rounded to %#04x, want 0x3c00 (even)", h)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 (odd) and 1+2^-9 (even).
+	f = float32(1) + 3*float32(math.Ldexp(1, -11))
+	if h := FromFloat32(f); h != 0x3c02 {
+		t.Errorf("tie 1+3*2^-11 rounded to %#04x, want 0x3c02 (even)", h)
+	}
+}
+
+// TestConversionErrorBound checks |x - half(x)| <= eps/2 * |x| for values
+// in the normal range, the accuracy contract the emulator's DP/HP
+// covariance tiles rely on.
+func TestConversionErrorBound(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(raw, 60000)
+		if math.Abs(x) < MinNormal {
+			return true
+		}
+		got := FromFloat64(x).Float64()
+		return math.Abs(x-got) <= Epsilon/2*math.Abs(x)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotonicity: conversion preserves (non-strict) order.
+func TestMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prev := float32(-70000)
+	for i := 0; i < 5000; i++ {
+		x := prev + rng.Float32()*30
+		a, b := FromFloat32(prev).Float32(), FromFloat32(x).Float32()
+		// Saturation maps out-of-range values to Inf, which stays ordered.
+		if a > b {
+			t.Fatalf("monotonicity violated: half(%g)=%g > half(%g)=%g", prev, a, x, b)
+		}
+		prev = x
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	src := []float64{0, 1, -2.5, 1024, 1e-9, 65504}
+	h := FromSlice64(nil, src)
+	back := ToSlice64(nil, h)
+	want := []float64{0, 1, -2.5, 1024, 0, 65504}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("slice round trip [%d] = %g, want %g", i, back[i], want[i])
+		}
+	}
+	// Reuse of capacity must not allocate a new slice.
+	h2 := FromSlice64(h, src)
+	if &h2[0] != &h[0] {
+		t.Error("FromSlice64 reallocated despite sufficient capacity")
+	}
+	f32 := ToSlice32(nil, h)
+	h3 := FromSlice32(nil, f32)
+	for i := range h {
+		if h3[i] != h[i] {
+			t.Errorf("float32 slice round trip [%d] = %#04x, want %#04x", i, h3[i], h[i])
+		}
+	}
+}
+
+func BenchmarkFromFloat64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	dst := make([]Float16, len(xs))
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromSlice64(dst, xs)
+	}
+}
+
+func BenchmarkToFloat64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	hs := make([]Float16, 4096)
+	for i := range hs {
+		hs[i] = FromFloat64(rng.NormFloat64() * 100)
+	}
+	dst := make([]float64, len(hs))
+	b.SetBytes(int64(len(hs) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ToSlice64(dst, hs)
+	}
+}

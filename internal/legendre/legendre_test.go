@@ -1,0 +1,320 @@
+package legendre
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLowOrderClosedForms compares AllAt against the textbook spherical
+// harmonics (Condon-Shortley phase included).
+func TestLowOrderClosedForms(t *testing.T) {
+	thetas := []float64{0.1, 0.7, math.Pi / 2, 2.2, 3.0}
+	for _, theta := range thetas {
+		s, c := math.Sincos(theta)
+		p := AllAt(3, c, s, nil)
+		want := map[[2]int]float64{
+			{0, 0}: math.Sqrt(1 / (4 * math.Pi)),
+			{1, 0}: math.Sqrt(3/(4*math.Pi)) * c,
+			{1, 1}: -math.Sqrt(3/(8*math.Pi)) * s,
+			{2, 0}: math.Sqrt(5/(16*math.Pi)) * (3*c*c - 1),
+			{2, 1}: -math.Sqrt(15/(8*math.Pi)) * s * c,
+			{2, 2}: math.Sqrt(15/(32*math.Pi)) * s * s,
+		}
+		for lm, w := range want {
+			got := p[Idx(lm[0], lm[1])]
+			if math.Abs(got-w) > 1e-14 {
+				t.Errorf("theta=%g: Ptilde(%d,%d) = %.16g, want %.16g", theta, lm[0], lm[1], got, w)
+			}
+		}
+	}
+}
+
+// TestOrthonormality integrates Ptilde_l^m Ptilde_l'^m over [-1,1] with
+// Gauss-Legendre quadrature; with the 2*pi longitudinal factor the result
+// must be the identity.
+func TestOrthonormality(t *testing.T) {
+	const L = 16
+	nodes, weights := GaussLegendre(64)
+	tables := make([][]float64, len(nodes))
+	for i, x := range nodes {
+		tables[i] = AllAt(L, x, math.Sqrt(1-x*x), nil)
+	}
+	for m := 0; m < L; m++ {
+		for l1 := m; l1 < L; l1++ {
+			for l2 := l1; l2 < L; l2++ {
+				sum := 0.0
+				for i := range nodes {
+					sum += weights[i] * tables[i][Idx(l1, m)] * tables[i][Idx(l2, m)]
+				}
+				sum *= 2 * math.Pi
+				want := 0.0
+				if l1 == l2 {
+					want = 1
+				}
+				if math.Abs(sum-want) > 1e-11 {
+					t.Errorf("<Y(%d,%d),Y(%d,%d)> = %g, want %g", l1, m, l2, m, sum, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParity: Ptilde_l^m(-x) = (-1)^(l+m) Ptilde_l^m(x).
+func TestParity(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(raw, 1)
+		if math.Abs(x) >= 1 || math.IsNaN(x) {
+			return true
+		}
+		s := math.Sqrt(1 - x*x)
+		pPos := AllAt(12, x, s, nil)
+		pNeg := AllAt(12, -x, s, nil)
+		for l := 0; l < 12; l++ {
+			for m := 0; m <= l; m++ {
+				sign := 1.0
+				if (l+m)&1 == 1 {
+					sign = -1
+				}
+				if math.Abs(pNeg[Idx(l, m)]-sign*pPos[Idx(l, m)]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdditionTheorem: sum_m |Y_lm(theta,phi)|^2 = (2l+1)/(4 pi),
+// independent of the point. Exercises all orders together.
+func TestAdditionTheorem(t *testing.T) {
+	for _, theta := range []float64{0.3, 1.1, 2.0, 2.9} {
+		s, c := math.Sincos(theta)
+		p := AllAt(24, c, s, nil)
+		for l := 0; l < 24; l++ {
+			sum := p[Idx(l, 0)] * p[Idx(l, 0)]
+			for m := 1; m <= l; m++ {
+				sum += 2 * p[Idx(l, m)] * p[Idx(l, m)]
+			}
+			want := float64(2*l+1) / (4 * math.Pi)
+			if math.Abs(sum-want) > 1e-12*want {
+				t.Errorf("theta=%g l=%d: addition theorem sum %g, want %g", theta, l, sum, want)
+			}
+		}
+	}
+}
+
+func TestRingTable(t *testing.T) {
+	colat := []float64{0.2, 1.0, 2.5}
+	rows := RingTable(8, colat)
+	for i, theta := range colat {
+		s, c := math.Sincos(theta)
+		want := AllAt(8, c, s, nil)
+		for k := range want {
+			if rows[i][k] != want[k] {
+				t.Fatalf("ring %d entry %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreExactness(t *testing.T) {
+	nodes, weights := GaussLegendre(12)
+	sumW := 0.0
+	for _, w := range weights {
+		sumW += w
+	}
+	if math.Abs(sumW-2) > 1e-13 {
+		t.Errorf("weights sum to %g, want 2", sumW)
+	}
+	// Exact for monomials up to degree 2n-1 = 23.
+	for k := 0; k <= 23; k++ {
+		sum := 0.0
+		for i, x := range nodes {
+			sum += weights[i] * math.Pow(x, float64(k))
+		}
+		want := 0.0
+		if k%2 == 0 {
+			want = 2 / float64(k+1)
+		}
+		if math.Abs(sum-want) > 1e-12 {
+			t.Errorf("integral of x^%d = %g, want %g", k, sum, want)
+		}
+	}
+}
+
+func TestGaussLegendreNodesSortedSymmetric(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 64} {
+		nodes, weights := GaussLegendre(n)
+		for i := 1; i < n; i++ {
+			if nodes[i] <= nodes[i-1] {
+				t.Fatalf("n=%d: nodes not strictly increasing at %d", n, i)
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			if math.Abs(nodes[i]+nodes[n-1-i]) > 1e-14 {
+				t.Errorf("n=%d: nodes not symmetric at %d", n, i)
+			}
+			if math.Abs(weights[i]-weights[n-1-i]) > 1e-14 {
+				t.Errorf("n=%d: weights not symmetric at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestDeltaAgainstDirect compares the Trapani-Navaza tables against the
+// brute-force factorial formula for every (l, m, n) with l <= 8, including
+// negative orders through At.
+func TestDeltaAgainstDirect(t *testing.T) {
+	d := NewDelta(9)
+	for l := 0; l <= 8; l++ {
+		for m := -l; m <= l; m++ {
+			for n := -l; n <= l; n++ {
+				want := WignerDirect(l, m, n, math.Pi/2)
+				got := d.At(l, m, n)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("Delta(%d,%d,%d) = %.15g, want %.15g", l, m, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaOrthogonality: d^l(pi/2) is an orthogonal matrix, so its
+// columns are orthonormal: sum_k Delta_{k,m} Delta_{k,n} = delta_{mn}.
+// Run at a degree large enough to stress recursion stability.
+func TestDeltaOrthogonality(t *testing.T) {
+	const l = 60
+	d := NewDelta(l + 1)
+	for m := 0; m <= l; m += 7 {
+		for n := m; n <= l; n += 5 {
+			sum := 0.0
+			for k := -l; k <= l; k++ {
+				sum += d.At(l, k, m) * d.At(l, k, n)
+			}
+			want := 0.0
+			if m == n {
+				want = 1
+			}
+			if math.Abs(sum-want) > 1e-11 {
+				t.Errorf("column orthogonality (%d,%d) = %g, want %g", m, n, sum, want)
+			}
+		}
+	}
+}
+
+// TestDeltaSymmetries verifies the sign rules used by At against the
+// direct formula once more, and internal consistency of double negation.
+func TestDeltaSymmetries(t *testing.T) {
+	d := NewDelta(13)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		l := rng.Intn(12) + 1
+		m := rng.Intn(2*l+1) - l
+		n := rng.Intn(2*l+1) - l
+		base := d.At(l, m, n)
+		// Transpose rule: Delta_{n,m} = (-1)^(m-n) Delta_{m,n}.
+		sign := 1.0
+		if (m-n)&1 != 0 {
+			sign = -1
+		}
+		if got := d.At(l, n, m); math.Abs(got-sign*base) > 1e-12 {
+			t.Fatalf("transpose symmetry failed at l=%d m=%d n=%d", l, m, n)
+		}
+		// Double negation: Delta_{-m,-n} = (-1)^(m-n) Delta_{m,n}.
+		if got := d.At(l, -m, -n); math.Abs(got-sign*base) > 1e-12 {
+			t.Fatalf("negation symmetry failed at l=%d m=%d n=%d", l, m, n)
+		}
+	}
+}
+
+// TestFourierExpansionOfWignerD is the conventions linchpin for the SHT:
+// d^l_{m,0}(theta) = i^(-m) sum_{m'} Delta_{m',0} Delta_{m',m} e^(i m' theta)
+// must match the Legendre route d^l_{m,0} = Ptilde_l^m / sqrt((2l+1)/4pi).
+func TestFourierExpansionOfWignerD(t *testing.T) {
+	const L = 24
+	d := NewDelta(L)
+	for _, theta := range []float64{0.17, 0.9, 1.57, 2.4, 3.0} {
+		s, c := math.Sincos(theta)
+		p := AllAt(L, c, s, nil)
+		for l := 0; l < L; l += 3 {
+			for m := 0; m <= l; m++ {
+				var sum complex128
+				for mp := -l; mp <= l; mp++ {
+					w := d.At(l, mp, 0) * d.At(l, mp, m)
+					sArg, cArg := math.Sincos(float64(mp) * theta)
+					sum += complex(w*cArg, w*sArg)
+				}
+				// Multiply by i^(-m).
+				switch ((m % 4) + 4) % 4 {
+				case 1:
+					sum *= complex(0, -1)
+				case 2:
+					sum *= -1
+				case 3:
+					sum *= complex(0, 1)
+				}
+				want := p[Idx(l, m)] / math.Sqrt(float64(2*l+1)/(4*math.Pi))
+				if math.Abs(real(sum)-want) > 1e-11 || math.Abs(imag(sum)) > 1e-11 {
+					t.Fatalf("l=%d m=%d theta=%g: Fourier expansion %v, want %g", l, m, theta, sum, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaIterMatchesBatch(t *testing.T) {
+	const L = 20
+	d := NewDelta(L)
+	it := NewDeltaIter()
+	for l := 0; l < L; l++ {
+		tbl := it.Next()
+		if it.Degree() != l {
+			t.Fatalf("iterator degree %d, want %d", it.Degree(), l)
+		}
+		want := d.Table(l)
+		if len(tbl) != len(want) {
+			t.Fatalf("degree %d: table size %d, want %d", l, len(tbl), len(want))
+		}
+		for k := range tbl {
+			if tbl[k] != want[k] {
+				t.Fatalf("degree %d entry %d: iter %g batch %g", l, k, tbl[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDeltaBytes(t *testing.T) {
+	d := NewDelta(4)
+	// 1 + 4 + 9 + 16 = 30 entries.
+	if got := d.Bytes(); got != 30*8 {
+		t.Errorf("Bytes = %d, want %d", got, 30*8)
+	}
+}
+
+func TestWignerDirectPanicsOnLargeDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WignerDirect(13,...) did not panic")
+		}
+	}()
+	WignerDirect(13, 0, 0, 1)
+}
+
+func BenchmarkAllAt_L128(b *testing.B) {
+	out := make([]float64, TriSize(128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllAt(128, 0.3, math.Sqrt(1-0.09), out)
+	}
+}
+
+func BenchmarkNewDelta_L64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewDelta(64)
+	}
+}

@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix. It is the convenience layer
+// the statistical modules use; performance-critical code calls the slice
+// kernels directly.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, stride Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Eye returns the n x n identity.
+func Eye(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Copy returns a deep copy.
+func (m *Matrix) Copy() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns a newly allocated transpose.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Mul sets m = a*b and returns m (which must be a.Rows x b.Cols).
+func (m *Matrix) Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows || m.Rows != a.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, m.Rows, m.Cols))
+	}
+	Gemm(NoTrans, NoTrans, a.Rows, b.Cols, a.Cols, 1.0, a.Data, a.Cols, b.Data, b.Cols, 0.0, m.Data, m.Cols)
+	return m
+}
+
+// AddScaled computes m += alpha*other elementwise.
+func (m *Matrix) AddScaled(alpha float64, other *Matrix) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: AddScaled dimension mismatch")
+	}
+	Axpy(alpha, other.Data, m.Data)
+	return m
+}
+
+// SyrkAccumulate adds alpha * x x^T to the lower triangle of m for a
+// column vector x; the rank-1 building block of the empirical covariance
+// (eq. 9 of the paper).
+func (m *Matrix) SyrkAccumulate(alpha float64, x []float64) {
+	if m.Rows != m.Cols || len(x) != m.Rows {
+		panic("linalg: SyrkAccumulate dimension mismatch")
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		av := alpha * x[i]
+		if av == 0 {
+			continue
+		}
+		row := m.Data[i*n : i*n+i+1]
+		for j := 0; j <= i; j++ {
+			row[j] += av * x[j]
+		}
+	}
+}
+
+// SymmetrizeFromLower copies the lower triangle onto the upper.
+func (m *Matrix) SymmetrizeFromLower() {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.Data[j*n+i] = m.Data[i*n+j]
+		}
+	}
+}
+
+// AddDiagonal adds v to every diagonal element.
+func (m *Matrix) AddDiagonal(v float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// Cholesky factors the SPD matrix in place into its lower factor,
+// zeroing the strict upper triangle so the result is usable as a plain
+// lower-triangular matrix.
+func (m *Matrix) Cholesky() error {
+	if m.Rows != m.Cols {
+		panic("linalg: Cholesky requires a square matrix")
+	}
+	if err := Potrf(m.Rows, m.Data, m.Cols); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			m.Data[i*m.Cols+j] = 0
+		}
+	}
+	return nil
+}
+
+// LowerMulVec computes y = L x for the lower-triangular matrix, the
+// sampling step xi = V eta of the emulator.
+func (m *Matrix) LowerMulVec(x, y []float64) {
+	n := m.Rows
+	for i := n - 1; i >= 0; i-- {
+		row := m.Data[i*m.Cols : i*m.Cols+i+1]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+}
+
+// MulVec computes y = A x.
+func (m *Matrix) MulVec(x, y []float64) {
+	MatVec(NoTrans, m.Rows, m.Cols, 1.0, m.Data, m.Cols, x, 0.0, y)
+}
+
+// FrobNorm returns the Frobenius norm.
+func (m *Matrix) FrobNorm() float64 { return float64(Nrm2(m.Data)) }
+
+// MaxAbsDiff returns the max absolute elementwise difference, an error
+// metric for factor-accuracy tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: MaxAbsDiff dimension mismatch")
+	}
+	worst := 0.0
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RandomSPD returns a well-conditioned random symmetric positive definite
+// matrix A = B B^T / n + shift*I, a standard test and benchmark input.
+func RandomSPD(rng *rand.Rand, n int, shift float64) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	Syrk(NoTrans, n, n, 1/float64(n), b.Data, n, 0.0, a.Data, n)
+	a.SymmetrizeFromLower()
+	a.AddDiagonal(shift)
+	return a
+}
+
+// ExpCovariance returns the SPD covariance matrix C[i][j] =
+// exp(-|i-j|/rho) of an exponentially correlated sequence. Its strong
+// diagonal band and rapidly decaying off-diagonal blocks mimic the
+// spectral-domain covariance the paper factorizes, which is exactly the
+// structure the band-based mixed-precision policies exploit.
+func ExpCovariance(n int, rho float64) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Data[i*n+j] = math.Exp(-math.Abs(float64(i-j)) / rho)
+		}
+	}
+	return m
+}

@@ -1,0 +1,307 @@
+// Package mpchol implements the paper's tile-based mixed-precision
+// Cholesky factorization (Sections III-C, III-D and V-A) on the dynamic
+// task runtime.
+//
+// The matrix is a tile.SymmMatrix whose lower tiles carry individual
+// precisions. The classic right-looking tile algorithm is expressed as a
+// dataflow graph of POTRF / TRSM / SYRK / GEMM tasks; each task runs "at
+// the precision of" its output tile: double-precision tiles use float64
+// kernels, single- and half-precision tiles use float32 kernels with
+// half-precision inputs rounded through binary16 first, reproducing the
+// numerics of tensor-core HP GEMM (f16 multiply, f32 accumulate).
+//
+// When a task consumes a tile stored at a different precision than the
+// task operates at, the payload must be converted. The engine implements
+// both policies the paper compares in Fig. 5: receiver-side conversion
+// (every consumer converts privately) and sender-side conversion (the
+// producer's narrowed copy is created once and shared). Conversion counts
+// and byte volumes are reported so the cluster model can price the
+// communication difference.
+package mpchol
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"exaclim/internal/linalg"
+	"exaclim/internal/taskrt"
+	"exaclim/internal/tile"
+)
+
+// Options configure a factorization.
+type Options struct {
+	// Workers bounds runtime parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// SenderConvert enables sender-side down-conversion (the paper's
+	// optimized "New" configuration in Fig. 5). When false each consuming
+	// task converts its inputs privately ("Old", receiver-side).
+	SenderConvert bool
+	// Trace records per-task events in the returned Stats.
+	Trace bool
+}
+
+// Result reports execution statistics and the communication accounting
+// used by the performance model.
+type Result struct {
+	Stats *taskrt.Stats
+	// Conversions is the number of tile precision conversions performed.
+	Conversions int64
+	// ConvertedBytes is the total payload produced by conversions.
+	ConvertedBytes int64
+	// MovedBytes approximates communication volume: the bytes of every
+	// tile payload consumed by a task other than its producer, at the
+	// precision at which the payload would travel (narrowed at the
+	// sender when SenderConvert is set).
+	MovedBytes int64
+}
+
+// computePrec maps a storage precision to its kernel arithmetic: DP runs
+// in float64; SP and HP run in float32 (HP is widened after binary16
+// rounding, like tensor cores).
+func computeInF64(p tile.Precision) bool { return p == tile.FP64 }
+
+type engine struct {
+	s   *tile.SymmMatrix
+	opt Options
+
+	mu    sync.Mutex
+	cache map[cacheKey]*tile.Tile
+
+	conversions    atomic.Int64
+	convertedBytes atomic.Int64
+	movedBytes     atomic.Int64
+
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+type cacheKey struct {
+	i, j int
+	p    tile.Precision
+}
+
+func (e *engine) fail(err error) {
+	if e.failed.CompareAndSwap(false, true) {
+		e.errMu.Lock()
+		e.err = err
+		e.errMu.Unlock()
+	}
+}
+
+// fetch returns tile (i,j) at the required precision, performing and
+// accounting the conversion according to the configured policy, and adds
+// the transfer to the moved-bytes counter.
+func (e *engine) fetch(i, j int, need tile.Precision) *tile.Tile {
+	t := e.s.Tiles[i][j]
+	if t.Prec == need {
+		e.movedBytes.Add(t.Bytes())
+		return t
+	}
+	if e.opt.SenderConvert && need.Bytes() < t.Prec.Bytes() {
+		// Down-conversion at the sender: one shared conversion per
+		// (tile, precision), and the narrowed copy is what travels. This
+		// is the optimization of Fig. 5 ("send-based conversion enhances
+		// performance ... reduces repeated conversions across successive
+		// GEMMs").
+		k := cacheKey{i, j, need}
+		e.mu.Lock()
+		conv, ok := e.cache[k]
+		if !ok {
+			conv = t.Convert(need)
+			e.cache[k] = conv
+			e.conversions.Add(1)
+			e.convertedBytes.Add(conv.Bytes())
+		}
+		e.mu.Unlock()
+		e.movedBytes.Add(conv.Bytes())
+		return conv
+	}
+	// Receiver-side conversion: the stored payload travels and every
+	// consumer converts privately. (Up-conversions always take this path:
+	// shipping the widened tile would only inflate traffic.)
+	e.movedBytes.Add(t.Bytes())
+	conv := t.Convert(need)
+	e.conversions.Add(1)
+	e.convertedBytes.Add(conv.Bytes())
+	return conv
+}
+
+// invalidate drops cached conversions of tile (i,j) after it is updated.
+func (e *engine) invalidate(i, j int) {
+	if !e.opt.SenderConvert {
+		return
+	}
+	e.mu.Lock()
+	delete(e.cache, cacheKey{i, j, tile.FP64})
+	delete(e.cache, cacheKey{i, j, tile.FP32})
+	delete(e.cache, cacheKey{i, j, tile.FP16})
+	e.mu.Unlock()
+}
+
+// Factor computes the in-place lower Cholesky factorization of s. On
+// return the tiles of s hold the factor at their assigned precisions.
+func Factor(s *tile.SymmMatrix, opt Options) (Result, error) {
+	e := &engine{s: s, opt: opt, cache: make(map[cacheKey]*tile.Tile)}
+	g := taskrt.NewGraph()
+	nt := s.NT
+	tileKey := func(i, j int) taskrt.DataKey {
+		return taskrt.DataKey{Space: 0, Row: i, Col: j}
+	}
+
+	for k := 0; k < nt; k++ {
+		k := k
+		base := 3 * (nt - k)
+		g.AddTask("POTRF", base+2, nil, []taskrt.DataKey{tileKey(k, k)}, func() {
+			if e.failed.Load() {
+				return
+			}
+			e.potrf(k)
+			e.invalidate(k, k)
+		})
+		for i := k + 1; i < nt; i++ {
+			i := i
+			g.AddTask("TRSM", base+1,
+				[]taskrt.DataKey{tileKey(k, k)},
+				[]taskrt.DataKey{tileKey(i, k)}, func() {
+					if e.failed.Load() {
+						return
+					}
+					e.trsm(i, k)
+					e.invalidate(i, k)
+				})
+		}
+		for i := k + 1; i < nt; i++ {
+			i := i
+			g.AddTask("SYRK", base,
+				[]taskrt.DataKey{tileKey(i, k)},
+				[]taskrt.DataKey{tileKey(i, i)}, func() {
+					if e.failed.Load() {
+						return
+					}
+					e.syrk(i, k)
+				})
+			for j := k + 1; j < i; j++ {
+				j := j
+				g.AddTask("GEMM", base,
+					[]taskrt.DataKey{tileKey(i, k), tileKey(j, k)},
+					[]taskrt.DataKey{tileKey(i, j)}, func() {
+						if e.failed.Load() {
+							return
+						}
+						e.gemm(i, j, k)
+					})
+			}
+		}
+	}
+
+	stats, runErr := taskrt.Run(g, taskrt.Options{Workers: opt.Workers, Trace: opt.Trace})
+	res := Result{
+		Stats:          stats,
+		Conversions:    e.conversions.Load(),
+		ConvertedBytes: e.convertedBytes.Load(),
+		MovedBytes:     e.movedBytes.Load(),
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	if e.failed.Load() {
+		e.errMu.Lock()
+		defer e.errMu.Unlock()
+		return res, e.err
+	}
+	return res, nil
+}
+
+// potrf factors diagonal tile (k,k) in place at its own precision.
+func (e *engine) potrf(k int) {
+	t := e.s.Tiles[k][k]
+	b := t.B
+	if computeInF64(t.Prec) {
+		if err := linalg.Potrf(b, t.F64, b); err != nil {
+			e.fail(fmt.Errorf("mpchol: POTRF(%d): %w", k, err))
+		}
+		return
+	}
+	w := t.ToF32(nil)
+	if err := linalg.Potrf(b, w, b); err != nil {
+		e.fail(fmt.Errorf("mpchol: POTRF(%d): %w", k, err))
+		return
+	}
+	t.FromF32(w)
+}
+
+// trsm computes A[i][k] = A[i][k] * L(k,k)^-T at the precision of the
+// output tile.
+func (e *engine) trsm(i, k int) {
+	out := e.s.Tiles[i][k]
+	b := out.B
+	if computeInF64(out.Prec) {
+		diag := e.fetch(k, k, tile.FP64)
+		linalg.TrsmRightLowerTrans(b, b, 1.0, diag.F64, b, out.F64, b)
+		return
+	}
+	diag := e.fetch(k, k, out.Prec)
+	dw := diag.ToF32(nil)
+	w := out.ToF32(nil)
+	linalg.TrsmRightLowerTrans(b, b, float32(1), dw, b, w, b)
+	out.FromF32(w)
+}
+
+// syrk computes A[i][i] -= A[i][k] * A[i][k]^T at the precision of the
+// diagonal tile.
+func (e *engine) syrk(i, k int) {
+	out := e.s.Tiles[i][i]
+	b := out.B
+	if computeInF64(out.Prec) {
+		a := e.fetch(i, k, tile.FP64)
+		linalg.Syrk(linalg.NoTrans, b, b, -1.0, a.F64, b, 1.0, out.F64, b)
+		return
+	}
+	a := e.fetch(i, k, out.Prec)
+	aw := a.ToF32(nil)
+	w := out.ToF32(nil)
+	linalg.Syrk(linalg.NoTrans, b, b, float32(-1), aw, b, float32(1), w, b)
+	out.FromF32(w)
+}
+
+// gemm computes A[i][j] -= A[i][k] * A[j][k]^T at the precision of the
+// output tile.
+func (e *engine) gemm(i, j, k int) {
+	out := e.s.Tiles[i][j]
+	b := out.B
+	if computeInF64(out.Prec) {
+		a := e.fetch(i, k, tile.FP64)
+		c := e.fetch(j, k, tile.FP64)
+		linalg.Gemm(linalg.NoTrans, linalg.Transpose, b, b, b, -1.0, a.F64, b, c.F64, b, 1.0, out.F64, b)
+		return
+	}
+	a := e.fetch(i, k, out.Prec)
+	c := e.fetch(j, k, out.Prec)
+	aw := a.ToF32(nil)
+	cw := c.ToF32(nil)
+	w := out.ToF32(nil)
+	linalg.Gemm(linalg.NoTrans, linalg.Transpose, b, b, b, float32(-1), aw, b, cw, b, float32(1), w, b)
+	out.FromF32(w)
+}
+
+// FactorDense is a convenience wrapper: it tiles a dense SPD matrix with
+// the given variant, factors it, and returns the factor as a dense
+// lower-triangular matrix together with the Result accounting.
+func FactorDense(a *linalg.Matrix, b int, v tile.Variant, opt Options) (*linalg.Matrix, Result, error) {
+	nt := a.Rows / b
+	s := tile.FromDense(a, b, v.Map(nt))
+	res, err := Factor(s, opt)
+	if err != nil {
+		return nil, res, err
+	}
+	l := s.ToDense()
+	// Zero the strict upper triangle: the factor is lower-triangular.
+	for i := 0; i < l.Rows; i++ {
+		for j := i + 1; j < l.Cols; j++ {
+			l.Data[i*l.Cols+j] = 0
+		}
+	}
+	return l, res, nil
+}

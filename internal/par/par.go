@@ -1,0 +1,69 @@
+// Package par provides the small data-parallel loop helpers shared by the
+// compute kernels (SHT stages, dense linear algebra, per-pixel fits).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForN runs fn(i) for i in [0, n) across at most workers goroutines using
+// dynamic (atomic counter) scheduling, which keeps load balanced when
+// iterations have very different costs (e.g. spherical harmonic orders).
+// It returns when every iteration has completed. workers <= 0 selects
+// GOMAXPROCS. When n is small or workers is 1 the loop runs inline.
+func ForN(workers, n int, fn func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForBlocks splits [0, n) into contiguous blocks of the given size and
+// runs fn(lo, hi) for each, in parallel. Contiguous blocks preserve cache
+// locality for kernels that stream memory (GEMM panels, FFT batches).
+func ForBlocks(workers, n, block int, fn func(lo, hi int)) {
+	if block < 1 {
+		block = 1
+	}
+	nb := (n + block - 1) / block
+	ForN(workers, nb, func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

@@ -1,0 +1,58 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForNCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		for _, n := range []int{0, 1, 5, 100, 1023} {
+			seen := make([]atomic.Int32, n)
+			ForN(workers, n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+}
+
+func TestForBlocksPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 97} {
+		for _, block := range []int{1, 3, 16, 200} {
+			var total atomic.Int64
+			ForBlocks(4, n, block, func(lo, hi int) {
+				if lo >= hi && n > 0 {
+					t.Errorf("empty block [%d,%d)", lo, hi)
+				}
+				if hi-lo > block {
+					t.Errorf("oversized block [%d,%d) for block=%d", lo, hi, block)
+				}
+				total.Add(int64(hi - lo))
+			})
+			if got := total.Load(); got != int64(n) {
+				t.Fatalf("n=%d block=%d: covered %d elements", n, block, got)
+			}
+		}
+	}
+}
+
+func TestForBlocksClampsBlockSize(t *testing.T) {
+	var count atomic.Int32
+	ForBlocks(2, 5, 0, func(lo, hi int) { count.Add(1) })
+	if count.Load() != 5 {
+		t.Errorf("block=0 should clamp to 1, got %d blocks", count.Load())
+	}
+}

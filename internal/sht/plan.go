@@ -1,0 +1,252 @@
+package sht
+
+import (
+	"fmt"
+	"math"
+
+	"exaclim/internal/fft"
+	"exaclim/internal/legendre"
+	"exaclim/internal/par"
+	"exaclim/internal/sphere"
+)
+
+// Plan precomputes everything the transform needs for a fixed grid and
+// band limit: the Wigner-Delta tables (shared across all time steps, the
+// paper's Section III-A2 precomputation), the per-ring normalized
+// Legendre tables for synthesis, FFT plans for both transform lengths,
+// and the I(q) quadrature table.
+//
+// A Plan is safe for concurrent use by multiple goroutines: all
+// precomputed state is read-only after construction and per-call scratch
+// is allocated from per-worker pools.
+type Plan struct {
+	L    int
+	Grid sphere.Grid
+
+	delta    *legendre.Delta
+	ringTab  [][]float64 // per-ring Legendre tables, triangular layout
+	lonPlan  *fft.Plan   // length NLon
+	extPlan  *fft.Plan   // length 2*NLat-2
+	iq       []complex128
+	iqOffset int
+	phase    [4]complex128 // i^-m by m mod 4
+	workers  int
+}
+
+// Option configures a Plan.
+type Option func(*Plan)
+
+// WithWorkers bounds the number of goroutines used per transform call.
+// The default (0) uses GOMAXPROCS.
+func WithWorkers(n int) Option { return func(p *Plan) { p.workers = n } }
+
+// NewPlan builds a transform plan. The grid must support the band limit
+// exactly (NLat > L and NLon >= 2L-1); otherwise an error is returned.
+func NewPlan(grid sphere.Grid, L int, opts ...Option) (*Plan, error) {
+	if L < 1 {
+		return nil, fmt.Errorf("sht: invalid band limit %d", L)
+	}
+	if !grid.SupportsBandLimit(L) {
+		return nil, fmt.Errorf("sht: grid %v does not support band limit %d (need NLat > L and NLon >= 2L-1)", grid, L)
+	}
+	p := &Plan{L: L, Grid: grid}
+	for _, o := range opts {
+		o(p)
+	}
+	p.delta = legendre.NewDelta(L)
+	colat := make([]float64, grid.NLat)
+	for i := range colat {
+		colat[i] = grid.Colatitude(i)
+	}
+	p.ringTab = legendre.RingTable(L, colat)
+	p.lonPlan = fft.NewPlan(grid.NLon)
+	p.extPlan = fft.NewPlan(2*grid.NLat - 2)
+
+	// I(q) for q in [-(2L-2), 2L-2] (eq. 8).
+	p.iqOffset = 2*L - 2
+	p.iq = make([]complex128, 4*L-3)
+	for q := -(2*L - 2); q <= 2*L-2; q++ {
+		var v complex128
+		if q%2 == 0 {
+			v = complex(2/(1-float64(q)*float64(q)), 0)
+		} else if q == 1 {
+			v = complex(0, math.Pi/2)
+		} else if q == -1 {
+			v = complex(0, -math.Pi/2)
+		}
+		p.iq[q+p.iqOffset] = v
+	}
+	p.phase = [4]complex128{1, complex(0, -1), -1, complex(0, 1)}
+	return p, nil
+}
+
+// MemoryBytes reports the size of the precomputed tables, dominated by
+// the O(L^3) Delta storage the paper trades for per-step recomputation.
+func (p *Plan) MemoryBytes() int64 {
+	bytes := p.delta.Bytes()
+	bytes += int64(len(p.ringTab)) * int64(legendre.TriSize(p.L)) * 8
+	return bytes
+}
+
+// Analyze computes the forward SHT of a real field, returning coefficients
+// for m >= 0. The field must live on the plan's grid.
+func (p *Plan) Analyze(f sphere.Field) Coeffs {
+	if f.Grid != p.Grid {
+		panic(fmt.Sprintf("sht: field grid %v does not match plan grid %v", f.Grid, p.Grid))
+	}
+	L := p.L
+	nlat, nlon := p.Grid.NLat, p.Grid.NLon
+	next := 2*nlat - 2
+
+	// Stage 1: FFT each ring to get G_m(theta_i) for m = 0..L-1.
+	// gm[m*nlat + i] = G_m(theta_i); the (2pi/NLon) factor turns the DFT
+	// into the integral of eq. (4), exactly for band-limited data.
+	gm := make([]complex128, L*nlat)
+	scaleLon := 2 * math.Pi / float64(nlon)
+	par.ForN(p.workers, nlat, func(i int) {
+		row := make([]complex128, nlon)
+		ring := f.Ring(i)
+		for j, v := range ring {
+			row[j] = complex(v, 0)
+		}
+		p.lonPlan.Clone().Forward(row, row)
+		for m := 0; m < L; m++ {
+			gm[m*nlat+i] = row[m] * complex(scaleLon, 0)
+		}
+	})
+
+	// Stage 2+3: per order m, extend along colatitude, FFT to K_{m,m'},
+	// correlate with I(q) to get W_m(m'') (inner sum of eq. 7), and fold
+	// positive/negative m'' with the Delta symmetry signs.
+	//
+	// folded[m*(L)+mpp] = W_m(mpp) + (-1)^m W_m(-mpp) for mpp >= 1, and
+	// folded[m*L+0] = W_m(0).
+	folded := make([]complex128, L*L)
+	par.ForN(p.workers, L, func(m int) {
+		ext := make([]complex128, next)
+		for i := 0; i < nlat; i++ {
+			ext[i] = gm[m*nlat+i]
+		}
+		sign := complex(1, 0)
+		if m&1 == 1 {
+			sign = -1
+		}
+		for i := nlat; i < next; i++ {
+			ext[i] = sign * ext[next-i]
+		}
+		p.extPlan.Clone().Forward(ext, ext)
+		// K_{m,m'} = ext-FFT / next, index m' mod next.
+		kscale := complex(1/float64(next), 0)
+		kAt := func(mp int) complex128 {
+			idx := mp % next
+			if idx < 0 {
+				idx += next
+			}
+			return ext[idx] * kscale
+		}
+		// W_m(mpp) = sum_{m'} K_{m,m'} I(m'+mpp).
+		w := func(mpp int) complex128 {
+			var sum complex128
+			for mp := -(L - 1); mp <= L-1; mp++ {
+				iv := p.iq[mp+mpp+p.iqOffset]
+				if iv != 0 {
+					sum += kAt(mp) * iv
+				}
+			}
+			return sum
+		}
+		base := m * L
+		folded[base] = w(0)
+		for mpp := 1; mpp < L; mpp++ {
+			wp := w(mpp)
+			wn := w(-mpp)
+			if m&1 == 1 {
+				folded[base+mpp] = wp - wn
+			} else {
+				folded[base+mpp] = wp + wn
+			}
+		}
+	})
+
+	// Stage 4: z_{lm} = i^-m sqrt((2l+1)/4pi) sum_{mpp>=0} Delta_{mpp,0}
+	// Delta_{mpp,m} folded_m(mpp), skipping mpp of the wrong parity
+	// (Delta_{mpp,0} = 0 when l-mpp is odd).
+	out := NewCoeffs(L)
+	par.ForN(p.workers, L, func(l int) {
+		tbl := p.delta.Table(l)
+		stride := l + 1
+		norm := math.Sqrt(float64(2*l+1) / (4 * math.Pi))
+		for m := 0; m <= l; m++ {
+			var sum complex128
+			start := l & 1 // Delta_{mpp,0} vanishes unless mpp = l (mod 2)
+			for mpp := start; mpp <= l; mpp += 2 {
+				d := tbl[mpp*stride] * tbl[mpp*stride+m]
+				if d != 0 {
+					sum += complex(d, 0) * folded[m*L+mpp]
+				}
+			}
+			out.C[legendre.Idx(l, m)] = sum * complex(norm, 0) * p.phase[m&3]
+		}
+	})
+	return out
+}
+
+// Synthesize evaluates the band-limited field from its coefficients on
+// the plan's grid (inverse SHT). This is the emulator's "generate
+// emulations" step and is exact for any grid, including finer ones.
+func (p *Plan) Synthesize(c Coeffs) sphere.Field {
+	if c.L != p.L {
+		panic(fmt.Sprintf("sht: coefficient band limit %d does not match plan %d", c.L, p.L))
+	}
+	out := sphere.NewField(p.Grid)
+	p.SynthesizeInto(out, c)
+	return out
+}
+
+// SynthesizeInto writes the synthesis into an existing field on the
+// plan's grid, avoiding allocation in time-stepping loops.
+func (p *Plan) SynthesizeInto(dst sphere.Field, c Coeffs) {
+	if dst.Grid != p.Grid {
+		panic(fmt.Sprintf("sht: destination grid %v does not match plan grid %v", dst.Grid, p.Grid))
+	}
+	L := p.L
+	nlat, nlon := p.Grid.NLat, p.Grid.NLon
+	par.ForN(p.workers, nlat, func(i int) {
+		tbl := p.ringTab[i]
+		spec := make([]complex128, nlon)
+		// F_i(m) = sum_l z_{lm} Ptilde_l^m(cos theta_i).
+		for m := 0; m < L; m++ {
+			var sum complex128
+			for l := m; l < L; l++ {
+				sum += c.C[legendre.Idx(l, m)] * complex(tbl[legendre.Idx(l, m)], 0)
+			}
+			if m == 0 {
+				spec[0] = complex(real(sum), 0)
+				continue
+			}
+			spec[m] = sum
+			// Hermitian completion from z_{l,-m} = (-1)^m conj(z_{lm})
+			// and Ptilde_l^{-m} = (-1)^m Ptilde_l^m: the ring spectrum of
+			// a real field satisfies spec[-m] = conj(spec[m]).
+			spec[nlon-m] = complex(real(sum), -imag(sum))
+		}
+		p.lonPlan.Clone().Inverse(spec, spec)
+		ring := dst.Ring(i)
+		for j := range ring {
+			ring[j] = real(spec[j]) * float64(nlon)
+		}
+	})
+}
+
+// AnalyzeSeries analyzes a batch of fields in parallel and returns the
+// real-packed coefficient vectors (each of length L^2), the layout the
+// VAR stage consumes. Fields must all live on the plan's grid.
+func (p *Plan) AnalyzeSeries(fields []sphere.Field) [][]float64 {
+	out := make([][]float64, len(fields))
+	// Parallelism lives inside Analyze; the loop stays sequential to
+	// bound peak memory at O(L^2) scratch regardless of series length.
+	for t, f := range fields {
+		out[t] = p.Analyze(f).PackReal(nil)
+	}
+	return out
+}

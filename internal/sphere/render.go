@@ -1,0 +1,85 @@
+package sphere
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WritePGM renders the field as a binary 8-bit PGM image (one pixel per
+// grid point), scaling values linearly between lo and hi. When lo == hi
+// the field's own range is used. PGM needs no image libraries, keeps the
+// repository dependency-free, and is enough to eyeball the Fig. 2 / 4
+// style temperature maps.
+func (f Field) WritePGM(w io.Writer, lo, hi float64) error {
+	if lo == hi {
+		lo, hi = f.MinMax()
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", f.Grid.NLon, f.Grid.NLat)
+	scale := 255 / (hi - lo)
+	for _, v := range f.Data {
+		p := (v - lo) * scale
+		if p < 0 {
+			p = 0
+		}
+		if p > 255 {
+			p = 255
+		}
+		bw.WriteByte(byte(p))
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the field to a PGM file.
+func (f Field) SavePGM(path string, lo, hi float64) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if err := f.WritePGM(fh, lo, hi); err != nil {
+		return err
+	}
+	return fh.Close()
+}
+
+// ASCIIMap renders a coarse text map (rows x cols characters) using a
+// density ramp, for terminal-friendly inspection of global fields.
+func (f Field) ASCIIMap(rows, cols int) string {
+	const ramp = " .:-=+*#%@"
+	lo, hi := f.MinMax()
+	if hi == lo {
+		hi = lo + 1
+	}
+	out := make([]byte, 0, rows*(cols+1))
+	for r := 0; r < rows; r++ {
+		i := r * (f.Grid.NLat - 1) / max(rows-1, 1)
+		for c := 0; c < cols; c++ {
+			j := c * f.Grid.NLon / cols
+			v := (f.At(i, j) - lo) / (hi - lo)
+			idx := int(math.Floor(v * float64(len(ramp)-1)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			out = append(out, ramp[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package sphere
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePGMFormat(t *testing.T) {
+	g := NewGrid(5, 8)
+	f := NewField(g)
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := f.WritePGM(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n8 5\n255\n")) {
+		t.Fatalf("bad PGM header: %q", b[:12])
+	}
+	pixels := b[len("P5\n8 5\n255\n"):]
+	if len(pixels) != g.Points() {
+		t.Fatalf("pixel payload %d bytes, want %d", len(pixels), g.Points())
+	}
+	if pixels[0] != 0 || pixels[len(pixels)-1] != 255 {
+		t.Errorf("scaling wrong: first %d last %d", pixels[0], pixels[len(pixels)-1])
+	}
+}
+
+func TestWritePGMClamping(t *testing.T) {
+	g := NewGrid(2, 2)
+	f := NewField(g)
+	f.Data = []float64{-100, 0, 50, 200}
+	var buf bytes.Buffer
+	if err := f.WritePGM(&buf, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	pix := buf.Bytes()[len(buf.Bytes())-4:]
+	if pix[0] != 0 {
+		t.Errorf("below-range pixel = %d, want 0", pix[0])
+	}
+	if pix[3] != 255 {
+		t.Errorf("above-range pixel = %d, want 255", pix[3])
+	}
+}
+
+func TestWritePGMConstantField(t *testing.T) {
+	g := NewGrid(3, 3)
+	f := NewField(g).Fill(7)
+	var buf bytes.Buffer
+	if err := f.WritePGM(&buf, 0, 0); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}
+
+func TestASCIIMap(t *testing.T) {
+	g := NewGrid(9, 18)
+	f := NewField(g)
+	for i := 0; i < g.NLat; i++ {
+		v := math.Sin(g.Colatitude(i))
+		for j := 0; j < g.NLon; j++ {
+			f.Set(i, j, v)
+		}
+	}
+	m := f.ASCIIMap(5, 10)
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("map has %d rows, want 5", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 10 {
+			t.Fatalf("row %q has %d cols, want 10", l, len(l))
+		}
+	}
+	// Poles (first and last rows) must be darker than the equator row.
+	if lines[0][0] == lines[2][0] {
+		t.Error("pole and equator render identically for a sin(theta) field")
+	}
+}

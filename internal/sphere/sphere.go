@@ -1,0 +1,246 @@
+// Package sphere defines the equiangular latitude-longitude grids on the
+// unit sphere used by the climate emulator, together with gridded fields,
+// area weighting, and the spline regridding the paper applies to upsample
+// ERA5 output to finer resolutions.
+//
+// Grids follow the paper's sampling: colatitudes theta_i = pi*i/(Nlat-1)
+// for i = 0..Nlat-1 (both poles included, matching ERA5's 721 latitudes)
+// and longitudes phi_j = 2*pi*j/Nlon. A band limit L is supported exactly
+// when Nlat > L and Nlon >= 2L-1 (Section III-A of the paper).
+package sphere
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthKMPerDegree is the great-circle distance of one degree at the
+// equator, used only for reporting resolutions in the paper's units.
+const EarthKMPerDegree = 111.195
+
+// Grid is an equiangular latitude-longitude sampling of the sphere with
+// both poles included.
+type Grid struct {
+	NLat int // number of colatitude rings, theta_i = pi*i/(NLat-1)
+	NLon int // number of longitudes, phi_j = 2*pi*j/NLon
+}
+
+// NewGrid returns a grid with the given dimensions. It panics for
+// dimensions that cannot represent a sphere (NLat < 2 or NLon < 1).
+func NewGrid(nlat, nlon int) Grid {
+	if nlat < 2 || nlon < 1 {
+		panic(fmt.Sprintf("sphere: invalid grid %dx%d", nlat, nlon))
+	}
+	return Grid{NLat: nlat, NLon: nlon}
+}
+
+// GridForBandLimit returns the smallest grid on which the exact spherical
+// harmonic transform of band limit L is available: NLat = L+1 rings and
+// NLon = 2L longitudes (satisfying NLat > L and NLon >= 2L-1).
+func GridForBandLimit(L int) Grid {
+	if L < 1 {
+		panic(fmt.Sprintf("sphere: invalid band limit %d", L))
+	}
+	return Grid{NLat: L + 1, NLon: 2 * L}
+}
+
+// SupportsBandLimit reports whether the exact SHT at band limit L is
+// available on this grid.
+func (g Grid) SupportsBandLimit(L int) bool {
+	return g.NLat > L && g.NLon >= 2*L-1
+}
+
+// MaxBandLimit returns the largest band limit the grid supports exactly.
+func (g Grid) MaxBandLimit() int {
+	byLat := g.NLat - 1
+	byLon := (g.NLon + 1) / 2
+	if byLat < byLon {
+		return byLat
+	}
+	return byLon
+}
+
+// Points returns the number of grid points.
+func (g Grid) Points() int { return g.NLat * g.NLon }
+
+// Colatitude returns theta_i in [0, pi].
+func (g Grid) Colatitude(i int) float64 {
+	return math.Pi * float64(i) / float64(g.NLat-1)
+}
+
+// Latitude returns the geographic latitude in degrees for ring i
+// (+90 at i=0 down to -90).
+func (g Grid) Latitude(i int) float64 {
+	return 90 - 180*float64(i)/float64(g.NLat-1)
+}
+
+// Longitude returns phi_j in [0, 2*pi).
+func (g Grid) Longitude(j int) float64 {
+	return 2 * math.Pi * float64(j) / float64(g.NLon)
+}
+
+// LongitudeDeg returns the longitude in degrees in [0, 360).
+func (g Grid) LongitudeDeg(j int) float64 {
+	return 360 * float64(j) / float64(g.NLon)
+}
+
+// ResolutionDeg returns the latitudinal grid spacing in degrees.
+func (g Grid) ResolutionDeg() float64 { return 180 / float64(g.NLat-1) }
+
+// ResolutionKM returns the equatorial grid spacing in kilometres, the
+// unit the paper reports (0.25 deg ~ 25 km, 0.034 deg ~ 3.5 km).
+func (g Grid) ResolutionKM() float64 { return g.ResolutionDeg() * EarthKMPerDegree }
+
+// String implements fmt.Stringer.
+func (g Grid) String() string {
+	return fmt.Sprintf("%dx%d (%.3f deg, %.1f km)", g.NLat, g.NLon, g.ResolutionDeg(), g.ResolutionKM())
+}
+
+// AreaWeights returns per-ring quadrature weights proportional to the
+// surface area represented by each ring, normalized to sum (times NLon)
+// to 1. Polar rings receive the area of their half-cells. These weights
+// are for statistics (area-weighted means and variances), not for the
+// exact SHT, which uses the I(q) quadrature of eq. (8).
+func (g Grid) AreaWeights() []float64 {
+	w := make([]float64, g.NLat)
+	half := math.Pi / float64(g.NLat-1) / 2
+	total := 0.0
+	for i := range w {
+		theta := g.Colatitude(i)
+		lo, hi := theta-half, theta+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > math.Pi {
+			hi = math.Pi
+		}
+		// Integral of sin over the cell: cos(lo) - cos(hi).
+		w[i] = math.Cos(lo) - math.Cos(hi)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total * float64(g.NLon)
+	}
+	return w
+}
+
+// Field is a scalar field sampled on a Grid, stored row-major by ring:
+// Data[i*NLon+j] is the value at colatitude ring i, longitude j.
+type Field struct {
+	Grid Grid
+	Data []float64
+}
+
+// NewField allocates a zero field on g.
+func NewField(g Grid) Field {
+	return Field{Grid: g, Data: make([]float64, g.Points())}
+}
+
+// At returns the value at ring i, longitude j.
+func (f Field) At(i, j int) float64 { return f.Data[i*f.Grid.NLon+j] }
+
+// Set assigns the value at ring i, longitude j.
+func (f Field) Set(i, j int, v float64) { f.Data[i*f.Grid.NLon+j] = v }
+
+// Ring returns the slice of values along colatitude ring i.
+func (f Field) Ring(i int) []float64 {
+	return f.Data[i*f.Grid.NLon : (i+1)*f.Grid.NLon]
+}
+
+// Copy returns a deep copy of the field.
+func (f Field) Copy() Field {
+	out := Field{Grid: f.Grid, Data: make([]float64, len(f.Data))}
+	copy(out.Data, f.Data)
+	return out
+}
+
+// Fill sets every sample to v and returns f for chaining.
+func (f Field) Fill(v float64) Field {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+	return f
+}
+
+// Mean returns the area-weighted global mean of the field.
+func (f Field) Mean() float64 {
+	w := f.Grid.AreaWeights()
+	sum := 0.0
+	for i := 0; i < f.Grid.NLat; i++ {
+		rowSum := 0.0
+		for _, v := range f.Ring(i) {
+			rowSum += v
+		}
+		sum += w[i] * rowSum
+	}
+	return sum
+}
+
+// MinMax returns the extreme values of the field.
+func (f Field) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// catmullRom evaluates the Catmull-Rom cubic through p0..p3 at t in [0,1]
+// (the value interpolates p1 at t=0 and p2 at t=1).
+func catmullRom(p0, p1, p2, p3, t float64) float64 {
+	a := -0.5*p0 + 1.5*p1 - 1.5*p2 + 0.5*p3
+	b := p0 - 2.5*p1 + 2*p2 - 0.5*p3
+	c := -0.5*p0 + 0.5*p2
+	return ((a*t+b)*t+c)*t + p1
+}
+
+// Regrid resamples the field onto dst using bicubic (Catmull-Rom) spline
+// interpolation, periodic in longitude and clamped at the poles. This is
+// the "spline interpolation to upscale the data to higher spatial
+// resolutions" step of Section IV-A.
+func (f Field) Regrid(dst Grid) Field {
+	src := f.Grid
+	out := NewField(dst)
+	nlatS, nlonS := src.NLat, src.NLon
+
+	// Rings beyond a pole continue on the far side of the sphere: reflect
+	// the ring index and rotate longitude by half a turn.
+	sample := func(i, j int) float64 {
+		if i < 0 {
+			i = -i
+			j += nlonS / 2
+		} else if i >= nlatS {
+			i = 2*(nlatS-1) - i
+			j += nlonS / 2
+		}
+		j = ((j % nlonS) + nlonS) % nlonS
+		return f.Data[i*nlonS+j]
+	}
+
+	latScale := float64(nlatS-1) / float64(dst.NLat-1)
+	lonScale := float64(nlonS) / float64(dst.NLon)
+	col := make([]float64, 4)
+	for di := 0; di < dst.NLat; di++ {
+		si := float64(di) * latScale
+		i1 := int(math.Floor(si))
+		ti := si - float64(i1)
+		for dj := 0; dj < dst.NLon; dj++ {
+			sj := float64(dj) * lonScale
+			j1 := int(math.Floor(sj))
+			tj := sj - float64(j1)
+			for r := 0; r < 4; r++ {
+				ir := i1 - 1 + r
+				col[r] = catmullRom(
+					sample(ir, j1-1), sample(ir, j1),
+					sample(ir, j1+1), sample(ir, j1+2), tj)
+			}
+			out.Data[di*dst.NLon+dj] = catmullRom(col[0], col[1], col[2], col[3], ti)
+		}
+	}
+	return out
+}

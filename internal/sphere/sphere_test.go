@@ -1,0 +1,240 @@
+package sphere
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridGeometry(t *testing.T) {
+	g := NewGrid(721, 1440) // the ERA5 grid
+	if got := g.Colatitude(0); got != 0 {
+		t.Errorf("north pole colatitude = %g, want 0", got)
+	}
+	if got := g.Colatitude(720); math.Abs(got-math.Pi) > 1e-15 {
+		t.Errorf("south pole colatitude = %g, want pi", got)
+	}
+	if got := g.Latitude(360); math.Abs(got) > 1e-12 {
+		t.Errorf("equator latitude = %g, want 0", got)
+	}
+	if got := g.ResolutionDeg(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("ERA5 resolution = %g deg, want 0.25", got)
+	}
+	if km := g.ResolutionKM(); math.Abs(km-27.8) > 0.5 {
+		t.Errorf("ERA5 resolution = %g km, want about 27.8", km)
+	}
+	if got := g.Longitude(0); got != 0 {
+		t.Errorf("first longitude = %g, want 0", got)
+	}
+	if got := g.LongitudeDeg(720); math.Abs(got-180) > 1e-12 {
+		t.Errorf("mid longitude = %g deg, want 180", got)
+	}
+}
+
+func TestBandLimitSupport(t *testing.T) {
+	// The paper's ERA5 configuration: 721 x 1440 supports L = 720 because
+	// Nlat=721 > 720 and Nlon=1440 >= 2*720-1.
+	g := NewGrid(721, 1440)
+	if !g.SupportsBandLimit(720) {
+		t.Error("ERA5 grid should support L=720")
+	}
+	if g.SupportsBandLimit(721) {
+		t.Error("ERA5 grid should not support L=721")
+	}
+	if got := g.MaxBandLimit(); got != 720 {
+		t.Errorf("MaxBandLimit = %d, want 720", got)
+	}
+	for _, L := range []int{1, 2, 16, 720, 5219} {
+		gg := GridForBandLimit(L)
+		if !gg.SupportsBandLimit(L) {
+			t.Errorf("GridForBandLimit(%d) = %v does not support L", L, gg)
+		}
+	}
+}
+
+// TestPaperResolutions checks the band limits quoted in Section IV map to
+// the paper's kilometre-scale resolutions (0.25 deg / ~25km at L=720 and
+// 0.034 deg / ~3.5km at L=5219).
+func TestPaperResolutions(t *testing.T) {
+	if g := GridForBandLimit(720); math.Abs(g.ResolutionDeg()-0.25) > 1e-9 {
+		t.Errorf("L=720 resolution %g deg, want 0.25", g.ResolutionDeg())
+	}
+	g := GridForBandLimit(5219)
+	if math.Abs(g.ResolutionDeg()-0.0345) > 5e-4 {
+		t.Errorf("L=5219 resolution %g deg, want about 0.034", g.ResolutionDeg())
+	}
+	if math.Abs(g.ResolutionKM()-3.8) > 0.5 {
+		t.Errorf("L=5219 resolution %g km, want about 3.5-4", g.ResolutionKM())
+	}
+}
+
+func TestAreaWeightsSumToOne(t *testing.T) {
+	for _, dims := range [][2]int{{9, 16}, {33, 64}, {181, 360}} {
+		g := NewGrid(dims[0], dims[1])
+		w := g.AreaWeights()
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		sum *= float64(g.NLon)
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("grid %v: weights sum to %g, want 1", g, sum)
+		}
+		// Equatorial rings must carry more area than polar rings.
+		if w[0] >= w[g.NLat/2] {
+			t.Errorf("grid %v: polar weight %g >= equatorial %g", g, w[0], w[g.NLat/2])
+		}
+	}
+}
+
+func TestMeanOfConstant(t *testing.T) {
+	g := NewGrid(33, 64)
+	f := NewField(g).Fill(7.25)
+	if got := f.Mean(); math.Abs(got-7.25) > 1e-12 {
+		t.Errorf("mean of constant field = %g, want 7.25", got)
+	}
+}
+
+// TestMeanLatitudeDependent integrates cos(theta) over the sphere; the
+// area-weighted mean must vanish by symmetry.
+func TestMeanLatitudeDependent(t *testing.T) {
+	g := NewGrid(181, 360)
+	f := NewField(g)
+	for i := 0; i < g.NLat; i++ {
+		v := math.Cos(g.Colatitude(i))
+		for j := 0; j < g.NLon; j++ {
+			f.Set(i, j, v)
+		}
+	}
+	if got := f.Mean(); math.Abs(got) > 1e-10 {
+		t.Errorf("mean of cos(theta) = %g, want 0", got)
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	g := NewGrid(5, 8)
+	f := NewField(g)
+	f.Set(2, 3, 42)
+	if got := f.At(2, 3); got != 42 {
+		t.Errorf("At(2,3) = %g, want 42", got)
+	}
+	if got := f.Ring(2)[3]; got != 42 {
+		t.Errorf("Ring(2)[3] = %g, want 42", got)
+	}
+	c := f.Copy()
+	c.Set(2, 3, 0)
+	if f.At(2, 3) != 42 {
+		t.Error("Copy is not deep")
+	}
+	min, max := f.MinMax()
+	if min != 0 || max != 42 {
+		t.Errorf("MinMax = %g,%g want 0,42", min, max)
+	}
+}
+
+// TestRegridIdentity: regridding onto the same grid must reproduce the
+// field exactly (Catmull-Rom interpolates its knots).
+func TestRegridIdentity(t *testing.T) {
+	g := NewGrid(17, 32)
+	rng := rand.New(rand.NewSource(3))
+	f := NewField(g)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	out := f.Regrid(g)
+	for i := range f.Data {
+		if math.Abs(out.Data[i]-f.Data[i]) > 1e-12 {
+			t.Fatalf("identity regrid changed sample %d: %g -> %g", i, f.Data[i], out.Data[i])
+		}
+	}
+}
+
+// TestRegridSmoothUpsample: upsampling a smooth band-limited field must be
+// accurate to a fraction of a percent, which is what makes the paper's
+// "train at 0.25 deg, emulate finer" workflow meaningful.
+func TestRegridSmoothUpsample(t *testing.T) {
+	src := NewGrid(33, 64)
+	dst := NewGrid(65, 128)
+	f := NewField(src)
+	eval := func(theta, phi float64) float64 {
+		return math.Sin(2*theta)*math.Cos(3*phi) + 0.5*math.Cos(theta)
+	}
+	for i := 0; i < src.NLat; i++ {
+		for j := 0; j < src.NLon; j++ {
+			f.Set(i, j, eval(src.Colatitude(i), src.Longitude(j)))
+		}
+	}
+	out := f.Regrid(dst)
+	worst := 0.0
+	for i := 0; i < dst.NLat; i++ {
+		for j := 0; j < dst.NLon; j++ {
+			want := eval(dst.Colatitude(i), dst.Longitude(j))
+			if d := math.Abs(out.At(i, j) - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 5e-3 {
+		t.Errorf("upsample error %g, want < 5e-3", worst)
+	}
+}
+
+// TestRegridPeriodicSeam: features crossing the date line must regrid
+// without a seam artifact.
+func TestRegridPeriodicSeam(t *testing.T) {
+	src := NewGrid(9, 16)
+	dst := NewGrid(9, 64)
+	f := NewField(src)
+	for i := 0; i < src.NLat; i++ {
+		for j := 0; j < src.NLon; j++ {
+			f.Set(i, j, math.Cos(src.Longitude(j)))
+		}
+	}
+	out := f.Regrid(dst)
+	for i := 0; i < dst.NLat; i++ {
+		for j := 0; j < dst.NLon; j++ {
+			want := math.Cos(dst.Longitude(j))
+			if math.Abs(out.At(i, j)-want) > 2e-2 {
+				t.Fatalf("seam error at ring %d lon %d: got %g want %g", i, j, out.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRegridPreservesConstantProperty(t *testing.T) {
+	f := func(v float64, seed int64) bool {
+		v = math.Mod(v, 1e6)
+		rng := rand.New(rand.NewSource(seed))
+		src := NewGrid(5+rng.Intn(20), 8+rng.Intn(24))
+		dst := NewGrid(5+rng.Intn(40), 8+rng.Intn(48))
+		fld := NewField(src).Fill(v)
+		out := fld.Regrid(dst)
+		for _, got := range out.Data {
+			if math.Abs(got-v) > 1e-9*(1+math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(1, 8) },
+		func() { NewGrid(8, 0) },
+		func() { GridForBandLimit(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid grid")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"exaclim/internal/sphere"
+)
+
+// The paper motivates kilometre-scale emulation with the study of
+// "weather and extremes" (Section I). This file provides the standard
+// extreme-event indices climate scientists compute from emulated
+// ensembles, so emulations can be validated against simulations not just
+// in their bulk moments but in their tails — the regime emulators are
+// actually used for (heatwaves, cold spells, record exceedances).
+
+// ExceedanceFrequency returns, per pixel, the fraction of time steps on
+// which the field exceeds the given threshold (e.g. 303.15 K for 30 C
+// heat days).
+func ExceedanceFrequency(fields []sphere.Field, threshold float64) []float64 {
+	if len(fields) == 0 {
+		return nil
+	}
+	n := fields[0].Grid.Points()
+	out := make([]float64, n)
+	for _, f := range fields {
+		for p, v := range f.Data {
+			if v > threshold {
+				out[p]++
+			}
+		}
+	}
+	for p := range out {
+		out[p] /= float64(len(fields))
+	}
+	return out
+}
+
+// MaxSpellLength returns, per pixel, the longest run of consecutive
+// steps above the threshold — the heatwave-duration index (or, with a
+// flipped sign convention on the caller's side, cold spells).
+func MaxSpellLength(fields []sphere.Field, threshold float64) []int {
+	if len(fields) == 0 {
+		return nil
+	}
+	n := fields[0].Grid.Points()
+	best := make([]int, n)
+	cur := make([]int, n)
+	for _, f := range fields {
+		for p, v := range f.Data {
+			if v > threshold {
+				cur[p]++
+				if cur[p] > best[p] {
+					best[p] = cur[p]
+				}
+			} else {
+				cur[p] = 0
+			}
+		}
+	}
+	return best
+}
+
+// BlockMaxima returns the series of per-block maxima of the area-mean
+// field (e.g. annual maxima with block = steps per year), the input to
+// extreme-value fits.
+func BlockMaxima(fields []sphere.Field, block int) []float64 {
+	if block <= 0 || len(fields) == 0 {
+		return nil
+	}
+	var out []float64
+	for start := 0; start+block <= len(fields); start += block {
+		m := math.Inf(-1)
+		for t := start; t < start+block; t++ {
+			if v := fields[t].Mean(); v > m {
+				m = v
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// ReturnLevel estimates the m-observation return level of a sample by
+// the empirical quantile 1 - 1/m (adequate for the emulator-vs-
+// simulation comparisons here; a GEV fit would extrapolate further).
+func ReturnLevel(sample []float64, m float64) float64 {
+	if len(sample) == 0 || m <= 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	q := 1 - 1/m
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// TailComparison bundles tail agreement metrics between a simulated and
+// an emulated series: exceedance-frequency RMSE over pixels at a high
+// quantile threshold, and the ratio of upper-tail quantiles.
+type TailComparison struct {
+	Threshold       float64 // the simulation's pooled q-quantile
+	ExceedRMSE      float64 // RMSE of per-pixel exceedance frequencies
+	TailQuantileSim float64 // pooled 99.9% quantile, simulation
+	TailQuantileEmu float64 // pooled 99.9% quantile, emulation
+}
+
+// CompareTails computes a TailComparison using the simulation's pooled
+// q-quantile (e.g. 0.95) as the exceedance threshold.
+func CompareTails(sim, emu []sphere.Field, q float64) TailComparison {
+	pool := func(fields []sphere.Field, qq float64) float64 {
+		// Subsample to bound cost.
+		var xs []float64
+		stride := len(fields)*len(fields[0].Data)/200000 + 1
+		k := 0
+		for _, f := range fields {
+			for _, v := range f.Data {
+				if k%stride == 0 {
+					xs = append(xs, v)
+				}
+				k++
+			}
+		}
+		return Quantiles(xs, qq)[0]
+	}
+	thr := pool(sim, q)
+	fs := ExceedanceFrequency(sim, thr)
+	fe := ExceedanceFrequency(emu, thr)
+	return TailComparison{
+		Threshold:       thr,
+		ExceedRMSE:      RMSE(fs, fe),
+		TailQuantileSim: pool(sim, 0.999),
+		TailQuantileEmu: pool(emu, 0.999),
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exaclim/internal/sphere"
+)
+
+func constantSeries(g sphere.Grid, values []float64) []sphere.Field {
+	out := make([]sphere.Field, len(values))
+	for i, v := range values {
+		out[i] = sphere.NewField(g).Fill(v)
+	}
+	return out
+}
+
+func TestExceedanceFrequency(t *testing.T) {
+	g := sphere.NewGrid(3, 4)
+	series := constantSeries(g, []float64{1, 5, 5, 1, 5})
+	freq := ExceedanceFrequency(series, 3)
+	for p, v := range freq {
+		if math.Abs(v-0.6) > 1e-12 {
+			t.Fatalf("pixel %d frequency %g, want 0.6", p, v)
+		}
+	}
+	if ExceedanceFrequency(nil, 3) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestMaxSpellLength(t *testing.T) {
+	g := sphere.NewGrid(2, 2)
+	// Above-threshold pattern: 1,1,0,1,1,1,0 -> longest spell 3.
+	series := constantSeries(g, []float64{9, 9, 0, 9, 9, 9, 0})
+	spells := MaxSpellLength(series, 5)
+	for p, s := range spells {
+		if s != 3 {
+			t.Fatalf("pixel %d spell %d, want 3", p, s)
+		}
+	}
+	// No exceedances.
+	none := MaxSpellLength(series, 100)
+	for _, s := range none {
+		if s != 0 {
+			t.Fatal("expected zero spells above an unreachable threshold")
+		}
+	}
+}
+
+func TestBlockMaxima(t *testing.T) {
+	g := sphere.NewGrid(3, 4)
+	series := constantSeries(g, []float64{1, 7, 3, 2, 9, 4, 5})
+	bm := BlockMaxima(series, 3)
+	// Blocks [1,7,3] and [2,9,4]; the trailing partial block is dropped.
+	if len(bm) != 2 || math.Abs(bm[0]-7) > 1e-9 || math.Abs(bm[1]-9) > 1e-9 {
+		t.Fatalf("block maxima %v, want [7 9]", bm)
+	}
+	if BlockMaxima(series, 0) != nil {
+		t.Error("block <= 0 should return nil")
+	}
+}
+
+func TestReturnLevel(t *testing.T) {
+	// Uniform sample 1..100: the 10-observation return level is the 90th
+	// percentile.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	rl := ReturnLevel(xs, 10)
+	if math.Abs(rl-90.1) > 0.5 {
+		t.Errorf("10-obs return level %g, want ~90", rl)
+	}
+	if !math.IsNaN(ReturnLevel(nil, 10)) || !math.IsNaN(ReturnLevel(xs, 0.5)) {
+		t.Error("degenerate inputs should return NaN")
+	}
+	// Monotone in m.
+	if ReturnLevel(xs, 50) <= ReturnLevel(xs, 5) {
+		t.Error("return level should grow with return period")
+	}
+}
+
+func TestCompareTailsSameProcess(t *testing.T) {
+	g := sphere.NewGrid(9, 16)
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) []sphere.Field {
+		out := make([]sphere.Field, n)
+		for i := range out {
+			f := sphere.NewField(g)
+			for p := range f.Data {
+				f.Data[p] = 280 + 5*rng.NormFloat64()
+			}
+			out[i] = f
+		}
+		return out
+	}
+	sim, emu := mk(300), mk(300)
+	tc := CompareTails(sim, emu, 0.95)
+	if tc.Threshold < 285 || tc.Threshold > 292 {
+		t.Errorf("q95 threshold %g outside expected band", tc.Threshold)
+	}
+	// Same process: exceedance frequencies agree within sampling noise
+	// (5% base rate over 300 steps has SE ~1.3%).
+	if tc.ExceedRMSE > 0.035 {
+		t.Errorf("exceedance RMSE %g too large for identical processes", tc.ExceedRMSE)
+	}
+	if r := tc.TailQuantileEmu / tc.TailQuantileSim; r < 0.99 || r > 1.01 {
+		t.Errorf("tail quantile ratio %g", r)
+	}
+	// A biased emulation must be detected.
+	for i := range emu {
+		for p := range emu[i].Data {
+			emu[i].Data[p] += 4
+		}
+	}
+	biased := CompareTails(sim, emu, 0.95)
+	if biased.ExceedRMSE < 3*tc.ExceedRMSE {
+		t.Errorf("biased tails not detected: %g vs %g", biased.ExceedRMSE, tc.ExceedRMSE)
+	}
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+)
+
+func TestMomentsKnownValues(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	qs := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if math.Abs(qs[i]-want[i]) > 1e-12 {
+			t.Errorf("quantile %d = %g, want %g", i, qs[i], want[i])
+		}
+	}
+	mid := Quantiles([]float64{1, 2}, 0.5)[0]
+	if mid != 1.5 {
+		t.Errorf("median of {1,2} = %g, want 1.5", mid)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Correlation(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %g", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Correlation(a, c); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %g", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %g", got)
+	}
+}
+
+func TestKSIdenticalAndDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := KolmogorovSmirnov(a, a); got != 0 {
+		t.Errorf("KS of identical samples = %g, want 0", got)
+	}
+	b := []float64{10, 11, 12}
+	if got := KolmogorovSmirnov(a, b); got != 1 {
+		t.Errorf("KS of disjoint samples = %g, want 1", got)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 4000)
+	b := make([]float64, 4000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	ks := KolmogorovSmirnov(a, b)
+	// Critical value at alpha=0.001 for n=m=4000 is ~0.0436.
+	if ks > 0.05 {
+		t.Errorf("KS of same-distribution samples = %g, want < 0.05", ks)
+	}
+	// Shifted distribution must be detected.
+	for i := range b {
+		b[i] += 1
+	}
+	if ks := KolmogorovSmirnov(a, b); ks < 0.3 {
+		t.Errorf("KS of shifted samples = %g, want > 0.3", ks)
+	}
+}
+
+func TestKSPropertySymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 50+rng.Intn(100))
+		b := make([]float64, 50+rng.Intn(100))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() * 2
+		}
+		d1 := KolmogorovSmirnov(a, b)
+		d2 := KolmogorovSmirnov(b, a)
+		return d1 >= 0 && d1 <= 1 && math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestACFOfAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const phi = 0.7
+	xs := make([]float64, 30000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	acf := ACF(xs, 5)
+	if acf[0] != 1 {
+		t.Errorf("ACF lag 0 = %g, want 1", acf[0])
+	}
+	for lag := 1; lag <= 5; lag++ {
+		want := math.Pow(phi, float64(lag))
+		if math.Abs(acf[lag]-want) > 0.05 {
+			t.Errorf("ACF lag %d = %g, want ~%g", lag, acf[lag], want)
+		}
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	acf := ACF([]float64{3, 3, 3, 3}, 2)
+	if acf[0] != 1 || acf[1] != 0 || acf[2] != 0 {
+		t.Errorf("ACF of constant series = %v", acf)
+	}
+}
+
+func TestSummarizeConstantField(t *testing.T) {
+	g := sphere.NewGrid(9, 16)
+	fields := []sphere.Field{sphere.NewField(g).Fill(5), sphere.NewField(g).Fill(5)}
+	s := Summarize(fields)
+	if math.Abs(s.Mean-5) > 1e-12 || s.Std > 1e-6 || s.Min != 5 || s.Max != 5 || s.Q50 != 5 {
+		t.Errorf("summary of constant fields: %+v", s)
+	}
+	if s.Fields != 2 {
+		t.Errorf("field count %d", s.Fields)
+	}
+}
+
+func TestSummarizeAreaWeighting(t *testing.T) {
+	// A field that is +10 near the poles and 0 elsewhere must have an
+	// area-weighted mean well below the plain average.
+	g := sphere.NewGrid(19, 36)
+	f := sphere.NewField(g)
+	for j := 0; j < g.NLon; j++ {
+		f.Set(0, j, 10)
+		f.Set(g.NLat-1, j, 10)
+	}
+	s := Summarize([]sphere.Field{f})
+	plain := Mean(f.Data)
+	if s.Mean >= plain/2 {
+		t.Errorf("area-weighted mean %g should be far below plain mean %g", s.Mean, plain)
+	}
+}
+
+func TestSpectrumComparison(t *testing.T) {
+	const L = 16
+	g := sphere.GridForBandLimit(L)
+	plan, err := sht.NewPlan(g, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mk := func(scale float64, n int) []sphere.Field {
+		out := make([]sphere.Field, n)
+		for i := range out {
+			c := sht.NewCoeffs(L)
+			for l := 1; l < L; l++ {
+				amp := scale * math.Pow(float64(l), -1)
+				c.Set(l, 0, complex(rng.NormFloat64()*amp, 0))
+				for m := 1; m <= l; m++ {
+					c.Set(l, m, complex(rng.NormFloat64()*amp, rng.NormFloat64()*amp))
+				}
+			}
+			out[i] = plan.Synthesize(c)
+		}
+		return out
+	}
+	a := mk(1, 30)
+	b := mk(1, 30)
+	same := SpectrumLogRatio(MeanPowerSpectrum(plan, a), MeanPowerSpectrum(plan, b))
+	if same > 0.35 {
+		t.Errorf("same-process spectrum log ratio %g, want small", same)
+	}
+	c := mk(3, 30) // 9x the power -> log10 ratio ~0.95
+	diff := SpectrumLogRatio(MeanPowerSpectrum(plan, a), MeanPowerSpectrum(plan, c))
+	if diff < 0.6 {
+		t.Errorf("different-power spectrum log ratio %g, want large", diff)
+	}
+	cc := CheckConsistency(plan, a, b)
+	if math.Abs(cc.StdRatio-1) > 0.25 || cc.KS > 0.1 {
+		t.Errorf("consistency of same process: %v", cc)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty moments should be NaN")
+	}
+	if !math.IsNaN(Correlation([]float64{1}, []float64{1, 2})) {
+		t.Error("mismatched correlation should be NaN")
+	}
+	if !math.IsNaN(RMSE(nil, nil)) {
+		t.Error("empty RMSE should be NaN")
+	}
+	s := Summarize(nil)
+	if !math.IsNaN(s.Mean) {
+		t.Error("empty summary should be NaN")
+	}
+}

@@ -1,0 +1,135 @@
+// Package storagemodel quantifies the paper's headline storage claim:
+// a trained emulator (megabytes to gigabytes of parameters) replaces
+// petabytes of archived simulation output, at NCAR's quoted cost of
+// about $45 per terabyte per year (Section I).
+package storagemodel
+
+import (
+	"fmt"
+
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+)
+
+// CostPerTBYearUSD is NCAR's storage cost quoted in the paper.
+const CostPerTBYearUSD = 45.0
+
+// Archive reference points from the paper's introduction.
+const (
+	CMIP6Bytes  = 28e15 // ~28 PB hosted by ESGF
+	CMIP5Bytes  = 2e15  // ~2 PB
+	CMIP3Bytes  = 40e12 // ~40 TB
+	CESMCMIP6PB = 2e15  // NCAR's post-processed CMIP6 time series
+)
+
+// RawSeriesBytes returns the archive size of a gridded series: one value
+// per grid point per step per ensemble member at the given width (ERA5
+// and CMIP archives typically store 4-byte floats).
+func RawSeriesBytes(g sphere.Grid, stepsPerYear, years, members, bytesPerValue int) int64 {
+	return int64(g.Points()) * int64(stepsPerYear) * int64(years) * int64(members) * int64(bytesPerValue)
+}
+
+// ERA5HourlyPoints returns the sample count of the paper's hourly
+// training set: 0.25-degree grid, hourly, 35 years — "318 billion hourly
+// temperature data points".
+func ERA5HourlyPoints() int64 {
+	g := sphere.NewGrid(721, 1440)
+	return int64(g.Points()) * 8760 * 35
+}
+
+// ERA5DailyPoints returns the paper's daily training set size: 83 years,
+// daily — "31 billion daily data points".
+func ERA5DailyPoints() int64 {
+	g := sphere.NewGrid(721, 1440)
+	return int64(g.Points()) * 365 * 83
+}
+
+// EmulatorBytes is the analytic parameter footprint of a trained
+// emulator: per-pixel trend coefficients (p params + rho + sigma +
+// nugget), P diagonal VAR coefficient vectors of length L^2, and the
+// tiled mixed-precision Cholesky factor of the L^2-dimensional
+// innovation covariance.
+func EmulatorBytes(g sphere.Grid, trendParams, L, P, tileB int, v tile.Variant) int64 {
+	pixels := int64(g.Points())
+	trend := pixels * int64(trendParams+3) * 8
+	l2 := int64(L) * int64(L)
+	varCoef := int64(P) * l2 * 8
+	nt := int(l2) / tileB
+	if nt < 1 {
+		nt = 1
+	}
+	var factor int64
+	pm := v.Map(nt)
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			factor += int64(tileB) * int64(tileB) * int64(pm(i, j).Bytes())
+		}
+	}
+	return trend + varCoef + factor
+}
+
+// Report compares raw archive storage against emulator storage.
+type Report struct {
+	RawBytes, ModelBytes int64
+	Ratio                float64
+	RawCostYearUSD       float64
+	ModelCostYearUSD     float64
+	SavedYearUSD         float64
+}
+
+// Compare builds a Report.
+func Compare(rawBytes, modelBytes int64) Report {
+	toTB := func(b int64) float64 { return float64(b) / 1e12 }
+	r := Report{
+		RawBytes:         rawBytes,
+		ModelBytes:       modelBytes,
+		Ratio:            float64(rawBytes) / float64(modelBytes),
+		RawCostYearUSD:   toTB(rawBytes) * CostPerTBYearUSD,
+		ModelCostYearUSD: toTB(modelBytes) * CostPerTBYearUSD,
+	}
+	r.SavedYearUSD = r.RawCostYearUSD - r.ModelCostYearUSD
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("raw %s vs model %s: %.0fx smaller; storage cost $%.0f/yr -> $%.2f/yr (saves $%.0f/yr)",
+		humanBytes(r.RawBytes), humanBytes(r.ModelBytes), r.Ratio,
+		r.RawCostYearUSD, r.ModelCostYearUSD, r.SavedYearUSD)
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1e15:
+		return fmt.Sprintf("%.2f PB", float64(b)/1e15)
+	case b >= 1e12:
+		return fmt.Sprintf("%.2f TB", float64(b)/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f MB", float64(b)/1e6)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// UltraResolutionPointsPerYear returns the sample count of one year of
+// hourly emulation at the paper's 0.034-degree target: "477 billion data
+// points for a single year emulation".
+func UltraResolutionPointsPerYear() int64 {
+	g := sphere.GridForBandLimit(5219)
+	return int64(g.Points()) * 8760
+}
+
+// PaperScaleReport evaluates the paper's flagship storage scenario: an
+// ensemble of hourly output at the ultra-high 0.034-degree resolution
+// over 35 years, which the emulator regenerates on demand instead of
+// archiving. Storing the members is petabyte-scale; the trained emulator
+// (band limit 720, DP/HP factor) is a fraction of a terabyte and can
+// generate any number of statistically consistent members.
+func PaperScaleReport(members int) Report {
+	ultra := sphere.GridForBandLimit(5219)
+	raw := RawSeriesBytes(ultra, 8760, 35, members, 4)
+	model := EmulatorBytes(ultra, 13, 720, 3, 2048, tile.VariantDPHP)
+	return Compare(raw, model)
+}

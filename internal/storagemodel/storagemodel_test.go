@@ -1,0 +1,118 @@
+package storagemodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+)
+
+// TestPaperDataPointCounts verifies the two headline training-set sizes
+// quoted in the abstract: 318 billion hourly and 31 billion daily points.
+func TestPaperDataPointCounts(t *testing.T) {
+	hourly := ERA5HourlyPoints()
+	if math.Abs(float64(hourly)/318e9-1) > 0.01 {
+		t.Errorf("hourly points = %d, paper says 318 billion", hourly)
+	}
+	daily := ERA5DailyPoints()
+	if math.Abs(float64(daily)/31e9-1) > 0.02 {
+		t.Errorf("daily points = %d, paper says 31 billion", daily)
+	}
+}
+
+func TestRawSeriesBytes(t *testing.T) {
+	g := sphere.NewGrid(721, 1440)
+	b := RawSeriesBytes(g, 8760, 35, 1, 4)
+	// 318e9 points x 4 bytes = 1.27 TB (one variable at 0.25 degrees).
+	if math.Abs(float64(b)/1.27e12-1) > 0.02 {
+		t.Errorf("35y hourly ERA5 = %d bytes, want ~1.27 TB", b)
+	}
+}
+
+func TestEmulatorBytesComposition(t *testing.T) {
+	g := sphere.NewGrid(721, 1440)
+	dp := EmulatorBytes(g, 13, 720, 3, 2048, tile.VariantDP)
+	hp := EmulatorBytes(g, 13, 720, 3, 2048, tile.VariantDPHP)
+	if hp >= dp {
+		t.Errorf("DP/HP model (%d B) not smaller than DP model (%d B)", hp, dp)
+	}
+	// The factor dominates: an L=720 covariance is 518400^2 / 2 entries.
+	// In DP that is ~1 TB; DP/HP shrinks it to ~0.27 TB.
+	if dp < 5e11 || dp > 2e12 {
+		t.Errorf("DP model bytes = %g, want ~1.1e12", float64(dp))
+	}
+	if hp > 5e11 {
+		t.Errorf("DP/HP model bytes = %g, want < 5e11", float64(hp))
+	}
+}
+
+// TestUltraResolutionPointCount verifies the abstract's "477 billion
+// data points for a single year emulation" at 0.034 degrees hourly.
+func TestUltraResolutionPointCount(t *testing.T) {
+	pts := UltraResolutionPointsPerYear()
+	if math.Abs(float64(pts)/477e9-1) > 0.01 {
+		t.Errorf("ultra-resolution points per year = %d, paper says 477 billion", pts)
+	}
+}
+
+// TestPaperScaleSavings is the headline: an ultra-resolution ensemble is
+// petabytes; the emulator that regenerates it is sub-terabyte.
+func TestPaperScaleSavings(t *testing.T) {
+	r1 := PaperScaleReport(1)
+	// One member over 35 years is ~67 TB.
+	if r1.RawBytes < 5e13 || r1.RawBytes > 1e14 {
+		t.Errorf("single-member archive %d bytes, want ~6.7e13", r1.RawBytes)
+	}
+	r100 := PaperScaleReport(100)
+	if r100.RawBytes < 5e15 {
+		t.Errorf("100-member archive %d bytes, want petabyte scale", r100.RawBytes)
+	}
+	if r100.RawBytes != 100*r1.RawBytes {
+		t.Error("ensemble bytes should scale with members")
+	}
+	if r100.Ratio < 1000 {
+		t.Errorf("compression ratio %.0f, want > 1000x", r100.Ratio)
+	}
+	if r100.SavedYearUSD < 100000 {
+		t.Errorf("100-member annual savings $%.0f, want > $100k at $45/TB/yr", r100.SavedYearUSD)
+	}
+}
+
+func TestCompareArithmetic(t *testing.T) {
+	r := Compare(2e15, 1e12)
+	if r.Ratio != 2000 {
+		t.Errorf("ratio %g, want 2000", r.Ratio)
+	}
+	if math.Abs(r.RawCostYearUSD-2000*CostPerTBYearUSD) > 1 {
+		t.Errorf("raw cost %g", r.RawCostYearUSD)
+	}
+	if r.SavedYearUSD <= 0 || r.SavedYearUSD >= r.RawCostYearUSD {
+		t.Errorf("savings %g out of range", r.SavedYearUSD)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Compare(28e15, 5e11).String()
+	for _, want := range []string{"PB", "GB", "smaller", "$"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		500:   "500 B",
+		2e6:   "2.00 MB",
+		3e9:   "3.00 GB",
+		4e12:  "4.00 TB",
+		28e15: "28.00 PB",
+	}
+	for b, want := range cases {
+		if got := humanBytes(b); got != want {
+			t.Errorf("humanBytes(%d) = %q, want %q", b, got, want)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package taskrt
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(space uint8, r, c int) DataKey { return DataKey{Space: space, Row: r, Col: c} }
+
+func TestSequentialSemantics(t *testing.T) {
+	// Writer -> reader -> writer chains on one datum must serialize in
+	// insertion order regardless of priorities and worker count.
+	g := NewGraph()
+	var mu sync.Mutex
+	var order []int
+	record := func(id int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}
+	}
+	d := key(0, 0, 0)
+	g.AddTask("w0", 0, nil, []DataKey{d}, record(0))
+	g.AddTask("r1", 5, []DataKey{d}, nil, record(1))
+	g.AddTask("r2", 9, []DataKey{d}, nil, record(2))
+	g.AddTask("w3", 99, nil, []DataKey{d}, record(3)) // WAR on r1, r2
+	g.AddTask("r4", 0, []DataKey{d}, nil, record(4))
+
+	if _, err := Run(g, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] {
+		t.Errorf("readers ran before writer: %v", order)
+	}
+	if pos[3] < pos[1] || pos[3] < pos[2] {
+		t.Errorf("WAR violated: %v", order)
+	}
+	if pos[4] < pos[3] {
+		t.Errorf("RAW after second write violated: %v", order)
+	}
+}
+
+func TestIndependentTasksRunConcurrently(t *testing.T) {
+	g := NewGraph()
+	const n = 8
+	var running, peak atomic.Int32
+	for i := 0; i < n; i++ {
+		i := i
+		g.AddTask("work", 0, nil, []DataKey{key(0, i, 0)}, func() {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+		})
+	}
+	stats, err := Run(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("independent tasks never overlapped (peak=%d)", peak.Load())
+	}
+	if stats.Tasks != n || stats.Edges != 0 {
+		t.Errorf("stats: %d tasks %d edges, want %d tasks 0 edges", stats.Tasks, stats.Edges, n)
+	}
+}
+
+func TestPriorityOrderAmongReady(t *testing.T) {
+	// With one worker, ready tasks must execute in priority order.
+	g := NewGraph()
+	var mu sync.Mutex
+	var order []int
+	for i, prio := range []int{1, 50, 10, 99, 0} {
+		i, prio := i, prio
+		g.AddTask("p", prio, nil, []DataKey{key(0, i, 0)}, func() {
+			mu.Lock()
+			order = append(order, prio)
+			mu.Unlock()
+		})
+	}
+	if _, err := Run(g, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{99, 50, 10, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	// a writes X; b and c read X and write Y_b / Y_c; d reads both.
+	g := NewGraph()
+	var aDone, bDone, cDone atomic.Bool
+	x, yb, yc := key(0, 0, 0), key(1, 0, 0), key(1, 1, 0)
+	g.AddTask("a", 0, nil, []DataKey{x}, func() { aDone.Store(true) })
+	g.AddTask("b", 0, []DataKey{x}, []DataKey{yb}, func() {
+		if !aDone.Load() {
+			t.Error("b ran before a")
+		}
+		bDone.Store(true)
+	})
+	g.AddTask("c", 0, []DataKey{x}, []DataKey{yc}, func() {
+		if !aDone.Load() {
+			t.Error("c ran before a")
+		}
+		cDone.Store(true)
+	})
+	g.AddTask("d", 0, []DataKey{yb, yc}, nil, func() {
+		if !bDone.Load() || !cDone.Load() {
+			t.Error("d ran before b and c")
+		}
+	})
+	stats, err := Run(g, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Edges != 4 {
+		t.Errorf("diamond has %d edges, want 4", stats.Edges)
+	}
+}
+
+func TestReadersDoNotSerializeEachOther(t *testing.T) {
+	g := NewGraph()
+	x := key(0, 0, 0)
+	g.AddTask("w", 0, nil, []DataKey{x}, func() {})
+	var running, peak atomic.Int32
+	for i := 0; i < 4; i++ {
+		g.AddTask("r", 0, []DataKey{x}, nil, func() {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+		})
+	}
+	if _, err := Run(g, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Error("concurrent readers were serialized")
+	}
+}
+
+func TestRWTaskChains(t *testing.T) {
+	// In-place updates (read+write same key) must serialize in order.
+	g := NewGraph()
+	x := key(0, 0, 0)
+	counter := 0
+	for i := 0; i < 10; i++ {
+		want := i
+		g.AddTask("upd", rand.Intn(100), []DataKey{x}, []DataKey{x}, func() {
+			if counter != want {
+				t.Errorf("update %d saw counter %d", want, counter)
+			}
+			counter++
+		})
+	}
+	if _, err := Run(g, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 10 {
+		t.Errorf("counter = %d, want 10", counter)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 6; i++ {
+		g.AddTask("sleepy", 0, nil, []DataKey{key(0, i, 0)}, func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+	stats, err := Run(g, Options{Workers: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ByKernel["sleepy"].Count != 6 {
+		t.Errorf("kernel count = %d, want 6", stats.ByKernel["sleepy"].Count)
+	}
+	if stats.BusyTime < 6*time.Millisecond {
+		t.Errorf("busy time %v too small", stats.BusyTime)
+	}
+	if stats.Makespan <= 0 || stats.Makespan > time.Second {
+		t.Errorf("makespan %v out of range", stats.Makespan)
+	}
+	if len(stats.Trace) != 6 {
+		t.Errorf("trace has %d events, want 6", len(stats.Trace))
+	}
+	if stats.Speedup() < 1 || stats.Speedup() > 2.5 {
+		t.Errorf("speedup %g out of [1, 2.5]", stats.Speedup())
+	}
+	if e := stats.Efficiency(); e <= 0 || e > 1.25 {
+		t.Errorf("efficiency %g out of range", e)
+	}
+	// Critical path of independent tasks is the longest single task; it
+	// must be <= makespan and > 0.
+	if stats.CriticalPath <= 0 || stats.CriticalPath > stats.Makespan {
+		t.Errorf("critical path %v vs makespan %v", stats.CriticalPath, stats.Makespan)
+	}
+}
+
+func TestCriticalPathOfChain(t *testing.T) {
+	// A pure chain's critical path equals its busy time.
+	g := NewGraph()
+	x := key(0, 0, 0)
+	for i := 0; i < 5; i++ {
+		g.AddTask("link", 0, []DataKey{x}, []DataKey{x}, func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+	stats, err := Run(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := stats.CriticalPath - stats.BusyTime
+	if diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("chain critical path %v vs busy %v", stats.CriticalPath, stats.BusyTime)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	stats, err := Run(NewGraph(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 0 || stats.Makespan != 0 {
+		t.Errorf("empty graph stats: %+v", stats)
+	}
+}
+
+func TestDuplicateEdgesNotDoubleCounted(t *testing.T) {
+	g := NewGraph()
+	x, y := key(0, 0, 0), key(0, 1, 0)
+	g.AddTask("w", 0, nil, []DataKey{x, y}, func() {})
+	// Reads both keys written by the same task: one edge, not two.
+	g.AddTask("r", 0, []DataKey{x, y}, nil, func() {})
+	if got := g.EdgeCount(); got != 1 {
+		t.Errorf("edge count = %d, want 1 (deduplicated)", got)
+	}
+	if _, err := Run(g, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomGraphCompletes(t *testing.T) {
+	// Fuzz the scheduler with a few hundred tasks over a small data set;
+	// every run must complete with sequential-consistency per datum.
+	rng := rand.New(rand.NewSource(7))
+	g := NewGraph()
+	const nData = 12
+	version := make([]int64, nData)
+	var executed atomic.Int64
+	for i := 0; i < 400; i++ {
+		d := rng.Intn(nData)
+		k := key(0, d, 0)
+		if rng.Float64() < 0.5 {
+			g.AddTask("read", rng.Intn(10), []DataKey{k}, nil, func() {
+				executed.Add(1)
+				_ = atomic.LoadInt64(&version[d])
+			})
+		} else {
+			g.AddTask("write", rng.Intn(10), nil, []DataKey{k}, func() {
+				executed.Add(1)
+				atomic.AddInt64(&version[d], 1)
+			})
+		}
+	}
+	stats, err := Run(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 400 || stats.Tasks != 400 {
+		t.Errorf("executed %d of 400 tasks", executed.Load())
+	}
+}
+
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	// Measures per-task scheduling cost with trivial kernels.
+	for i := 0; i < b.N; i++ {
+		g := NewGraph()
+		for j := 0; j < 1000; j++ {
+			g.AddTask("nop", 0, nil, []DataKey{key(0, j%32, 0)}, func() {})
+		}
+		if _, err := Run(g, Options{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

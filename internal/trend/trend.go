@@ -1,0 +1,320 @@
+// Package trend fits the paper's deterministic component (eq. 2): for
+// every grid point, the mean temperature is an intercept, a response to
+// current radiative forcing, an infinite-distributed-lag response to past
+// forcing with geometric decay rho, and K harmonic terms for periodic
+// cycles; the residual standard error sigma is estimated jointly.
+//
+// Because the lag weights make the model nonlinear only through the
+// scalar rho, the fit profiles rho over a grid and solves ordinary least
+// squares for each candidate (the 1-D MLE of Section III-A, O(T) per
+// location). All regressors are shared across pixels, so the normal
+// matrix is factorized once per rho and reused by every location, and
+// locations are fit in parallel.
+//
+// The paper's tau = 8760 hourly configuration captures annual harmonics;
+// for hourly data this package additionally supports harmonics of the
+// diurnal period (KDiurnal terms at tau = steps per day), an extension
+// required to model the intraday cycle explicitly.
+package trend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"exaclim/internal/linalg"
+	"exaclim/internal/par"
+	"exaclim/internal/sphere"
+)
+
+// Options configure a fit.
+type Options struct {
+	// StepsPerYear is the paper's tau: 365 for daily, 8760 for hourly.
+	StepsPerYear int
+	// K is the number of annual-cycle harmonics (the paper uses 5).
+	K int
+	// StepsPerDay enables diurnal harmonics when > 1 (hourly data: 24).
+	StepsPerDay int
+	// KDiurnal is the number of diurnal harmonics (0 disables).
+	KDiurnal int
+	// RhoGrid lists candidate lag-decay values; defaults to
+	// 0, 0.1, ..., 0.9, 0.95.
+	RhoGrid []float64
+	// Workers bounds fitting parallelism.
+	Workers int
+}
+
+func (o *Options) setDefaults() error {
+	if o.StepsPerYear <= 0 {
+		return errors.New("trend: StepsPerYear must be positive")
+	}
+	if o.K < 0 || o.KDiurnal < 0 {
+		return errors.New("trend: harmonic counts must be non-negative")
+	}
+	if o.KDiurnal > 0 && o.StepsPerDay <= 1 {
+		return errors.New("trend: KDiurnal requires StepsPerDay > 1")
+	}
+	if len(o.RhoGrid) == 0 {
+		o.RhoGrid = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	}
+	for _, r := range o.RhoGrid {
+		if r < 0 || r >= 1 {
+			return fmt.Errorf("trend: rho %g outside [0, 1)", r)
+		}
+	}
+	return nil
+}
+
+// Params returns the regression dimension: intercept, current RF, lagged
+// RF, plus two coefficients per harmonic.
+func (o Options) Params() int { return 3 + 2*o.K + 2*o.KDiurnal }
+
+// Fit holds per-pixel estimates of eq. (2).
+type Fit struct {
+	Grid     sphere.Grid
+	Opt      Options
+	Lead     int       // years of RF history before the data window
+	AnnualRF []float64 // lead + ceil(T/tau) + spare years of forcing
+
+	// Beta[pix] is the coefficient vector in design order:
+	// [beta0, beta1, beta2, a_1, b_1, ..., aK, bK, (diurnal a/b...)].
+	Beta [][]float64
+	// Rho[pix] is the selected lag decay.
+	Rho []float64
+	// Sigma[pix] is the residual standard error.
+	Sigma []float64
+}
+
+// design builds the T x p regressor matrix for a given rho. lagAnnual is
+// the precomputed lagged forcing series aligned with annualRF.
+func design(T int, opt Options, annualRF, lagAnnual []float64, lead int) *linalg.Matrix {
+	p := opt.Params()
+	x := linalg.NewMatrix(T, p)
+	for t := 0; t < T; t++ {
+		row := x.Row(t)
+		year := lead + t/opt.StepsPerYear
+		row[0] = 1
+		row[1] = annualRF[year]
+		row[2] = lagAnnual[year]
+		c := 3
+		for k := 1; k <= opt.K; k++ {
+			ang := 2 * math.Pi * float64(t) * float64(k) / float64(opt.StepsPerYear)
+			s, co := math.Sincos(ang)
+			row[c] = co
+			row[c+1] = s
+			c += 2
+		}
+		for k := 1; k <= opt.KDiurnal; k++ {
+			ang := 2 * math.Pi * float64(t) * float64(k) / float64(opt.StepsPerDay)
+			s, co := math.Sincos(ang)
+			row[c] = co
+			row[c+1] = s
+			c += 2
+		}
+	}
+	return x
+}
+
+// lagSeries computes (1-rho) sum_{s>=1} rho^(s-1) x_{t-s} over the annual
+// series, seeding the recursion with the first value (pre-history assumed
+// at the initial forcing level).
+func lagSeries(annual []float64, rho float64) []float64 {
+	out := make([]float64, len(annual))
+	state := annual[0]
+	for i, v := range annual {
+		out[i] = state
+		state = rho*state + (1-rho)*v
+	}
+	return out
+}
+
+// FitEnsemble estimates eq. (2) from R ensemble members sharing the same
+// forcing. annualRF must contain at least lead years of history before
+// the data window plus ceil(T/tau) years covering it. All members must
+// have equal length and grid.
+func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options) (*Fit, error) {
+	if err := opt.setDefaults(); err != nil {
+		return nil, err
+	}
+	if len(ens) == 0 || len(ens[0]) == 0 {
+		return nil, errors.New("trend: empty ensemble")
+	}
+	grid := ens[0][0].Grid
+	T := len(ens[0])
+	for r := range ens {
+		if len(ens[r]) != T {
+			return nil, fmt.Errorf("trend: ensemble member %d has %d steps, want %d", r, len(ens[r]), T)
+		}
+	}
+	needYears := lead + (T+opt.StepsPerYear-1)/opt.StepsPerYear
+	if len(annualRF) < needYears {
+		return nil, fmt.Errorf("trend: annualRF has %d years, need >= %d", len(annualRF), needYears)
+	}
+	R := len(ens)
+	p := opt.Params()
+	nPix := grid.Points()
+
+	// Per-rho shared design and normal-matrix factorization. The solve
+	// uses a tiny ridge for safety against collinear regressors (smooth
+	// forcing paths make current and lagged RF nearly collinear), but the
+	// residual sum of squares is evaluated with the exact unridged
+	// quadratic form so sigma and the rho profile are unbiased.
+	type rhoCtx struct {
+		x    *linalg.Matrix // T x p
+		xtx  *linalg.Matrix // p x p unridged R * X^T X (symmetric)
+		chol *linalg.Matrix // p x p lower factor of ridged R * X^T X
+	}
+	ctxs := make([]rhoCtx, len(opt.RhoGrid))
+	for ri, rho := range opt.RhoGrid {
+		lag := lagSeries(annualRF, rho)
+		x := design(T, opt, annualRF, lag, lead)
+		xtx := linalg.NewMatrix(p, p)
+		linalg.Syrk(linalg.Transpose, p, T, float64(R), x.Data, p, 0.0, xtx.Data, p)
+		xtx.SymmetrizeFromLower()
+		ridged := xtx.Copy()
+		ridged.AddDiagonal(1e-9 * float64(R*T))
+		if err := ridged.Cholesky(); err != nil {
+			return nil, fmt.Errorf("trend: singular design for rho=%g: %w", rho, err)
+		}
+		ctxs[ri] = rhoCtx{x: x, xtx: xtx, chol: ridged}
+	}
+
+	fit := &Fit{
+		Grid:     grid,
+		Opt:      opt,
+		Lead:     lead,
+		AnnualRF: append([]float64(nil), annualRF...),
+		Beta:     make([][]float64, nPix),
+		Rho:      make([]float64, nPix),
+		Sigma:    make([]float64, nPix),
+	}
+
+	par.ForN(opt.Workers, nPix, func(pix int) {
+		y := make([]float64, R*T)
+		for r := 0; r < R; r++ {
+			for t := 0; t < T; t++ {
+				y[r*T+t] = ens[r][t].Data[pix]
+			}
+		}
+		yty := linalg.Dot(y, y)
+
+		bestRSS := math.Inf(1)
+		bestBeta := make([]float64, p)
+		bestRho := 0.0
+		c := make([]float64, p)
+		beta := make([]float64, p)
+		xtxb := make([]float64, p)
+		for ri := range ctxs {
+			ctx := &ctxs[ri]
+			// c = sum_r X^T y_r.
+			for j := range c {
+				c[j] = 0
+			}
+			for r := 0; r < R; r++ {
+				linalg.MatVec(linalg.Transpose, T, p, 1.0, ctx.x.Data, p, y[r*T:(r+1)*T], 1.0, c)
+			}
+			copy(beta, c)
+			linalg.CholSolve(p, ctx.chol.Data, p, beta)
+			// Exact RSS = y'y - 2 b'c + b' (X'X) b, robust to the ridge.
+			ctx.xtx.MulVec(beta, xtxb)
+			rss := yty - 2*linalg.Dot(beta, c) + linalg.Dot(beta, xtxb)
+			if rss < bestRSS {
+				bestRSS = rss
+				copy(bestBeta, beta)
+				bestRho = opt.RhoGrid[ri]
+			}
+		}
+		if bestRSS < 0 {
+			bestRSS = 0
+		}
+		fit.Beta[pix] = append([]float64(nil), bestBeta...)
+		fit.Rho[pix] = bestRho
+		sigma := math.Sqrt(bestRSS / float64(R*T))
+		if sigma < 1e-9 {
+			sigma = 1e-9 // degenerate pixels must not divide by zero
+		}
+		fit.Sigma[pix] = sigma
+	})
+	return fit, nil
+}
+
+// designRow evaluates the regressor vector at step t for the pixel's rho.
+// Allocation-free: writes into row.
+func (f *Fit) designRow(t int, rho float64, row []float64) {
+	opt := f.Opt
+	year := f.Lead + t/opt.StepsPerYear
+	if year >= len(f.AnnualRF) {
+		year = len(f.AnnualRF) - 1 // hold forcing at the last known year
+	}
+	row[0] = 1
+	row[1] = f.AnnualRF[year]
+	// Recompute the lag state up to `year`. Cached per rho below via
+	// lagCache when evaluating whole fields.
+	lag := lagSeries(f.AnnualRF[:year+1], rho)
+	row[2] = lag[year]
+	c := 3
+	for k := 1; k <= opt.K; k++ {
+		ang := 2 * math.Pi * float64(t) * float64(k) / float64(opt.StepsPerYear)
+		s, co := math.Sincos(ang)
+		row[c] = co
+		row[c+1] = s
+		c += 2
+	}
+	for k := 1; k <= opt.KDiurnal; k++ {
+		ang := 2 * math.Pi * float64(t) * float64(k) / float64(opt.StepsPerDay)
+		s, co := math.Sincos(ang)
+		row[c] = co
+		row[c+1] = s
+		c += 2
+	}
+}
+
+// MeanField evaluates the fitted deterministic mean m_t on the grid.
+func (f *Fit) MeanField(t int) sphere.Field {
+	out := sphere.NewField(f.Grid)
+	p := f.Opt.Params()
+	// Group pixels by rho so each lag series is computed once.
+	rows := make(map[float64][]float64)
+	for pix := range f.Beta {
+		rho := f.Rho[pix]
+		row, ok := rows[rho]
+		if !ok {
+			row = make([]float64, p)
+			f.designRow(t, rho, row)
+			rows[rho] = row
+		}
+		out.Data[pix] = linalg.Dot(row, f.Beta[pix])
+	}
+	return out
+}
+
+// Standardize returns the standardized stochastic residual fields
+// z_t = (y_t - m_t) / sigma for one ensemble member, the input to the
+// spherical harmonic stage.
+func (f *Fit) Standardize(fields []sphere.Field) []sphere.Field {
+	out := make([]sphere.Field, len(fields))
+	par.ForN(f.Opt.Workers, len(fields), func(t int) {
+		m := f.MeanField(t)
+		z := sphere.NewField(f.Grid)
+		for pix := range z.Data {
+			z.Data[pix] = (fields[t].Data[pix] - m.Data[pix]) / f.Sigma[pix]
+		}
+		out[t] = z
+	})
+	return out
+}
+
+// Unstandardize converts a standardized stochastic field back to
+// temperature in place: y = m_t + sigma * z.
+func (f *Fit) Unstandardize(z sphere.Field, t int) {
+	m := f.MeanField(t)
+	for pix := range z.Data {
+		z.Data[pix] = m.Data[pix] + f.Sigma[pix]*z.Data[pix]
+	}
+}
+
+// ExtendRF appends future annual forcing values (e.g. a scenario) so the
+// fit can evaluate means beyond the training window.
+func (f *Fit) ExtendRF(future []float64) {
+	f.AnnualRF = append(f.AnnualRF, future...)
+}

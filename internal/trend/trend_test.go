@@ -1,0 +1,377 @@
+package trend
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exaclim/internal/era5"
+	"exaclim/internal/forcing"
+	"exaclim/internal/linalg"
+	"exaclim/internal/sphere"
+)
+
+// synthFields builds fields obeying eq. (2) exactly with known per-pixel
+// parameters and iid N(0, sigma^2) noise.
+func synthFields(rng *rand.Rand, grid sphere.Grid, T int, opt Options,
+	annualRF []float64, lead int, beta [][]float64, rho, sigma []float64) []sphere.Field {
+	designs := make(map[float64]*linalg.Matrix)
+	fields := make([]sphere.Field, T)
+	for t := 0; t < T; t++ {
+		fields[t] = sphere.NewField(grid)
+	}
+	for pix := 0; pix < grid.Points(); pix++ {
+		x, ok := designs[rho[pix]]
+		if !ok {
+			lag := lagSeries(annualRF, rho[pix])
+			x = design(T, opt, annualRF, lag, lead)
+			designs[rho[pix]] = x
+		}
+		for t := 0; t < T; t++ {
+			fields[t].Data[pix] = linalg.Dot(x.Row(t), beta[pix]) + sigma[pix]*rng.NormFloat64()
+		}
+	}
+	return fields
+}
+
+func smallOptions() Options {
+	return Options{StepsPerYear: 73, K: 2, RhoGrid: []float64{0, 0.3, 0.6, 0.9}}
+}
+
+// TestExactRecoveryNoiseFree: with sigma = 0 the OLS fit must reproduce
+// the generating coefficients to near machine precision and select the
+// true rho.
+func TestExactRecoveryNoiseFree(t *testing.T) {
+	grid := sphere.NewGrid(5, 8)
+	opt := smallOptions()
+	rng := rand.New(rand.NewSource(1))
+	years := 12
+	T := years * opt.StepsPerYear
+	// A wiggly forcing record keeps current and lagged forcing far from
+	// collinear, so every coefficient is identified. (Smooth exponential
+	// pathways leave the beta1/beta2 split ill-posed: only the total
+	// response is identified. TestEra5TrendRecovery covers that regime.)
+	annual := make([]float64, years+5)
+	for i := range annual {
+		annual[i] = 2 + math.Sin(float64(i)*1.7) + 0.5*rng.NormFloat64()
+	}
+	nPix := grid.Points()
+	p := opt.Params()
+	beta := make([][]float64, nPix)
+	rho := make([]float64, nPix)
+	sigma := make([]float64, nPix)
+	for pix := 0; pix < nPix; pix++ {
+		beta[pix] = make([]float64, p)
+		for j := range beta[pix] {
+			beta[pix][j] = rng.NormFloat64()
+		}
+		beta[pix][0] += 280              // realistic intercept
+		beta[pix][2] = 1 + rng.Float64() // make the lag term matter
+		rho[pix] = opt.RhoGrid[rng.Intn(len(opt.RhoGrid))]
+		sigma[pix] = 0
+	}
+	fields := synthFields(rng, grid, T, opt, annual, 0, beta, rho, sigma)
+	fit, err := FitEnsemble([][]sphere.Field{fields}, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pix := 0; pix < nPix; pix++ {
+		if fit.Rho[pix] != rho[pix] {
+			t.Errorf("pixel %d: rho = %g, want %g", pix, fit.Rho[pix], rho[pix])
+			continue
+		}
+		for j := 0; j < p; j++ {
+			// Tolerance reflects the 1e-9-scale safety ridge acting on a
+			// ~280 K intercept, not estimation error.
+			if math.Abs(fit.Beta[pix][j]-beta[pix][j]) > 1e-4 {
+				t.Errorf("pixel %d coef %d: %g, want %g", pix, j, fit.Beta[pix][j], beta[pix][j])
+			}
+		}
+		if fit.Sigma[pix] > 1e-4 {
+			t.Errorf("pixel %d: sigma %g, want ~0", pix, fit.Sigma[pix])
+		}
+	}
+}
+
+// TestNoisyRecovery: with noise, estimates concentrate near the truth and
+// sigma is estimated consistently.
+func TestNoisyRecovery(t *testing.T) {
+	grid := sphere.NewGrid(3, 4)
+	opt := smallOptions()
+	rng := rand.New(rand.NewSource(2))
+	years := 40
+	T := years * opt.StepsPerYear
+	annual := forcing.Historical().Annual(1960, years+5)
+	nPix := grid.Points()
+	p := opt.Params()
+	beta := make([][]float64, nPix)
+	rho := make([]float64, nPix)
+	sigma := make([]float64, nPix)
+	for pix := 0; pix < nPix; pix++ {
+		beta[pix] = []float64{285, 0.8, 0.5, 3, -2, 1, 0.5}
+		if len(beta[pix]) != p {
+			t.Fatalf("test setup: beta length %d, want %d", len(beta[pix]), p)
+		}
+		rho[pix] = 0.6
+		sigma[pix] = 1.5
+	}
+	fields := synthFields(rng, grid, T, opt, annual, 0, beta, rho, sigma)
+	fit, err := FitEnsemble([][]sphere.Field{fields}, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pix := 0; pix < nPix; pix++ {
+		if math.Abs(fit.Sigma[pix]-1.5) > 0.15 {
+			t.Errorf("pixel %d: sigma %g, want ~1.5", pix, fit.Sigma[pix])
+		}
+		// Harmonic coefficients are strongly identified.
+		for j := 3; j < p; j++ {
+			if math.Abs(fit.Beta[pix][j]-beta[pix][j]) > 0.15 {
+				t.Errorf("pixel %d harmonic %d: %g, want %g", pix, j, fit.Beta[pix][j], beta[pix][j])
+			}
+		}
+	}
+}
+
+// TestEnsemblePoolingTightensEstimates: the pooled fit over R members has
+// visibly lower error on the harmonic coefficients than a single member.
+func TestEnsemblePoolingTightensEstimates(t *testing.T) {
+	grid := sphere.NewGrid(3, 4)
+	opt := smallOptions()
+	years := 6
+	T := years * opt.StepsPerYear
+	annual := forcing.Historical().Annual(1990, years+5)
+	nPix := grid.Points()
+	p := opt.Params()
+	beta := make([][]float64, nPix)
+	rho := make([]float64, nPix)
+	sigma := make([]float64, nPix)
+	for pix := 0; pix < nPix; pix++ {
+		beta[pix] = []float64{285, 0.8, 0.5, 3, -2, 1, 0.5}
+		rho[pix] = 0.6
+		sigma[pix] = 3
+	}
+	errFor := func(R int, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		ens := make([][]sphere.Field, R)
+		for r := range ens {
+			ens[r] = synthFields(rng, grid, T, opt, annual, 0, beta, rho, sigma)
+		}
+		fit, err := FitEnsemble(ens, annual, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for pix := 0; pix < nPix; pix++ {
+			for j := 3; j < p; j++ {
+				d := fit.Beta[pix][j] - beta[pix][j]
+				sum += d * d
+			}
+		}
+		return sum
+	}
+	// Average over a few seeds to avoid flakiness.
+	var e1, e4 float64
+	for s := int64(0); s < 3; s++ {
+		e1 += errFor(1, 10+s)
+		e4 += errFor(4, 20+s)
+	}
+	if e4 >= e1 {
+		t.Errorf("pooling over 4 members did not reduce error: R=1 %g vs R=4 %g", e1, e4)
+	}
+}
+
+func TestStandardizeRoundTrip(t *testing.T) {
+	grid := sphere.NewGrid(4, 8)
+	opt := smallOptions()
+	rng := rand.New(rand.NewSource(3))
+	years := 8
+	T := years * opt.StepsPerYear
+	annual := forcing.Historical().Annual(1990, years+5)
+	nPix := grid.Points()
+	beta := make([][]float64, nPix)
+	rho := make([]float64, nPix)
+	sigma := make([]float64, nPix)
+	for pix := 0; pix < nPix; pix++ {
+		beta[pix] = []float64{280 + rng.Float64()*20, 1, 0.5, 2, 1, 0.5, 0.2}
+		rho[pix] = 0.3
+		sigma[pix] = 2
+	}
+	fields := synthFields(rng, grid, T, opt, annual, 0, beta, rho, sigma)
+	fit, err := FitEnsemble([][]sphere.Field{fields}, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := fit.Standardize(fields)
+	// Residual variance ~1 on average.
+	var ss float64
+	var n int
+	for t2 := range z {
+		for _, v := range z[t2].Data {
+			ss += v * v
+			n++
+		}
+	}
+	if v := ss / float64(n); math.Abs(v-1) > 0.1 {
+		t.Errorf("standardized variance %g, want ~1", v)
+	}
+	// Unstandardize must invert Standardize exactly.
+	for _, tt := range []int{0, T / 2, T - 1} {
+		back := z[tt].Copy()
+		fit.Unstandardize(back, tt)
+		for pix := range back.Data {
+			if math.Abs(back.Data[pix]-fields[tt].Data[pix]) > 1e-9 {
+				t.Fatalf("round trip failed at t=%d pix=%d: %g vs %g", tt, pix, back.Data[pix], fields[tt].Data[pix])
+			}
+		}
+	}
+}
+
+// TestDiurnalHarmonics: hourly data with a 24-step cycle requires the
+// KDiurnal extension; the fitted diurnal amplitude must match.
+func TestDiurnalHarmonics(t *testing.T) {
+	grid := sphere.NewGrid(3, 4)
+	opt := Options{StepsPerYear: 24 * 30, K: 1, StepsPerDay: 24, KDiurnal: 1,
+		RhoGrid: []float64{0}}
+	years := 2
+	T := years * opt.StepsPerYear
+	annual := forcing.Historical().Annual(2000, years+3)
+	rng := rand.New(rand.NewSource(4))
+	fields := make([]sphere.Field, T)
+	const diurnalAmp = 5.0
+	for tt := 0; tt < T; tt++ {
+		f := sphere.NewField(grid)
+		for pix := range f.Data {
+			f.Data[pix] = 290 + diurnalAmp*math.Cos(2*math.Pi*float64(tt)/24) + 0.5*rng.NormFloat64()
+		}
+		fields[tt] = f
+	}
+	fit, err := FitEnsemble([][]sphere.Field{fields}, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diurnal cos coefficient is at index 3 + 2*K = 5.
+	for pix := 0; pix < grid.Points(); pix++ {
+		if math.Abs(fit.Beta[pix][5]-diurnalAmp) > 0.1 {
+			t.Errorf("pixel %d: diurnal cos amp %g, want %g", pix, fit.Beta[pix][5], diurnalAmp)
+		}
+	}
+}
+
+// TestEra5TrendRecovery is the integration test against the synthetic
+// ERA5 generator: the fitted warming response (beta1 + beta2, the
+// equilibrium response to a unit forcing increase) must track the
+// generator's known sensitivity map.
+func TestEra5TrendRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	years := 35
+	const members = 3
+	var gen *era5.Generator
+	ens := make([][]sphere.Field, members)
+	for r := 0; r < members; r++ {
+		g, err := era5.New(era5.Config{
+			Grid: sphere.GridForBandLimit(12), L: 12, Seed: 7, Member: r,
+			StartYear: 1980, StepsPerDay: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ens[r] = g.Run(years * era5.DaysPerYear)
+		gen = g
+	}
+	annual := gen.AnnualRF(20, years+1)
+	opt := Options{StepsPerYear: era5.DaysPerYear, K: 3, Workers: 0}
+	fit, err := FitEnsemble(ens, annual, 20, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens := gen.Sensitivity()
+	// With a smooth forcing path the beta1/beta2 split is ill-posed; the
+	// identified quantity is the warming the trend model attributes to
+	// forcing over the window. Compare fitted warming between the first
+	// and last year (same day-of-year, so harmonics cancel) with the
+	// generator's known response.
+	t0, t1 := 0, (years-1)*era5.DaysPerYear
+	m0, m1 := fit.MeanField(t0), fit.MeanField(t1)
+	rf := forcing.Historical()
+	xc0 := rf.RF(1980)
+	xc1 := rf.RF(1980 + float64(years-1))
+	lag := forcing.LaggedResponse(gen.AnnualRF(100, years), gen.LagRho(), rf.RF(1880))
+	dForcing := 0.6*(xc1-xc0) + 0.4*(lag[100+years-1]-lag[100])
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(sens))
+	for pix := range sens {
+		x := sens[pix] * dForcing        // true warming
+		y := m1.Data[pix] - m0.Data[pix] // fitted warming
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	r := (n*sxy - sx*sy) / math.Sqrt((n*sxx-sx*sx)*(n*syy-sy*sy))
+	if r < 0.45 {
+		t.Errorf("correlation between fitted and true warming = %.3f, want > 0.45", r)
+	}
+	meanTrue := sx / n
+	meanFit := sy / n
+	if meanFit < 0.6*meanTrue || meanFit > 1.6*meanTrue {
+		t.Errorf("mean fitted warming %g K vs true %g K", meanFit, meanTrue)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	grid := sphere.NewGrid(3, 4)
+	fields := []sphere.Field{sphere.NewField(grid)}
+	cases := []Options{
+		{StepsPerYear: 0},
+		{StepsPerYear: 10, K: -1},
+		{StepsPerYear: 10, KDiurnal: 2},             // no StepsPerDay
+		{StepsPerYear: 10, RhoGrid: []float64{1.0}}, // rho out of range
+		{StepsPerYear: 10, RhoGrid: []float64{-0.1}},
+	}
+	for i, opt := range cases {
+		if _, err := FitEnsemble([][]sphere.Field{fields}, []float64{1, 2}, 0, opt); err == nil {
+			t.Errorf("case %d: expected option validation error", i)
+		}
+	}
+	// Insufficient RF history.
+	opt := Options{StepsPerYear: 5}
+	long := make([]sphere.Field, 25) // needs 5 years of RF
+	for i := range long {
+		long[i] = sphere.NewField(grid)
+	}
+	if _, err := FitEnsemble([][]sphere.Field{long}, []float64{1, 2}, 0, opt); err == nil {
+		t.Error("expected error for short RF series")
+	}
+	if _, err := FitEnsemble(nil, []float64{1}, 0, Options{StepsPerYear: 5}); err == nil {
+		t.Error("expected error for empty ensemble")
+	}
+}
+
+func TestMeanFieldBeyondTrainingWindow(t *testing.T) {
+	grid := sphere.NewGrid(3, 4)
+	opt := Options{StepsPerYear: 10, K: 1, RhoGrid: []float64{0.5}}
+	annual := []float64{1, 1.1, 1.2}
+	rng := rand.New(rand.NewSource(5))
+	nPix := grid.Points()
+	beta := make([][]float64, nPix)
+	rho := make([]float64, nPix)
+	sigma := make([]float64, nPix)
+	for pix := 0; pix < nPix; pix++ {
+		beta[pix] = []float64{280, 1, 0.5, 2, 1}
+		rho[pix] = 0.5
+	}
+	fields := synthFields(rng, grid, 30, opt, annual, 0, beta, rho, sigma)
+	fit, err := FitEnsemble([][]sphere.Field{fields}, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit.ExtendRF([]float64{1.3, 1.4})
+	m := fit.MeanField(45) // year 4, inside the extension
+	if m.Data[0] < 270 || m.Data[0] > 295 {
+		t.Errorf("extrapolated mean %g K implausible", m.Data[0])
+	}
+}
