@@ -11,8 +11,10 @@ package exaclim_test
 // executes the real mixed-precision task runtime on this host.
 
 import (
+	"sync"
 	"testing"
 
+	"exaclim"
 	"exaclim/internal/cluster"
 	"exaclim/internal/experiments"
 	"exaclim/internal/tile"
@@ -127,6 +129,71 @@ func BenchmarkStorage_Savings(b *testing.B) {
 		t = experiments.Storage()
 	}
 	reportRows(b, t)
+}
+
+// ensembleBench caches one trained model across benchmark iterations so
+// BenchmarkEnsemble_Members times generation, not training.
+var ensembleBench struct {
+	once  sync.Once
+	model *exaclim.Model
+	err   error
+}
+
+func ensembleBenchModel(b *testing.B) *exaclim.Model {
+	ensembleBench.once.Do(func() {
+		gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+			Grid: exaclim.GridForBandLimit(24), L: 24, Seed: 5, StartYear: 1990, StepsPerDay: 1,
+		})
+		if err != nil {
+			ensembleBench.err = err
+			return
+		}
+		sim := gen.Run(2 * exaclim.DaysPerYear)
+		ensembleBench.model, ensembleBench.err = exaclim.Train(
+			[][]exaclim.Field{sim}, gen.AnnualRF(15, 3), 15,
+			exaclim.Config{
+				L: 16, P: 2, Variant: exaclim.DPHP, SenderConvert: true,
+				Trend: exaclim.TrendOptions{
+					StepsPerYear: exaclim.DaysPerYear, K: 2,
+					RhoGrid: []float64{0.5, 0.85},
+				},
+			})
+	})
+	if ensembleBench.err != nil {
+		b.Fatal(ensembleBench.err)
+	}
+	return ensembleBench.model
+}
+
+// BenchmarkEnsemble_Members tracks the tentpole speedup of the
+// scenario-parallel ensemble engine: `serial` loops members through
+// Emulate one at a time (the pre-engine workflow), `parallel` streams
+// the same members (identical seeds, identical output) concurrently
+// through EmulateEnsemble.
+func BenchmarkEnsemble_Members(b *testing.B) {
+	model := ensembleBenchModel(b)
+	const members, steps = 8, 30
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < members; m++ {
+				if _, err := model.Emulate(exaclim.MemberSeed(1, m, 0), 0, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(members*steps)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := model.EmulateEnsemble(
+				exaclim.EnsembleSpec{Members: members, Steps: steps, BaseSeed: 1},
+				func(member, scenario, t int, f exaclim.Field) {})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(members*steps)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
+	})
 }
 
 // BenchmarkRuntime_TileCholesky executes the real task runtime and

@@ -5,6 +5,12 @@
 //
 //	exaclim -L 16 -years 3 -variant DP/HP -save model.gob
 //	exaclim -load model.gob -emulate 365 -maps out
+//
+// The ensemble subcommand runs a scenario-parallel emulation campaign
+// from one trained model, streaming members concurrently:
+//
+//	exaclim ensemble -members 16 -steps 365 -workers 8
+//	exaclim ensemble -load model.gob -members 32 -stabilize 2030:450:40
 package main
 
 import (
@@ -13,12 +19,36 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"exaclim"
 	"exaclim/internal/stats"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "ensemble" {
+		runEnsemble(os.Args[2:])
+		return
+	}
+	runPipeline()
+}
+
+func parseVariant(name string) exaclim.Variant {
+	switch strings.ToUpper(name) {
+	case "DP":
+		return exaclim.DP
+	case "DP/SP":
+		return exaclim.DPSP
+	case "DP/SP/HP":
+		return exaclim.DPSPHP
+	case "DP/HP":
+		return exaclim.DPHP
+	}
+	fatal(fmt.Errorf("unknown variant %q", name))
+	panic("unreachable")
+}
+
+func runPipeline() {
 	var (
 		gridL    = flag.Int("gridL", 24, "band limit defining the data grid resolution")
 		l        = flag.Int("L", 16, "emulator spherical-harmonic band limit")
@@ -33,34 +63,11 @@ func main() {
 		mapDir   = flag.String("maps", "", "write PGM maps of the first emulated field")
 	)
 	flag.Parse()
-
-	var v exaclim.Variant
-	switch strings.ToUpper(*variant) {
-	case "DP":
-		v = exaclim.DP
-	case "DP/SP":
-		v = exaclim.DPSP
-	case "DP/SP/HP":
-		v = exaclim.DPSPHP
-	case "DP/HP":
-		v = exaclim.DPHP
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
-	}
+	v := parseVariant(*variant)
 
 	var model *exaclim.Model
 	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			fatal(err)
-		}
-		model, err = exaclim.LoadModel(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("loaded model: L=%d covDim=%d variant=%s\n",
-			model.Cfg.L, model.Diag.CovDim, model.Diag.Variant)
+		model = loadModel(*loadPath)
 	} else {
 		gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
 			Grid: exaclim.GridForBandLimit(*gridL), L: *gridL,
@@ -135,6 +142,128 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+}
+
+// runEnsemble trains (or loads) a model and generates a members x
+// scenarios campaign concurrently, reporting per-scenario climate
+// statistics, throughput, and the storage-boost factor: the bytes of
+// ensemble data produced per byte of stored model.
+func runEnsemble(args []string) {
+	fs := flag.NewFlagSet("ensemble", flag.ExitOnError)
+	var (
+		gridL     = fs.Int("gridL", 24, "band limit defining the data grid resolution")
+		l         = fs.Int("L", 16, "emulator spherical-harmonic band limit")
+		years     = fs.Int("years", 2, "training years of synthetic data")
+		p         = fs.Int("P", 2, "VAR order")
+		variant   = fs.String("variant", "DP/HP", "Cholesky precision: DP|DP/SP|DP/SP/HP|DP/HP")
+		loadPath  = fs.String("load", "", "load a trained model instead of training")
+		startYear = fs.Int("startYear", 1990, "calendar year of training step 0 (scenario alignment)")
+		members   = fs.Int("members", 8, "ensemble members per scenario")
+		steps     = fs.Int("steps", 90, "steps to emulate per member")
+		t0        = fs.Int("t0", 0, "training-step offset of the first emulated step")
+		seed      = fs.Int64("seed", 1, "campaign base seed")
+		workers   = fs.Int("workers", 0, "concurrently generated members (0 = GOMAXPROCS)")
+		stabilize = fs.String("stabilize", "", "add a stabilization scenario startYear:targetPPM:efold (e.g. 2030:450:40)")
+	)
+	fs.Parse(args)
+
+	// Validate everything cheap before training starts.
+	if *members < 1 || *steps < 1 {
+		fatal(fmt.Errorf("need -members >= 1 and -steps >= 1, got %d and %d", *members, *steps))
+	}
+	if *t0 < 0 {
+		fatal(fmt.Errorf("need -t0 >= 0, got %d", *t0))
+	}
+	v := parseVariant(*variant)
+	var stabStart, stabPPM, stabEfold float64
+	if *stabilize != "" {
+		if _, err := fmt.Sscanf(*stabilize, "%f:%f:%f", &stabStart, &stabPPM, &stabEfold); err != nil {
+			fatal(fmt.Errorf("bad -stabilize %q: %v", *stabilize, err))
+		}
+	}
+
+	var model *exaclim.Model
+	if *loadPath != "" {
+		model = loadModel(*loadPath)
+	} else {
+		gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+			Grid: exaclim.GridForBandLimit(*gridL), L: *gridL,
+			Seed: *seed, StartYear: *startYear, StepsPerDay: 1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		sim := gen.Run(*years * exaclim.DaysPerYear)
+		fmt.Printf("training emulator: L=%d P=%d on %d synthetic steps...\n", *l, *p, len(sim))
+		lead := 15
+		model, err = exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(lead, *years+(*t0+*steps)/exaclim.DaysPerYear+1), lead,
+			exaclim.Config{
+				L: *l, P: *p, Variant: v, SenderConvert: true,
+				Trend: exaclim.TrendOptions{
+					StepsPerYear: exaclim.DaysPerYear, K: 2,
+					RhoGrid: []float64{0.5, 0.85},
+				},
+			})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	scenarios := []exaclim.EnsembleScenario{{Name: "training-forcing"}}
+	if *stabilize != "" {
+		sc := exaclim.Stabilization(stabStart, stabPPM, stabEfold)
+		lead := model.Trend.Lead
+		nYears := len(model.Trend.AnnualRF)
+		scenarios = append(scenarios, exaclim.EnsembleScenario{
+			Name:     sc.Name,
+			AnnualRF: sc.Annual(*startYear-lead, nYears),
+		})
+	}
+
+	spec := exaclim.EnsembleSpec{
+		Members: *members, T0: *t0, Steps: *steps,
+		BaseSeed: *seed, Scenarios: scenarios, Workers: *workers,
+	}
+	fmt.Printf("emulating %d members x %d scenarios x %d steps...\n",
+		spec.Members, len(scenarios), spec.Steps)
+
+	agg := stats.NewEnsembleAggregator(len(scenarios), spec.Members)
+	start := time.Now()
+	if err := model.EmulateEnsemble(spec, func(member, scenario, t int, f exaclim.Field) {
+		agg.Add(scenario, member, f)
+	}); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	fields := spec.Members * len(scenarios) * spec.Steps
+	rawBytes := int64(fields) * int64(model.Grid.Points()) * 8
+	modelBytes, _ := model.SizeBytes()
+	for s, sc := range scenarios {
+		mean, spread := agg.MeanAndSpread(s)
+		fmt.Printf("  %-20s ensemble mean %.2f K, member spread %.3f K\n", sc.Name, mean, spread)
+	}
+	fmt.Printf("generated %d fields in %.2fs (%.0f fields/s)\n", fields, elapsed, float64(fields)/elapsed)
+	if modelBytes > 0 {
+		fmt.Printf("storage boost: %.2f MB of ensemble data from a %.2f MB model (%.0fx)\n",
+			float64(rawBytes)/1e6, float64(modelBytes)/1e6, float64(rawBytes)/float64(modelBytes))
+	}
+}
+
+// loadModel opens and deserializes a trained model, exiting on failure.
+func loadModel(path string) *exaclim.Model {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := exaclim.LoadModel(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded model: L=%d covDim=%d variant=%s\n",
+		model.Cfg.L, model.Diag.CovDim, model.Diag.Variant)
+	return model
 }
 
 func fatal(err error) {

@@ -24,6 +24,22 @@
 //		exaclim.Config{L: 16, P: 3, Variant: exaclim.DPHP,
 //			Trend: exaclim.TrendOptions{StepsPerYear: exaclim.DaysPerYear, K: 2}})
 //	fields, _ := model.Emulate(1, 0, 365)
+//
+// A trained Model is safe for concurrent use, and the ensemble engine
+// generates many members across many forcing scenarios at once — the
+// paper's core workload of boosting a handful of stored simulations into
+// an arbitrarily large emulated ensemble. Fields stream to the callback
+// (copy to retain; they are worker scratch), so a campaign's memory
+// footprint stays at O(workers) fields regardless of its size:
+//
+//	spec := exaclim.EnsembleSpec{Members: 100, Steps: 365, BaseSeed: 1,
+//		Scenarios: []exaclim.EnsembleScenario{
+//			{Name: "training"},
+//			{Name: "mitigation", AnnualRF: rf}}}
+//	model.EmulateEnsemble(spec, func(member, scenario, t int, f exaclim.Field) {
+//		// Each (member, scenario) series is byte-identical to
+//		// model.Emulate(exaclim.MemberSeed(1, member, scenario), 0, 365).
+//	})
 package exaclim
 
 import (
@@ -65,6 +81,12 @@ type (
 	Variant = tile.Variant
 	// Consistency bundles emulation-vs-simulation statistics.
 	Consistency = stats.Consistency
+	// EnsembleSpec sizes a multi-member, multi-scenario emulation
+	// campaign for Model.EmulateEnsemble.
+	EnsembleSpec = emulator.EnsembleSpec
+	// EnsembleScenario names the annual forcing one campaign scenario is
+	// emulated under (nil forcing keeps the training record).
+	EnsembleScenario = emulator.Scenario
 )
 
 // Data substrate types.
@@ -118,6 +140,15 @@ func Train(ensemble [][]Field, annualRF []float64, lead int, cfg Config) (*Model
 
 // LoadModel deserializes a model saved with Model.Save.
 func LoadModel(r io.Reader) (*Model, error) { return emulator.Load(r) }
+
+// MemberSeed derives the deterministic RNG seed of ensemble member
+// `member` under scenario index `scenario` from a campaign base seed.
+// Model.EmulateEnsemble uses it internally, so a serial loop over
+// Model.Emulate(MemberSeed(base, i, s), ...) reproduces a campaign
+// member exactly.
+func MemberSeed(base int64, member, scenario int) int64 {
+	return emulator.MemberSeed(base, member, scenario)
+}
 
 // NewSynthetic builds an ERA5-like synthetic data generator (the
 // repository's stand-in for the paper's training archive).

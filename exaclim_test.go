@@ -3,6 +3,7 @@ package exaclim_test
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 
 	"exaclim"
@@ -84,6 +85,68 @@ func TestPublicPerformanceModel(t *testing.T) {
 		r := exaclim.PredictCholesky(m, 1024, 8390000, exaclim.DefaultTile, exaclim.DPHP, exaclim.DefaultPerfPolicy())
 		if r.PFlops < 50 || r.PFlops > 1000 {
 			t.Errorf("%s: implausible prediction %.1f PF", m.Name, r.PFlops)
+		}
+	}
+}
+
+// TestPublicEnsembleCampaign exercises the documented campaign workflow:
+// concurrent members across two scenarios, streamed, with per-member
+// determinism against the serial path.
+func TestPublicEnsembleCampaign(t *testing.T) {
+	gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+		Grid: exaclim.GridForBandLimit(16), L: 16, Seed: 3, StartYear: 1995, StepsPerDay: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := gen.Run(2 * exaclim.DaysPerYear)
+	model, err := exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(10, 3), 10, exaclim.Config{
+		L: 10, P: 2, Variant: exaclim.DPHP, SenderConvert: true,
+		Trend: exaclim.TrendOptions{StepsPerYear: exaclim.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.85}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigation := exaclim.Stabilization(1996, 360, 30)
+	spec := exaclim.EnsembleSpec{
+		Members: 4, Steps: 10, BaseSeed: 42,
+		Scenarios: []exaclim.EnsembleScenario{
+			{Name: "training"},
+			{Name: "mitigation", AnnualRF: mitigation.Annual(1985, len(model.Trend.AnnualRF))},
+		},
+	}
+	var mu sync.Mutex
+	counts := map[[2]int]int{}
+	var member0 []exaclim.Field
+	err = model.EmulateEnsemble(spec, func(member, scenario, tt int, f exaclim.Field) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[[2]int{member, scenario}]++
+		if member == 0 && scenario == 0 {
+			member0 = append(member0, f.Copy())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != spec.Members*len(spec.Scenarios) {
+		t.Fatalf("saw %d (member, scenario) pairs, want %d", len(counts), spec.Members*len(spec.Scenarios))
+	}
+	for key, n := range counts {
+		if n != spec.Steps {
+			t.Errorf("pair %v emitted %d steps, want %d", key, n, spec.Steps)
+		}
+	}
+	want, err := model.Emulate(exaclim.MemberSeed(spec.BaseSeed, 0, 0), 0, spec.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range want {
+		for pix := range want[tt].Data {
+			if want[tt].Data[pix] != member0[tt].Data[pix] {
+				t.Fatalf("campaign member 0 differs from serial emulation at t=%d", tt)
+			}
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module exaclim
+
+go 1.22

@@ -19,10 +19,12 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"exaclim/internal/linalg"
 	"exaclim/internal/mpchol"
+	"exaclim/internal/par"
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
 	"exaclim/internal/stats"
@@ -70,7 +72,9 @@ type TrainDiagnostics struct {
 	FactorBytesDP  int64 // what full DP would need
 }
 
-// Model is a trained climate emulator.
+// Model is a trained climate emulator. It is safe for concurrent use:
+// any number of goroutines may emulate from one trained (or loaded)
+// Model at the same time, which is what EmulateEnsemble does.
 type Model struct {
 	Cfg    Config
 	Grid   sphere.Grid
@@ -82,8 +86,16 @@ type Model struct {
 	NuggetVar []float64
 	Diag      TrainDiagnostics
 
-	plan        *sht.Plan      // rebuilt on demand, not serialized
+	// Lazily built caches, not serialized. Each is guarded by a sync.Once
+	// so concurrent emulation from a shared Model never races; gob skips
+	// unexported fields, so Save/Load round-trips reset them cleanly.
+	planOnce    sync.Once
+	plan        *sht.Plan // rebuilt on demand
+	planErr     error
+	denseOnce   sync.Once
 	denseFactor *linalg.Matrix // widened factor cache for sampling
+	nugOnce     sync.Once
+	nugSD       []float64 // sqrt(NuggetVar), shared by all generators
 }
 
 func chooseTile(n int) int {
@@ -124,31 +136,63 @@ func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Mod
 	}
 
 	// Step 2: spherical harmonic analysis of standardized residuals, and
-	// the nugget variance from the truncation error.
+	// the nugget variance from the truncation error. Every (realization,
+	// timestep) pair is independent, so the loop fans out over the
+	// flattened index with per-worker scratch fields and per-worker nugget
+	// accumulators (merged below). The plan is concurrency-safe; each
+	// worker runs its transforms sequentially so the fan-out happens at
+	// exactly one level.
 	plan, err := sht.NewPlan(grid, cfg.L, sht.WithWorkers(cfg.Workers))
 	if err != nil {
 		return nil, fmt.Errorf("emulator: %w", err)
 	}
+	R := len(ens)
+	T := len(ens[0]) // trend.FitEnsemble enforced equal member lengths
+	total := R * T
+	dim := sht.PackDim(cfg.L)
+	coeffBuf := make([]float64, total*dim) // one pre-sized backing array
+	packed := make([][][]float64, R)
+	for r := range packed {
+		packed[r] = make([][]float64, T)
+		for t := range packed[r] {
+			off := (r*T + t) * dim
+			packed[r][t] = coeffBuf[off : off+dim : off+dim]
+		}
+	}
+	type analyzeScratch struct {
+		z, recon sphere.Field
+		nugget   []float64
+	}
+	seqPlan := plan.Sequential()
+	scratch := make([]analyzeScratch, par.SpanWorkers(cfg.Workers, total))
+	par.ForNWorker(cfg.Workers, total, func(g, idx int) {
+		s := &scratch[g]
+		if s.nugget == nil {
+			s.z = sphere.NewField(grid)
+			s.recon = sphere.NewField(grid)
+			s.nugget = make([]float64, grid.Points())
+		}
+		r, t := idx/T, idx%T
+		fit.StandardizeInto(s.z, ens[r][t], t)
+		coeffs := seqPlan.Analyze(s.z)
+		coeffs.PackReal(packed[r][t])
+		seqPlan.SynthesizeInto(s.recon, coeffs)
+		for pix, v := range s.z.Data {
+			d := v - s.recon.Data[pix]
+			s.nugget[pix] += d * d
+		}
+	})
 	nugget := make([]float64, grid.Points())
-	packed := make([][][]float64, len(ens))
-	recon := sphere.NewField(grid)
-	totalSteps := 0
-	for r := range ens {
-		z := fit.Standardize(ens[r])
-		packed[r] = make([][]float64, len(z))
-		for t := range z {
-			coeffs := plan.Analyze(z[t])
-			packed[r][t] = coeffs.PackReal(nil)
-			plan.SynthesizeInto(recon, coeffs)
-			for pix, v := range z[t].Data {
-				d := v - recon.Data[pix]
-				nugget[pix] += d * d
-			}
-			totalSteps++
+	for g := range scratch {
+		if scratch[g].nugget == nil {
+			continue
+		}
+		for pix, v := range scratch[g].nugget {
+			nugget[pix] += v
 		}
 	}
 	for pix := range nugget {
-		nugget[pix] /= float64(totalSteps)
+		nugget[pix] /= float64(total)
 	}
 
 	// Step 3: temporal model on the coefficient vectors.
@@ -231,17 +275,16 @@ func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Mod
 	return m, nil
 }
 
-// EnsurePlan rebuilds the transform plan after deserialization.
+// EnsurePlan rebuilds the transform plan after deserialization. It is
+// safe to call from multiple goroutines; the plan is built at most once.
 func (m *Model) EnsurePlan() error {
-	if m.plan != nil {
-		return nil
-	}
-	p, err := sht.NewPlan(m.Grid, m.Cfg.L, sht.WithWorkers(m.Cfg.Workers))
-	if err != nil {
-		return err
-	}
-	m.plan = p
-	return nil
+	m.planOnce.Do(func() {
+		if m.plan != nil {
+			return // Train installed the plan it already built
+		}
+		m.plan, m.planErr = sht.NewPlan(m.Grid, m.Cfg.L, sht.WithWorkers(m.Cfg.Workers))
+	})
+	return m.planErr
 }
 
 // Plan exposes the transform plan (for consistency checks).
@@ -253,7 +296,7 @@ func (m *Model) Plan() (*sht.Plan, error) {
 }
 
 func (m *Model) dense() *linalg.Matrix {
-	if m.denseFactor == nil {
+	m.denseOnce.Do(func() {
 		d := m.Factor.ToDense()
 		// The factor is lower triangular; clear the mirrored upper half
 		// produced by ToDense's symmetric completion.
@@ -263,40 +306,68 @@ func (m *Model) dense() *linalg.Matrix {
 			}
 		}
 		m.denseFactor = d
-	}
+	})
 	return m.denseFactor
+}
+
+// nuggetSD returns sqrt(NuggetVar), built once and shared by every
+// generator goroutine.
+func (m *Model) nuggetSD() []float64 {
+	m.nugOnce.Do(func() {
+		m.nugSD = make([]float64, len(m.NuggetVar))
+		for pix, v := range m.NuggetVar {
+			if v > 0 {
+				m.nugSD[pix] = math.Sqrt(v)
+			}
+		}
+	})
+	return m.nugSD
+}
+
+// synthScratch bundles the reusable per-stream synthesis buffers.
+type synthScratch struct {
+	coeffs sht.Coeffs
+	field  sphere.Field
+}
+
+// emulateStream is the generation core of Section III-B shared by the
+// serial and ensemble paths: run the VAR with innovations xi = V eta,
+// inverse-transform each spectral state, add the nugget, and restore the
+// deterministic component from fit (which may carry scenario forcing).
+// When scratch is non-nil its field is reused across steps, so fn must
+// copy to retain; otherwise each step gets a fresh field. Output depends
+// only on (seed, t0, fit), never on plan scheduling.
+func (m *Model) emulateStream(plan *sht.Plan, fit *trend.Fit, scratch *synthScratch, seed int64, t0, T int, fn func(t int, f sphere.Field)) {
+	rng := rand.New(rand.NewSource(seed))
+	v := m.dense()
+	nug := m.nuggetSD()
+	burn := 10*m.VAR.P + 50
+	m.VAR.Simulate(v, rng, burn, T, func(t int, f []float64) {
+		var field sphere.Field
+		if scratch != nil {
+			plan.SynthesizeInto(scratch.field, sht.UnpackRealInto(scratch.coeffs, f))
+			field = scratch.field
+		} else {
+			field = plan.Synthesize(sht.UnpackReal(f))
+		}
+		for pix := range field.Data {
+			field.Data[pix] += nug[pix] * rng.NormFloat64()
+		}
+		fit.Unstandardize(field, t0+t)
+		fn(t, field)
+	})
 }
 
 // EmulateForEach streams T emulated fields beginning at training step
 // offset t0, calling fn for each (fields are freshly allocated and may be
-// retained). Distinct seeds give independent ensemble members.
+// retained). Distinct seeds give independent ensemble members. Multiple
+// goroutines may call it on one shared Model.
 func (m *Model) EmulateForEach(seed int64, t0, T int, fn func(t int, f sphere.Field)) error {
 	if err := m.EnsurePlan(); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	v := m.dense()
-	burn := 10*m.VAR.P + 50
-	nug := make([]float64, len(m.NuggetVar))
-	for pix, vv := range m.NuggetVar {
-		if vv > 0 {
-			nug[pix] = math.Sqrt(vv)
-		}
-	}
-	var innerErr error
-	m.VAR.Simulate(v, rng, burn, T, func(t int, f []float64) {
-		if innerErr != nil {
-			return
-		}
-		coeffs := sht.UnpackReal(f)
-		field := m.plan.Synthesize(coeffs)
-		for pix := range field.Data {
-			field.Data[pix] += nug[pix] * rng.NormFloat64()
-		}
-		m.Trend.Unstandardize(field, t0+t)
-		fn(t, field)
-	})
-	return innerErr
+	m.emulateStream(m.plan, m.Trend, nil, seed, t0, T, fn)
+	return nil
 }
 
 // Emulate returns T emulated fields beginning at training step t0.

@@ -1,0 +1,124 @@
+package emulator
+
+import (
+	"fmt"
+	"sync"
+
+	"exaclim/internal/par"
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+	"exaclim/internal/trend"
+)
+
+// Scenario pairs a name with the annual radiative forcing an ensemble is
+// emulated under. This is the "multiple runs with varied parameter values
+// for a single emissions scenario" use case of Section I: one trained
+// model replays any forcing pathway without retraining.
+type Scenario struct {
+	Name string
+	// AnnualRF replaces the training forcing record. It must cover the
+	// trend fit's Lead years before emulation step 0 plus every year the
+	// campaign reaches; nil keeps the training forcing.
+	AnnualRF []float64
+}
+
+// EnsembleSpec sizes an emulation campaign.
+type EnsembleSpec struct {
+	// Members is the number of emulated realizations per scenario.
+	Members int
+	// T0 is the training-step offset of the first emulated step.
+	T0 int
+	// Steps is the number of emulated steps per member.
+	Steps int
+	// BaseSeed seeds the campaign; member i of scenario s draws from the
+	// deterministic stream seeded with MemberSeed(BaseSeed, i, s).
+	BaseSeed int64
+	// Scenarios lists forcing pathways; empty means a single scenario
+	// under the training forcing.
+	Scenarios []Scenario
+	// Workers bounds concurrently generated members; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// MemberSeed derives the RNG seed of ensemble member `member` under
+// scenario index `scenario` from a campaign base seed, using a
+// splitmix64-style mix so nearby (member, scenario) pairs get
+// statistically independent streams. EmulateEnsemble uses it internally;
+// it is exported so a serial loop over Emulate(MemberSeed(base, i, s),
+// ...) reproduces a campaign member exactly.
+func MemberSeed(base int64, member, scenario int) int64 {
+	x := uint64(base)
+	x += 0x9e3779b97f4a7c15 * (uint64(member) + 1)
+	x += 0xc2b2ae3d27d4eb4f * (uint64(scenario) + 1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// EmulateEnsemble generates Members x max(1, len(Scenarios)) emulated
+// series concurrently from one trained model, streaming every field to
+// emit so the caller never holds members x steps fields in memory.
+//
+// Concurrency contract: emit may be called from several goroutines at
+// once (synchronize in the callback if it writes shared state), but
+// within one (member, scenario) pair steps arrive strictly in order on a
+// single goroutine. The field passed to emit is worker scratch reused for
+// that member's next step — copy it to retain. Each member's series is
+// byte-identical to a serial Emulate(MemberSeed(spec.BaseSeed, member,
+// scenario), spec.T0, spec.Steps) under the same scenario forcing.
+func (m *Model) EmulateEnsemble(spec EnsembleSpec, emit func(member, scenario, t int, f sphere.Field)) error {
+	if spec.Members < 1 {
+		return fmt.Errorf("emulator: ensemble needs >= 1 member, got %d", spec.Members)
+	}
+	if spec.Steps < 1 {
+		return fmt.Errorf("emulator: ensemble needs >= 1 step, got %d", spec.Steps)
+	}
+	if spec.T0 < 0 {
+		return fmt.Errorf("emulator: ensemble T0 %d must be >= 0", spec.T0)
+	}
+	if err := m.EnsurePlan(); err != nil {
+		return err
+	}
+	// Materialize the shared read-only state before fanning out so the
+	// workers only ever read it.
+	m.dense()
+	m.nuggetSD()
+
+	scenarios := spec.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []Scenario{{Name: "training-forcing"}}
+	}
+	fits := make([]*trend.Fit, len(scenarios))
+	for s, sc := range scenarios {
+		if sc.AnnualRF == nil {
+			fits[s] = m.Trend
+		} else {
+			fits[s] = m.Trend.WithAnnualRF(sc.AnnualRF)
+		}
+	}
+
+	// One generator goroutine per member saturates the CPU, so each runs
+	// its transforms sequentially; synthesis scratch is pooled across the
+	// campaign instead of allocated per (member, step).
+	seqPlan := m.plan.Sequential()
+	pool := sync.Pool{New: func() any {
+		return &synthScratch{
+			coeffs: sht.NewCoeffs(m.Cfg.L),
+			field:  sphere.NewField(m.Grid),
+		}
+	}}
+	jobs := spec.Members * len(scenarios)
+	par.ForN(spec.Workers, jobs, func(idx int) {
+		member, s := idx%spec.Members, idx/spec.Members
+		scr := pool.Get().(*synthScratch)
+		seed := MemberSeed(spec.BaseSeed, member, s)
+		m.emulateStream(seqPlan, fits[s], scr, seed, spec.T0, spec.Steps, func(t int, f sphere.Field) {
+			emit(member, s, t, f)
+		})
+		pool.Put(scr)
+	})
+	return nil
+}

@@ -1,0 +1,210 @@
+package emulator
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+)
+
+// sharedModel trains one small model reused by the ensemble tests (the
+// model is concurrency-safe by contract, so sharing it across tests is
+// itself part of the exercise).
+var sharedModel struct {
+	once sync.Once
+	m    *Model
+}
+
+func ensembleModel(t *testing.T) *Model {
+	t.Helper()
+	sharedModel.once.Do(func() {
+		sharedModel.m, _ = trainSmall(t, tile.VariantDP, 2)
+	})
+	if sharedModel.m == nil {
+		t.Fatal("shared ensemble model failed to train")
+	}
+	return sharedModel.m
+}
+
+func fieldsEqual(a, b []sphere.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t := range a {
+		for pix := range a[t].Data {
+			if a[t].Data[pix] != b[t].Data[pix] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSharedModelConcurrentEmulate is the -race guard for the satellite
+// bugfix: N goroutines emulating from one shared Model (exercising the
+// lazily built plan, dense factor and nugget caches together) must not
+// race and must match a serial run byte for byte.
+func TestSharedModelConcurrentEmulate(t *testing.T) {
+	m, _ := trainSmall(t, tile.VariantDP, 2)
+	const N, steps = 4, 4
+	want := make([][]sphere.Field, N)
+	for i := range want {
+		ref, err := m.Emulate(int64(i+1), 0, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ref
+	}
+	// Gob round-trip so every lazy cache (plan, dense factor, nugget SD)
+	// is cold when the goroutines hit it simultaneously.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]sphere.Field, N)
+	errs := make([]error, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = fresh.Emulate(int64(i+1), 0, steps)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !fieldsEqual(want[i], got[i]) {
+			t.Errorf("seed %d: concurrent emulation differs from serial", i+1)
+		}
+	}
+}
+
+// TestEmulateEnsembleMatchesSerial pins the ensemble engine's contract:
+// every member generated concurrently is byte-identical to the serial
+// path under the member's derived seed.
+func TestEmulateEnsembleMatchesSerial(t *testing.T) {
+	m := ensembleModel(t)
+	spec := EnsembleSpec{Members: 4, T0: 10, Steps: 5, BaseSeed: 7}
+	got := make([][]sphere.Field, spec.Members)
+	var mu sync.Mutex
+	err := m.EmulateEnsemble(spec, func(member, scenario, tt int, f sphere.Field) {
+		mu.Lock()
+		defer mu.Unlock()
+		if scenario != 0 {
+			t.Errorf("unexpected scenario index %d", scenario)
+		}
+		if got[member] == nil {
+			got[member] = make([]sphere.Field, spec.Steps)
+		}
+		if tt != 0 && got[member][tt-1].Data == nil {
+			t.Errorf("member %d: step %d arrived before step %d", member, tt, tt-1)
+		}
+		got[member][tt] = f.Copy() // emit fields are reused scratch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < spec.Members; i++ {
+		want, err := m.Emulate(MemberSeed(spec.BaseSeed, i, 0), spec.T0, spec.Steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fieldsEqual(want, got[i]) {
+			t.Errorf("member %d differs from serial emulation with the same seed", i)
+		}
+	}
+}
+
+// TestEmulateEnsembleScenarios checks that scenario forcing flows into
+// the deterministic component: an explicit copy of the training forcing
+// reproduces the serial path under the member's derived seed exactly,
+// while a uniformly boosted forcing produces a warmer ensemble.
+func TestEmulateEnsembleScenarios(t *testing.T) {
+	m := ensembleModel(t)
+	trainRF := append([]float64(nil), m.Trend.AnnualRF...)
+	boosted := make([]float64, len(trainRF))
+	for i, v := range trainRF {
+		boosted[i] = v + 5 // +5 W/m^2 everywhere, including the lead years
+	}
+	spec := EnsembleSpec{
+		Members: 2, Steps: 6, BaseSeed: 3,
+		Scenarios: []Scenario{
+			{Name: "training"},
+			{Name: "training-explicit", AnnualRF: trainRF},
+			{Name: "boosted", AnnualRF: boosted},
+		},
+	}
+	sums := make([]float64, len(spec.Scenarios))
+	counts := make([]int, len(spec.Scenarios))
+	perScenario := make([]map[int][]sphere.Field, len(spec.Scenarios))
+	for s := range perScenario {
+		perScenario[s] = make(map[int][]sphere.Field)
+	}
+	var mu sync.Mutex
+	err := m.EmulateEnsemble(spec, func(member, scenario, tt int, f sphere.Field) {
+		mu.Lock()
+		defer mu.Unlock()
+		sums[scenario] += f.Mean()
+		counts[scenario]++
+		perScenario[scenario][member] = append(perScenario[scenario][member], f.Copy())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for member, a := range perScenario[1] {
+		want, werr := m.Emulate(MemberSeed(spec.BaseSeed, member, 1), 0, spec.Steps)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if !fieldsEqual(want, a) {
+			t.Errorf("member %d: explicit training forcing differs from serial path", member)
+		}
+	}
+	base := sums[0] / float64(counts[0])
+	warm := sums[2] / float64(counts[2])
+	if warm <= base {
+		t.Errorf("boosted forcing not warmer: %g K vs %g K", warm, base)
+	}
+}
+
+func TestEmulateEnsembleValidation(t *testing.T) {
+	m := ensembleModel(t)
+	if err := m.EmulateEnsemble(EnsembleSpec{Members: 0, Steps: 1}, nil); err == nil {
+		t.Error("expected error for zero members")
+	}
+	if err := m.EmulateEnsemble(EnsembleSpec{Members: 1, Steps: 0}, nil); err == nil {
+		t.Error("expected error for zero steps")
+	}
+	if err := m.EmulateEnsemble(EnsembleSpec{Members: 1, Steps: 1, T0: -1}, nil); err == nil {
+		t.Error("expected error for negative T0")
+	}
+}
+
+func TestMemberSeedDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, base := range []int64{0, 1, -9} {
+		for member := 0; member < 16; member++ {
+			for s := 0; s < 4; s++ {
+				seed := MemberSeed(base, member, s)
+				if seed2 := MemberSeed(base, member, s); seed2 != seed {
+					t.Fatal("MemberSeed not deterministic")
+				}
+				key := fmt.Sprintf("%d/%d/%d", base, member, s)
+				if prev, dup := seen[seed]; dup {
+					t.Fatalf("seed collision between %s and %s", prev, key)
+				}
+				seen[seed] = key
+			}
+		}
+	}
+}

@@ -16,19 +16,38 @@ func Workers(n int) int {
 	return n
 }
 
+// SpanWorkers reports how many goroutines ForN and ForNWorker use for a
+// loop of n iterations under the given worker bound: at least 1 and at
+// most n. Callers size per-worker scratch with it before fanning out.
+func SpanWorkers(workers, n int) int {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // ForN runs fn(i) for i in [0, n) across at most workers goroutines using
 // dynamic (atomic counter) scheduling, which keeps load balanced when
 // iterations have very different costs (e.g. spherical harmonic orders).
 // It returns when every iteration has completed. workers <= 0 selects
 // GOMAXPROCS. When n is small or workers is 1 the loop runs inline.
 func ForN(workers, n int, fn func(i int)) {
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
+	ForNWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForNWorker is ForN with a worker identity: fn(g, i) runs iteration i on
+// worker g, where 0 <= g < SpanWorkers(workers, n). Iterations with equal
+// g never overlap, so callers can keep per-worker scratch (reconstruction
+// fields, partial accumulators) without locks or a sync.Pool.
+func ForNWorker(workers, n int, fn func(g, i int)) {
+	w := SpanWorkers(workers, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -36,16 +55,16 @@ func ForN(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(g, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }

@@ -20,6 +20,47 @@ func TestForNCoversAllIndices(t *testing.T) {
 	}
 }
 
+func TestForNWorkerIdentity(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		for _, n := range []int{0, 1, 5, 100} {
+			span := SpanWorkers(workers, n)
+			seen := make([]atomic.Int32, n)
+			perWorker := make([]atomic.Int32, span)
+			ForNWorker(workers, n, func(g, i int) {
+				if g < 0 || g >= span {
+					t.Errorf("workers=%d n=%d: worker id %d outside [0,%d)", workers, n, g, span)
+				}
+				seen[i].Add(1)
+				perWorker[g].Add(1)
+			})
+			total := int32(0)
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+			for g := range perWorker {
+				total += perWorker[g].Load()
+			}
+			if total != int32(n) {
+				t.Fatalf("workers=%d n=%d: %d iterations attributed", workers, n, total)
+			}
+		}
+	}
+}
+
+func TestSpanWorkers(t *testing.T) {
+	if got := SpanWorkers(4, 2); got != 2 {
+		t.Errorf("SpanWorkers(4, 2) = %d, want 2", got)
+	}
+	if got := SpanWorkers(4, 100); got != 4 {
+		t.Errorf("SpanWorkers(4, 100) = %d, want 4", got)
+	}
+	if got := SpanWorkers(3, 0); got != 1 {
+		t.Errorf("SpanWorkers(3, 0) = %d, want 1", got)
+	}
+}
+
 func TestWorkersDefault(t *testing.T) {
 	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))

@@ -96,16 +96,25 @@ func UnpackReal(src []float64) Coeffs {
 	if L*L != len(src) {
 		panic(fmt.Sprintf("sht: packed length %d is not a square", len(src)))
 	}
-	c := NewCoeffs(L)
+	return UnpackRealInto(NewCoeffs(L), src)
+}
+
+// UnpackRealInto is UnpackReal without allocation: it fills dst, whose
+// band limit must match len(src) = L^2, and returns it. Generation loops
+// (one unpack per emulated step) use it with a reusable buffer.
+func UnpackRealInto(dst Coeffs, src []float64) Coeffs {
+	if PackDim(dst.L) != len(src) {
+		panic(fmt.Sprintf("sht: packed length %d does not match band limit %d", len(src), dst.L))
+	}
 	inv := 1 / math.Sqrt2
-	for l := 0; l < L; l++ {
+	for l := 0; l < dst.L; l++ {
 		base := l * l
-		c.C[legendre.Idx(l, 0)] = complex(src[base], 0)
+		dst.C[legendre.Idx(l, 0)] = complex(src[base], 0)
 		for m := 1; m <= l; m++ {
-			c.C[legendre.Idx(l, m)] = complex(src[base+2*m-1]*inv, src[base+2*m]*inv)
+			dst.C[legendre.Idx(l, m)] = complex(src[base+2*m-1]*inv, src[base+2*m]*inv)
 		}
 	}
-	return c
+	return dst
 }
 
 // PackIndex returns the packed-vector index of the (l, m, part) component,

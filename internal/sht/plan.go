@@ -80,6 +80,22 @@ func NewPlan(grid sphere.Grid, L int, opts ...Option) (*Plan, error) {
 	return p, nil
 }
 
+// Sequential returns a plan that shares this plan's precomputed tables
+// but runs every transform on the calling goroutine alone. Use it when an
+// outer loop (ensemble members, flattened time steps) already saturates
+// the CPU and per-call fan-out would only add scheduling overhead. The
+// returned plan is as concurrency-safe as the receiver, and its results
+// are bit-identical to the parallel plan's (each ring and order is
+// computed independently, so scheduling never changes the arithmetic).
+func (p *Plan) Sequential() *Plan {
+	if p.workers == 1 {
+		return p
+	}
+	q := *p
+	q.workers = 1
+	return &q
+}
+
 // MemoryBytes reports the size of the precomputed tables, dominated by
 // the O(L^3) Delta storage the paper trades for per-step recomputation.
 func (p *Plan) MemoryBytes() int64 {

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"sync"
+
+	"exaclim/internal/sphere"
+)
+
+// EnsembleAggregator accumulates streaming per-member statistics of an
+// emulation campaign without retaining any field: the memory cost is
+// O(scenarios x members) scalars however long the campaign runs. It is
+// safe for concurrent use, matching the EmulateEnsemble callback
+// contract where members stream from many goroutines at once.
+type EnsembleAggregator struct {
+	mu    sync.Mutex
+	sum   [][]float64 // [scenario][member] sum of global field means
+	count [][]int     // [scenario][member] fields seen
+}
+
+// NewEnsembleAggregator sizes an aggregator for a campaign of the given
+// scenario and member counts.
+func NewEnsembleAggregator(scenarios, members int) *EnsembleAggregator {
+	a := &EnsembleAggregator{
+		sum:   make([][]float64, scenarios),
+		count: make([][]int, scenarios),
+	}
+	for s := range a.sum {
+		a.sum[s] = make([]float64, members)
+		a.count[s] = make([]int, members)
+	}
+	return a
+}
+
+// Add folds one emulated field into the (scenario, member) cell. The
+// field is fully consumed before Add returns, so callers may pass the
+// reused scratch field EmulateEnsemble streams.
+func (a *EnsembleAggregator) Add(scenario, member int, f sphere.Field) {
+	mean := f.Mean() // reduce outside the lock; it touches every pixel
+	a.mu.Lock()
+	a.sum[scenario][member] += mean
+	a.count[scenario][member]++
+	a.mu.Unlock()
+}
+
+// MeanAndSpread reduces one scenario: the ensemble mean of the members'
+// time-mean global temperatures, and the standard deviation of those
+// member means (the internal-variability spread the paper's large
+// emulated ensembles exist to sample).
+func (a *EnsembleAggregator) MeanAndSpread(scenario int) (mean, spread float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	memberMeans := make([]float64, 0, len(a.sum[scenario]))
+	for m, c := range a.count[scenario] {
+		if c > 0 {
+			memberMeans = append(memberMeans, a.sum[scenario][m]/float64(c))
+		}
+	}
+	if len(memberMeans) == 0 {
+		return 0, 0
+	}
+	for _, v := range memberMeans {
+		mean += v
+	}
+	mean /= float64(len(memberMeans))
+	for _, v := range memberMeans {
+		spread += (v - mean) * (v - mean)
+	}
+	return mean, math.Sqrt(spread / float64(len(memberMeans)))
+}

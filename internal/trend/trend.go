@@ -294,14 +294,21 @@ func (f *Fit) MeanField(t int) sphere.Field {
 func (f *Fit) Standardize(fields []sphere.Field) []sphere.Field {
 	out := make([]sphere.Field, len(fields))
 	par.ForN(f.Opt.Workers, len(fields), func(t int) {
-		m := f.MeanField(t)
 		z := sphere.NewField(f.Grid)
-		for pix := range z.Data {
-			z.Data[pix] = (fields[t].Data[pix] - m.Data[pix]) / f.Sigma[pix]
-		}
+		f.StandardizeInto(z, fields[t], t)
 		out[t] = z
 	})
 	return out
+}
+
+// StandardizeInto writes the standardized residual of a single step into
+// dst: z = (y - m_t) / sigma. dst and y may alias. Callers that fan out
+// over (member, timestep) pairs use it with per-worker destination fields.
+func (f *Fit) StandardizeInto(dst, y sphere.Field, t int) {
+	m := f.MeanField(t)
+	for pix := range dst.Data {
+		dst.Data[pix] = (y.Data[pix] - m.Data[pix]) / f.Sigma[pix]
+	}
 }
 
 // Unstandardize converts a standardized stochastic field back to
@@ -317,4 +324,15 @@ func (f *Fit) Unstandardize(z sphere.Field, t int) {
 // fit can evaluate means beyond the training window.
 func (f *Fit) ExtendRF(future []float64) {
 	f.AnnualRF = append(f.AnnualRF, future...)
+}
+
+// WithAnnualRF returns a view of the fit whose deterministic mean is
+// evaluated under a different annual forcing series (a scenario pathway).
+// rf must cover the fit's Lead years before step 0 plus every year being
+// emulated. The coefficient tables are shared with the receiver, so the
+// view is cheap and safe to use concurrently with it.
+func (f *Fit) WithAnnualRF(rf []float64) *Fit {
+	q := *f
+	q.AnnualRF = append([]float64(nil), rf...)
+	return &q
 }
