@@ -11,6 +11,14 @@
 //
 //	exaclim ensemble -members 16 -steps 365 -workers 8
 //	exaclim ensemble -load model.gob -members 32 -stabilize 2030:450:40
+//
+// The archive subcommand runs a campaign straight into the chunked
+// mixed-precision spectral store and reports the measured compression;
+// replay reconstructs fields and statistics from an archive alone:
+//
+//	exaclim archive -members 8 -steps 180 -out campaign.exa
+//	exaclim replay -archive campaign.exa
+//	exaclim replay -archive campaign.exa -member 0 -t 42 -maps out
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"exaclim"
@@ -26,9 +35,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "ensemble" {
-		runEnsemble(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "ensemble":
+			runEnsemble(os.Args[2:])
+			return
+		case "archive":
+			runArchive(os.Args[2:])
+			return
+		case "replay":
+			runReplay(os.Args[2:])
+			return
+		}
 	}
 	runPipeline()
 }
@@ -144,86 +162,124 @@ func runPipeline() {
 	}
 }
 
+// campaignFlags bundles the train-or-load flags shared by the campaign
+// subcommands (ensemble, archive).
+type campaignFlags struct {
+	gridL, l, years, p *int
+	variant, loadPath  *string
+	startYear          *int
+	members, steps, t0 *int
+	seed               *int64
+	workers            *int
+	stabilize          *string
+
+	// Parsed by validate from -stabilize.
+	stabSet                       bool
+	stabStart, stabPPM, stabEfold float64
+}
+
+func addCampaignFlags(fs *flag.FlagSet) *campaignFlags {
+	return &campaignFlags{
+		gridL:     fs.Int("gridL", 24, "band limit defining the data grid resolution"),
+		l:         fs.Int("L", 16, "emulator spherical-harmonic band limit"),
+		years:     fs.Int("years", 2, "training years of synthetic data"),
+		p:         fs.Int("P", 2, "VAR order"),
+		variant:   fs.String("variant", "DP/HP", "Cholesky precision: DP|DP/SP|DP/SP/HP|DP/HP"),
+		loadPath:  fs.String("load", "", "load a trained model instead of training"),
+		startYear: fs.Int("startYear", 1990, "calendar year of training step 0 (scenario alignment)"),
+		members:   fs.Int("members", 8, "ensemble members per scenario"),
+		steps:     fs.Int("steps", 90, "steps to emulate per member"),
+		t0:        fs.Int("t0", 0, "training-step offset of the first emulated step"),
+		seed:      fs.Int64("seed", 1, "campaign base seed"),
+		workers:   fs.Int("workers", 0, "concurrently generated members (0 = GOMAXPROCS)"),
+		stabilize: fs.String("stabilize", "", "add a stabilization scenario startYear:targetPPM:efold (e.g. 2030:450:40)"),
+	}
+}
+
+// validate checks everything cheap before training starts, including
+// the stabilization syntax.
+func (c *campaignFlags) validate() {
+	if *c.members < 1 || *c.steps < 1 {
+		fatal(fmt.Errorf("need -members >= 1 and -steps >= 1, got %d and %d", *c.members, *c.steps))
+	}
+	if *c.t0 < 0 {
+		fatal(fmt.Errorf("need -t0 >= 0, got %d", *c.t0))
+	}
+	parseVariant(*c.variant)
+	if *c.stabilize != "" {
+		if _, err := fmt.Sscanf(*c.stabilize, "%f:%f:%f", &c.stabStart, &c.stabPPM, &c.stabEfold); err != nil {
+			fatal(fmt.Errorf("bad -stabilize %q: %v", *c.stabilize, err))
+		}
+		c.stabSet = true
+	}
+}
+
+// buildModel trains the campaign model on synthetic data (or loads one),
+// with the forcing record extended to cover the emulation horizon.
+func (c *campaignFlags) buildModel() *exaclim.Model {
+	if *c.loadPath != "" {
+		return loadModel(*c.loadPath)
+	}
+	gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+		Grid: exaclim.GridForBandLimit(*c.gridL), L: *c.gridL,
+		Seed: *c.seed, StartYear: *c.startYear, StepsPerDay: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sim := gen.Run(*c.years * exaclim.DaysPerYear)
+	fmt.Printf("training emulator: L=%d P=%d on %d synthetic steps...\n", *c.l, *c.p, len(sim))
+	lead := 15
+	model, err := exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(lead, *c.years+(*c.t0+*c.steps)/exaclim.DaysPerYear+1), lead,
+		exaclim.Config{
+			L: *c.l, P: *c.p, Variant: parseVariant(*c.variant), SenderConvert: true,
+			Trend: exaclim.TrendOptions{
+				StepsPerYear: exaclim.DaysPerYear, K: 2,
+				RhoGrid: []float64{0.5, 0.85},
+			},
+		})
+	if err != nil {
+		fatal(err)
+	}
+	return model
+}
+
+// buildScenarios returns the campaign scenario list: the training
+// forcing plus the stabilization pathway validate() parsed, if any.
+func (c *campaignFlags) buildScenarios(model *exaclim.Model) []exaclim.EnsembleScenario {
+	scenarios := []exaclim.EnsembleScenario{{Name: "training-forcing"}}
+	if c.stabSet {
+		sc := exaclim.Stabilization(c.stabStart, c.stabPPM, c.stabEfold)
+		lead := model.Trend.Lead
+		nYears := len(model.Trend.AnnualRF)
+		scenarios = append(scenarios, exaclim.EnsembleScenario{
+			Name:     sc.Name,
+			AnnualRF: sc.Annual(*c.startYear-lead, nYears),
+		})
+	}
+	return scenarios
+}
+
+// spec assembles the EnsembleSpec from the parsed flags.
+func (c *campaignFlags) spec(scenarios []exaclim.EnsembleScenario) exaclim.EnsembleSpec {
+	return exaclim.EnsembleSpec{
+		Members: *c.members, T0: *c.t0, Steps: *c.steps,
+		BaseSeed: *c.seed, Scenarios: scenarios, Workers: *c.workers,
+	}
+}
+
 // runEnsemble trains (or loads) a model and generates a members x
 // scenarios campaign concurrently, reporting per-scenario climate
 // statistics, throughput, and the storage-boost factor: the bytes of
 // ensemble data produced per byte of stored model.
 func runEnsemble(args []string) {
 	fs := flag.NewFlagSet("ensemble", flag.ExitOnError)
-	var (
-		gridL     = fs.Int("gridL", 24, "band limit defining the data grid resolution")
-		l         = fs.Int("L", 16, "emulator spherical-harmonic band limit")
-		years     = fs.Int("years", 2, "training years of synthetic data")
-		p         = fs.Int("P", 2, "VAR order")
-		variant   = fs.String("variant", "DP/HP", "Cholesky precision: DP|DP/SP|DP/SP/HP|DP/HP")
-		loadPath  = fs.String("load", "", "load a trained model instead of training")
-		startYear = fs.Int("startYear", 1990, "calendar year of training step 0 (scenario alignment)")
-		members   = fs.Int("members", 8, "ensemble members per scenario")
-		steps     = fs.Int("steps", 90, "steps to emulate per member")
-		t0        = fs.Int("t0", 0, "training-step offset of the first emulated step")
-		seed      = fs.Int64("seed", 1, "campaign base seed")
-		workers   = fs.Int("workers", 0, "concurrently generated members (0 = GOMAXPROCS)")
-		stabilize = fs.String("stabilize", "", "add a stabilization scenario startYear:targetPPM:efold (e.g. 2030:450:40)")
-	)
+	cf := addCampaignFlags(fs)
 	fs.Parse(args)
-
-	// Validate everything cheap before training starts.
-	if *members < 1 || *steps < 1 {
-		fatal(fmt.Errorf("need -members >= 1 and -steps >= 1, got %d and %d", *members, *steps))
-	}
-	if *t0 < 0 {
-		fatal(fmt.Errorf("need -t0 >= 0, got %d", *t0))
-	}
-	v := parseVariant(*variant)
-	var stabStart, stabPPM, stabEfold float64
-	if *stabilize != "" {
-		if _, err := fmt.Sscanf(*stabilize, "%f:%f:%f", &stabStart, &stabPPM, &stabEfold); err != nil {
-			fatal(fmt.Errorf("bad -stabilize %q: %v", *stabilize, err))
-		}
-	}
-
-	var model *exaclim.Model
-	if *loadPath != "" {
-		model = loadModel(*loadPath)
-	} else {
-		gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
-			Grid: exaclim.GridForBandLimit(*gridL), L: *gridL,
-			Seed: *seed, StartYear: *startYear, StepsPerDay: 1,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		sim := gen.Run(*years * exaclim.DaysPerYear)
-		fmt.Printf("training emulator: L=%d P=%d on %d synthetic steps...\n", *l, *p, len(sim))
-		lead := 15
-		model, err = exaclim.Train([][]exaclim.Field{sim}, gen.AnnualRF(lead, *years+(*t0+*steps)/exaclim.DaysPerYear+1), lead,
-			exaclim.Config{
-				L: *l, P: *p, Variant: v, SenderConvert: true,
-				Trend: exaclim.TrendOptions{
-					StepsPerYear: exaclim.DaysPerYear, K: 2,
-					RhoGrid: []float64{0.5, 0.85},
-				},
-			})
-		if err != nil {
-			fatal(err)
-		}
-	}
-
-	scenarios := []exaclim.EnsembleScenario{{Name: "training-forcing"}}
-	if *stabilize != "" {
-		sc := exaclim.Stabilization(stabStart, stabPPM, stabEfold)
-		lead := model.Trend.Lead
-		nYears := len(model.Trend.AnnualRF)
-		scenarios = append(scenarios, exaclim.EnsembleScenario{
-			Name:     sc.Name,
-			AnnualRF: sc.Annual(*startYear-lead, nYears),
-		})
-	}
-
-	spec := exaclim.EnsembleSpec{
-		Members: *members, T0: *t0, Steps: *steps,
-		BaseSeed: *seed, Scenarios: scenarios, Workers: *workers,
-	}
+	cf.validate()
+	model := cf.buildModel()
+	scenarios := cf.buildScenarios(model)
+	spec := cf.spec(scenarios)
 	fmt.Printf("emulating %d members x %d scenarios x %d steps...\n",
 		spec.Members, len(scenarios), spec.Steps)
 
@@ -247,6 +303,191 @@ func runEnsemble(args []string) {
 	if modelBytes > 0 {
 		fmt.Printf("storage boost: %.2f MB of ensemble data from a %.2f MB model (%.0fx)\n",
 			float64(rawBytes)/1e6, float64(modelBytes)/1e6, float64(rawBytes)/float64(modelBytes))
+	}
+}
+
+// runArchive emulates a campaign directly into the chunked
+// mixed-precision spectral store: it plans the band layout from a probe
+// emulation's power spectrum, streams every ensemble field through the
+// archive writer, and reports the measured (not analytic) compression
+// against float32 raw grids.
+func runArchive(args []string) {
+	fs := flag.NewFlagSet("archive", flag.ExitOnError)
+	cf := addCampaignFlags(fs)
+	var (
+		out    = fs.String("out", "campaign.exa", "archive file to write")
+		budget = fs.Float64("budget", exaclim.DefaultArchivePolicy().MaxRelErr,
+			"relative L2 reconstruction-error budget for quantization")
+		safety = fs.Float64("safety", 0, "fraction of the budget the planner spends (0 = default 0.5)")
+		chunk  = fs.Int("chunk", 0, "steps per chunk (0 = default)")
+		archL  = fs.Int("archL", 0, "archive band limit (0 = emulator L)")
+		probe  = fs.Int("probe", 16, "probe emulation steps used to measure the planning spectrum")
+	)
+	fs.Parse(args)
+	cf.validate()
+	model := cf.buildModel()
+	grid := model.Grid
+	la := *archL
+	if la == 0 {
+		la = model.Cfg.L
+	}
+	if !grid.SupportsBandLimit(la) {
+		fatal(fmt.Errorf("grid %v does not support archive band limit %d", grid, la))
+	}
+
+	// Plan the band layout from the mean spectrum of a short probe
+	// emulation (member 0 under the training forcing).
+	probeN := *probe
+	if probeN > *cf.steps {
+		probeN = *cf.steps
+	}
+	if probeN < 1 {
+		probeN = 1
+	}
+	probeFields, err := model.Emulate(exaclim.MemberSeed(*cf.seed, 0, 0), *cf.t0, probeN)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := exaclim.NewSHT(grid, la)
+	if err != nil {
+		fatal(err)
+	}
+	policy := exaclim.ArchivePolicy{MaxRelErr: *budget, Safety: *safety}
+	bands := policy.PlanBands(exaclim.MeanPowerSpectrum(plan, probeFields))
+
+	scenarios := cf.buildScenarios(model)
+	header := exaclim.ArchiveHeader{
+		Grid: grid, L: la,
+		Members: *cf.members, Scenarios: len(scenarios), Steps: *cf.steps,
+		ChunkSteps: *chunk, Bands: bands, MaxRelErr: *budget,
+	}
+	w, err := exaclim.CreateArchive(*out, header)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("archiving %d members x %d scenarios x %d steps at L=%d (%d B/step):\n",
+		header.Members, header.Scenarios, header.Steps, la, header.StepBytes())
+	for _, b := range bands {
+		fmt.Printf("  band %v: %d coefficients\n", b, b.Coeffs())
+	}
+
+	spec := cf.spec(scenarios)
+	var once sync.Once
+	var addErr error
+	start := time.Now()
+	err = model.EmulateEnsemble(spec, func(member, scenario, t int, f exaclim.Field) {
+		if err := w.AddField(member, scenario, t, f); err != nil {
+			once.Do(func() { addErr = err })
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if addErr != nil {
+		fatal(addErr)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	st := w.Stats()
+	report := exaclim.MeasuredStorageReport(grid, st.Fields, 4, st.Bytes)
+	fmt.Printf("archived %d fields in %.2fs (%.0f fields/s) to %s\n",
+		st.Fields, elapsed, float64(st.Fields)/elapsed, *out)
+	fmt.Printf("measured %.0f B/field; quantization rel err mean %.2g max %.2g (budget %g)\n",
+		st.BytesPerField, st.MeanRelErr, st.MaxRelErr, *budget)
+	fmt.Printf("measured vs float32 raw grids: %v\n", report)
+}
+
+// runReplay reconstructs fields and campaign statistics from an archive
+// alone — no model, no training data — demonstrating that the stored
+// spectral chunks are a usable stand-in for the raw grids they replaced.
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		path     = fs.String("archive", "campaign.exa", "archive file to replay")
+		member   = fs.Int("member", -1, "member to replay (-1 = all)")
+		scenario = fs.Int("scenario", -1, "scenario to replay (-1 = all)")
+		tShow    = fs.Int("t", -1, "print the field at this step (member/scenario default to 0)")
+		mapDir   = fs.String("maps", "", "write a PGM map of step -t to this directory")
+	)
+	fs.Parse(args)
+	r, err := exaclim.OpenArchive(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	h := r.Header()
+	fmt.Printf("archive %s: grid %v, L=%d, %d members x %d scenarios x %d steps, chunk %d\n",
+		*path, h.Grid, h.L, h.Members, h.Scenarios, h.Steps, h.ChunkSteps)
+	for _, b := range h.Bands {
+		fmt.Printf("  band %v: %d coefficients\n", b, b.Coeffs())
+	}
+	fields := int64(h.Members) * int64(h.Scenarios) * int64(h.Steps)
+	fmt.Printf("measured vs float32 raw grids: %v\n",
+		exaclim.MeasuredStorageReport(h.Grid, fields, 4, r.Size()))
+
+	pick := func(sel, n int) []int {
+		if sel >= 0 {
+			return []int{sel}
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	membersSel, scenariosSel := pick(*member, h.Members), pick(*scenario, h.Scenarios)
+	agg := stats.NewEnsembleAggregator(h.Scenarios, h.Members)
+	start := time.Now()
+	n := 0
+	for _, s := range scenariosSel {
+		for _, m := range membersSel {
+			err := r.EachField(m, s, func(t int, f exaclim.Field) error {
+				agg.Add(s, m, f)
+				n++
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	for _, s := range scenariosSel {
+		mean, spread := agg.MeanAndSpread(s)
+		fmt.Printf("  scenario %d: ensemble mean %.2f K, member spread %.3f K (reconstructed)\n",
+			s, mean, spread)
+	}
+	fmt.Printf("replayed %d fields in %.2fs (%.0f fields/s)\n", n, elapsed, float64(n)/elapsed)
+
+	if *tShow >= 0 {
+		m0, s0 := *member, *scenario
+		if m0 < 0 {
+			m0 = 0
+		}
+		if s0 < 0 {
+			s0 = 0
+		}
+		f, err := r.ReadField(m0, s0, *tShow)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("member %d scenario %d step %d: %v\n", m0, s0, *tShow,
+			stats.Summarize([]exaclim.Field{f}))
+		fmt.Println(f.ASCIIMap(18, 72))
+		if *mapDir != "" {
+			if err := os.MkdirAll(*mapDir, 0o755); err != nil {
+				fatal(err)
+			}
+			p := filepath.Join(*mapDir, fmt.Sprintf("replay_m%d_s%d_t%d.pgm", m0, s0, *tShow))
+			lo, hi := f.MinMax()
+			if err := f.SavePGM(p, lo, hi); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", p)
+		}
 	}
 }
 

@@ -45,6 +45,7 @@ package exaclim
 import (
 	"io"
 
+	"exaclim/internal/archive"
 	"exaclim/internal/cluster"
 	"exaclim/internal/emulator"
 	"exaclim/internal/era5"
@@ -52,6 +53,7 @@ import (
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
 	"exaclim/internal/stats"
+	"exaclim/internal/storagemodel"
 	"exaclim/internal/tile"
 	"exaclim/internal/trend"
 )
@@ -97,6 +99,42 @@ type (
 	Synthetic = era5.Generator
 	// Scenario is a radiative-forcing pathway.
 	Scenario = forcing.Scenario
+)
+
+// Spectral-archive types: the chunked, mixed-precision on-disk store
+// that turns the storage claim into measured bytes (emulate a campaign
+// into an ArchiveWriter, seek and replay through an ArchiveReader).
+type (
+	// ArchiveHeader freezes an archive's grid, band limit, campaign
+	// shape, chunking and per-degree-band precision table.
+	ArchiveHeader = archive.Header
+	// ArchiveBand assigns one storage precision to a degree range.
+	ArchiveBand = archive.Band
+	// ArchivePolicy plans band precisions from a power spectrum under a
+	// relative reconstruction-error budget.
+	ArchivePolicy = archive.Policy
+	// ArchiveWriter streams campaign fields into an archive file.
+	ArchiveWriter = archive.Writer
+	// ArchiveReader seeks to any (member, scenario, t) and synthesizes
+	// the stored field on demand.
+	ArchiveReader = archive.Reader
+	// ArchiveWriterStats reports measured bytes and quantization error.
+	ArchiveWriterStats = archive.WriterStats
+	// Precision names a storage width (FP64/FP32/FP16), shared between
+	// archive bands and Cholesky tiles.
+	Precision = tile.Precision
+	// ReconError is the max/RMS/relative reconstruction-error metric
+	// used to verify archive replays against reference fields.
+	ReconError = stats.ReconError
+	// StorageReport compares raw-archive and model/archive byte counts.
+	StorageReport = storagemodel.Report
+)
+
+// Archive storage precisions.
+const (
+	FP64 = tile.FP64
+	FP32 = tile.FP32
+	FP16 = tile.FP16
 )
 
 // Performance-model types.
@@ -161,6 +199,52 @@ func Historical() Scenario { return forcing.Historical() }
 // targetPPM after startYear with the given e-folding time.
 func Stabilization(startYear, targetPPM, efold float64) Scenario {
 	return forcing.Stabilization(startYear, targetPPM, efold)
+}
+
+// DefaultArchivePolicy returns the archive quantization default (0.01%
+// relative reconstruction error, planned at half budget).
+func DefaultArchivePolicy() ArchivePolicy { return archive.DefaultPolicy() }
+
+// UniformArchiveBands returns a single band storing every degree below L
+// at precision p, the fixed-width reference layout.
+func UniformArchiveBands(L int, p Precision) []ArchiveBand { return archive.UniformBands(L, p) }
+
+// CreateArchive creates the archive file at path; the returned writer's
+// Close finalizes and closes it.
+func CreateArchive(path string, h ArchiveHeader) (*ArchiveWriter, error) {
+	return archive.Create(path, h)
+}
+
+// NewArchiveWriter writes an archive to an arbitrary io.Writer.
+func NewArchiveWriter(w io.Writer, h ArchiveHeader) (*ArchiveWriter, error) {
+	return archive.NewWriter(w, h)
+}
+
+// OpenArchive opens an archive file for random-access replay.
+func OpenArchive(path string) (*ArchiveReader, error) { return archive.Open(path) }
+
+// NewArchiveReader opens an archive stored in any io.ReaderAt.
+func NewArchiveReader(r io.ReaderAt, size int64) (*ArchiveReader, error) {
+	return archive.NewReader(r, size)
+}
+
+// MeasuredStorageReport compares the measured byte size of an archive
+// against the raw grid series it replaces (rawBytesPerValue is 4 for the
+// float32 grids climate archives typically store).
+func MeasuredStorageReport(g Grid, fields int64, rawBytesPerValue int, archiveBytes int64) StorageReport {
+	return storagemodel.MeasuredReport(g, fields, rawBytesPerValue, archiveBytes)
+}
+
+// FieldReconError compares a reconstructed field against its reference.
+func FieldReconError(ref, recon Field) ReconError { return stats.FieldReconError(ref, recon) }
+
+// SeriesReconError pools reconstruction error over a whole series.
+func SeriesReconError(ref, recon []Field) ReconError { return stats.SeriesReconError(ref, recon) }
+
+// MeanPowerSpectrum averages the angular power spectrum of a field
+// series — the input ArchivePolicy.PlanBands consumes.
+func MeanPowerSpectrum(plan *SHT, fields []Field) []float64 {
+	return stats.MeanPowerSpectrum(plan, fields)
 }
 
 // Machines lists the paper's four systems (Frontier, Alps, Leonardo,

@@ -1,0 +1,631 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+)
+
+// decayingPacked fills a packed coefficient vector with a climate-like
+// decaying spectrum: degree l draws from N(0, sigma0 * decay^l).
+func decayingPacked(rng *rand.Rand, L int, sigma0, decay float64) []float64 {
+	packed := make([]float64, sht.PackDim(L))
+	for l := 0; l < L; l++ {
+		sigma := sigma0 * math.Pow(decay, float64(l))
+		for i := l * l; i < (l+1)*(l+1); i++ {
+			packed[i] = sigma * rng.NormFloat64()
+		}
+	}
+	return packed
+}
+
+// packedSpectrum recovers C_l from a packed vector via the isometry.
+func packedSpectrum(packed []float64, L int) []float64 {
+	out := make([]float64, L)
+	for l := 0; l < L; l++ {
+		sum := 0.0
+		for i := l * l; i < (l+1)*(l+1); i++ {
+			sum += packed[i] * packed[i]
+		}
+		out[l] = sum / float64(2*l+1)
+	}
+	return out
+}
+
+func testHeader(L int, bands []Band) Header {
+	return Header{
+		Grid: sphere.GridForBandLimit(L), L: L,
+		Members: 2, Scenarios: 2, Steps: 7, ChunkSteps: 3,
+		Bands: bands,
+	}
+}
+
+// writeArchive writes a full campaign of the given packed vectors
+// (indexed [scenario][member][t]) and returns the encoded file.
+func writeArchive(t *testing.T, h Header, data [][][][]float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range data {
+		for m := range data[s] {
+			for tt := range data[s][m] {
+				if err := w.AddPacked(m, s, tt, data[s][m][tt]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func campaignData(rng *rand.Rand, h Header, sigma0, decay float64) [][][][]float64 {
+	data := make([][][][]float64, h.Scenarios)
+	for s := range data {
+		data[s] = make([][][]float64, h.Members)
+		for m := range data[s] {
+			data[s][m] = make([][]float64, h.Steps)
+			for tt := range data[s][m] {
+				data[s][m][tt] = decayingPacked(rng, h.L, sigma0, decay)
+			}
+		}
+	}
+	return data
+}
+
+// TestHeaderRoundTrip pins the binary header codec.
+func TestHeaderRoundTrip(t *testing.T) {
+	h := testHeader(8, []Band{{0, 2, tile.FP64}, {2, 5, tile.FP32}, {5, 8, tile.FP16}})
+	h.MaxRelErr = 2.5e-4
+	enc := encodeHeader(h.withDefaults())
+	got, n, err := decodeHeader(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("decoded length %d, want %d", n, len(enc))
+	}
+	if got.L != h.L || got.Grid != h.Grid || got.Members != h.Members ||
+		got.Scenarios != h.Scenarios || got.Steps != h.Steps ||
+		got.ChunkSteps != h.ChunkSteps || got.MaxRelErr != h.MaxRelErr {
+		t.Errorf("header round trip mismatch: got %+v, want %+v", got, h)
+	}
+	if len(got.Bands) != len(h.Bands) {
+		t.Fatalf("got %d bands, want %d", len(got.Bands), len(h.Bands))
+	}
+	for i := range got.Bands {
+		if got.Bands[i] != h.Bands[i] {
+			t.Errorf("band %d: got %v, want %v", i, got.Bands[i], h.Bands[i])
+		}
+	}
+}
+
+// TestRoundTripErrorBound is the core property test: write -> read must
+// reproduce every coefficient within QuantErrBound at every band
+// precision, for the three uniform variants and a policy-planned mixed
+// layout.
+func TestRoundTripErrorBound(t *testing.T) {
+	const L = 8
+	rng := rand.New(rand.NewSource(11))
+	layouts := map[string][]Band{
+		"DP": UniformBands(L, tile.FP64),
+		"SP": UniformBands(L, tile.FP32),
+		"HP": UniformBands(L, tile.FP16),
+	}
+	// Plan a mixed layout from the true generating spectrum.
+	policy := DefaultPolicy()
+	spec := make([]float64, L)
+	for l := range spec {
+		sigma := 100 * math.Pow(0.4, float64(l))
+		spec[l] = sigma * sigma
+	}
+	layouts["planned"] = policy.PlanBands(spec)
+	if len(layouts["planned"]) < 2 {
+		t.Fatalf("planned layout %v is not mixed precision", layouts["planned"])
+	}
+
+	for name, bands := range layouts {
+		h := testHeader(L, bands)
+		h.MaxRelErr = policy.MaxRelErr
+		data := campaignData(rng, h, 100, 0.4)
+		file := writeArchive(t, h, data)
+		r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var packed []float64
+		for s := 0; s < h.Scenarios; s++ {
+			for m := 0; m < h.Members; m++ {
+				for tt := 0; tt < h.Steps; tt++ {
+					packed, err = r.ReadPacked(m, s, tt, packed)
+					if err != nil {
+						t.Fatalf("%s: read (%d,%d,%d): %v", name, m, s, tt, err)
+					}
+					want := data[s][m][tt]
+					var err2, norm2 float64
+					for _, b := range bands {
+						seg := want[b.Lo*b.Lo : b.Hi*b.Hi]
+						maxAbs := 0.0
+						for _, v := range seg {
+							if a := math.Abs(v); a > maxAbs {
+								maxAbs = a
+							}
+						}
+						scale := 1.0
+						if b.Prec != tile.FP64 {
+							scale = scaleFor(maxAbs)
+						}
+						for i, v := range seg {
+							idx := b.Lo*b.Lo + i
+							d := math.Abs(packed[idx] - v)
+							if bound := QuantErrBound(b.Prec, v, scale); d > bound {
+								t.Fatalf("%s: (%d,%d,%d) coeff %d: |err| %g exceeds bound %g (v=%g, band %v)",
+									name, m, s, tt, idx, d, bound, v, b)
+							}
+							err2 += d * d
+						}
+					}
+					for _, v := range want {
+						norm2 += v * v
+					}
+					if name == "planned" {
+						if rel := math.Sqrt(err2 / norm2); rel > policy.MaxRelErr {
+							t.Errorf("planned layout: step relative L2 error %g exceeds budget %g", rel, policy.MaxRelErr)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanBandsSpendsByPower checks the planner's shape: a decaying
+// spectrum gets wide words at low degrees and binary16 at the tail, and
+// a tighter budget never chooses narrower words.
+func TestPlanBandsSpendsByPower(t *testing.T) {
+	const L = 24
+	spec := make([]float64, L)
+	for l := range spec {
+		spec[l] = math.Pow(10, -float64(l)/3)
+	}
+	loose := Policy{MaxRelErr: 1e-2}.PlanBands(spec)
+	tight := Policy{MaxRelErr: 1e-8}.PlanBands(spec)
+	perDegree := func(bands []Band) []tile.Precision {
+		out := make([]tile.Precision, L)
+		for _, b := range bands {
+			for l := b.Lo; l < b.Hi; l++ {
+				out[l] = b.Prec
+			}
+		}
+		return out
+	}
+	lo, ti := perDegree(loose), perDegree(tight)
+	for l := 0; l < L; l++ {
+		if ti[l] > lo[l] { // FP64 < FP32 < FP16 in iota order
+			t.Errorf("degree %d: tight budget chose %v, looser budget %v", l, ti[l], lo[l])
+		}
+	}
+	if lo[L-1] != tile.FP16 {
+		t.Errorf("loose budget should leave the tail at HP, got %v", lo[L-1])
+	}
+	if ti[0] != tile.FP64 {
+		t.Errorf("tight budget should hold degree 0 at DP, got %v", ti[0])
+	}
+	// Bands must tile [0, L) — validate() enforces contiguity.
+	h := testHeader(L, tight)
+	h.Grid = sphere.GridForBandLimit(L)
+	if err := h.validate(); err != nil {
+		t.Errorf("planned bands invalid: %v", err)
+	}
+	if got := (Policy{}).PlanBands(nil); got != nil {
+		t.Errorf("empty spectrum should plan no bands, got %v", got)
+	}
+	zero := (Policy{}).PlanBands(make([]float64, 4))
+	if len(zero) != 1 || zero[0].Prec != tile.FP16 {
+		t.Errorf("zero-power spectrum should plan a single HP band, got %v", zero)
+	}
+}
+
+// TestAddFieldRoundTrip drives the analysis path: a band-limited field
+// archived at full precision must reconstruct to floating-point
+// accuracy, confirming the chunk plumbing adds no error of its own.
+func TestAddFieldRoundTrip(t *testing.T) {
+	const L = 8
+	rng := rand.New(rand.NewSource(4))
+	grid := sphere.GridForBandLimit(L)
+	plan, err := sht.NewPlan(grid, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{Grid: grid, L: L, Members: 1, Scenarios: 1, Steps: 3,
+		ChunkSteps: 2, Bands: UniformBands(L, tile.FP64)}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := make([]sphere.Field, h.Steps)
+	for tt := range fields {
+		fields[tt] = plan.Synthesize(sht.UnpackReal(decayingPacked(rng, L, 10, 0.5)))
+		if err := w.AddField(0, 0, tt, fields[tt]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range fields {
+		got, err := r.ReadField(0, 0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pix := range got.Data {
+			if d := math.Abs(got.Data[pix] - fields[tt].Data[pix]); d > 1e-9 {
+				t.Fatalf("step %d pixel %d: |err| %g after DP round trip", tt, pix, d)
+			}
+		}
+	}
+	// EachField must stream the same values.
+	tcount := 0
+	err = r.EachField(0, 0, func(tt int, f sphere.Field) error {
+		for pix := range f.Data {
+			if d := math.Abs(f.Data[pix] - fields[tt].Data[pix]); d > 1e-9 {
+				return fmt.Errorf("step %d pixel %d: |err| %g", tt, pix, d)
+			}
+		}
+		tcount++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcount != h.Steps {
+		t.Errorf("EachField visited %d steps, want %d", tcount, h.Steps)
+	}
+}
+
+// TestConcurrentWriters exercises the EmulateEnsemble usage under -race:
+// one goroutine per member appending its series in order.
+func TestConcurrentWriters(t *testing.T) {
+	const L = 6
+	h := Header{Grid: sphere.GridForBandLimit(L), L: L,
+		Members: 4, Scenarios: 1, Steps: 20, ChunkSteps: 6,
+		Bands: UniformBands(L, tile.FP32)}
+	data := campaignData(rand.New(rand.NewSource(7)), h, 10, 0.6)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, h.Members)
+	for m := 0; m < h.Members; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for tt := 0; tt < h.Steps; tt++ {
+				if err := w.AddPacked(m, 0, tt, data[0][m][tt]); err != nil {
+					errs[m] = err
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	for m, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", m, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packed []float64
+	for m := 0; m < h.Members; m++ {
+		for tt := 0; tt < h.Steps; tt++ {
+			packed, err = r.ReadPacked(m, 0, tt, packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range data[0][m][tt] {
+				if d := math.Abs(packed[i] - v); d > QuantErrBound(tile.FP32, v, scaleFor(500)) {
+					t.Fatalf("member %d step %d coeff %d: error %g after concurrent write", m, tt, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasuredCompression is the acceptance check behind `exaclim
+// archive`: a synthetic campaign with a climate-like spectrum must
+// measure at least 4x smaller than float32 raw grids under the default
+// policy, and the writer-tracked error must respect the budget.
+func TestMeasuredCompression(t *testing.T) {
+	const L = 16
+	rng := rand.New(rand.NewSource(2))
+	grid := sphere.GridForBandLimit(24) // the CLI's default data grid
+	// Plan from the generating spectrum (big mean at l=0, decaying tail).
+	spec := make([]float64, L)
+	for l := range spec {
+		sigma := 500 * math.Pow(0.45, float64(l))
+		spec[l] = sigma * sigma
+	}
+	policy := DefaultPolicy()
+	h := Header{Grid: grid, L: L, Members: 2, Scenarios: 1, Steps: 64,
+		Bands: policy.PlanBands(spec), MaxRelErr: policy.MaxRelErr}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < h.Members; m++ {
+		for tt := 0; tt < h.Steps; tt++ {
+			packed := make([]float64, sht.PackDim(L))
+			for l := 0; l < L; l++ {
+				sigma := 500 * math.Pow(0.45, float64(l))
+				for i := l * l; i < (l+1)*(l+1); i++ {
+					packed[i] = sigma * rng.NormFloat64()
+				}
+			}
+			if err := w.AddPacked(m, 0, tt, packed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	fields := int64(h.Members) * int64(h.Steps)
+	if st.Fields != fields {
+		t.Fatalf("stats count %d fields, want %d", st.Fields, fields)
+	}
+	raw := float64(fields) * float64(grid.Points()) * 4
+	ratio := raw / float64(st.Bytes)
+	if ratio < 4 {
+		t.Errorf("measured compression %.2fx vs float32 raw grids, want >= 4x (%.0f B/field)",
+			ratio, st.BytesPerField)
+	}
+	if st.MaxRelErr > policy.MaxRelErr {
+		t.Errorf("measured max relative error %g exceeds policy budget %g", st.MaxRelErr, policy.MaxRelErr)
+	}
+	if st.MeanRelErr <= 0 || st.MeanRelErr > st.MaxRelErr {
+		t.Errorf("mean relative error %g out of range (max %g)", st.MeanRelErr, st.MaxRelErr)
+	}
+}
+
+// TestWriterValidation covers the rejection paths: bad headers,
+// out-of-order and out-of-range appends, incomplete Close.
+func TestWriterValidation(t *testing.T) {
+	const L = 6
+	bands := UniformBands(L, tile.FP32)
+	bad := []Header{
+		{Grid: sphere.NewGrid(4, 8), L: 6, Members: 1, Scenarios: 1, Steps: 1, Bands: bands},                           // grid too coarse
+		{Grid: sphere.GridForBandLimit(L), L: L, Members: 0, Scenarios: 1, Steps: 1, Bands: bands},                     // no members
+		{Grid: sphere.GridForBandLimit(L), L: L, Members: 1, Scenarios: 1, Steps: 1, Bands: []Band{{1, L, tile.FP32}}}, // gap at 0
+		{Grid: sphere.GridForBandLimit(L), L: L, Members: 1, Scenarios: 1, Steps: 1, Bands: []Band{{0, 4, tile.FP32}}}, // short coverage
+		{Grid: sphere.GridForBandLimit(L), L: L, Members: 1, Scenarios: 1, Steps: 1, Bands: []Band{{0, L, 99}}},        // unknown precision
+		{Grid: sphere.GridForBandLimit(L), L: L, Members: 1, Scenarios: 1, Steps: 1, ChunkSteps: 3e7, Bands: bands},    // chunk length overflows uint32
+	}
+	for i, h := range bad {
+		if _, err := NewWriter(io.Discard, h); err == nil {
+			t.Errorf("bad header %d accepted", i)
+		}
+	}
+
+	h := Header{Grid: sphere.GridForBandLimit(L), L: L, Members: 2, Scenarios: 1, Steps: 4, Bands: bands}
+	w, err := NewWriter(io.Discard, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := make([]float64, sht.PackDim(L))
+	if err := w.AddPacked(0, 0, 1, packed); err == nil {
+		t.Error("out-of-order step accepted")
+	}
+	if err := w.AddPacked(2, 0, 0, packed); err == nil {
+		t.Error("member out of range accepted")
+	}
+	if err := w.AddPacked(0, 1, 0, packed); err == nil {
+		t.Error("scenario out of range accepted")
+	}
+	if err := w.AddPacked(0, 0, 0, packed[:3]); err == nil {
+		t.Error("short packed vector accepted")
+	}
+	if err := w.AddPacked(0, 0, 0, packed); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("incomplete campaign Close error = %v, want incomplete-series error", err)
+	}
+}
+
+// failWriter accepts the first budget bytes then fails every write,
+// simulating a disk filling up mid-campaign.
+type failWriter struct{ budget int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget < len(p) {
+		return 0, errors.New("disk full")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+// TestWriterStickyError pins the fast-fail contract: once a chunk write
+// fails, every later append must surface the error instead of silently
+// buffering the rest of the campaign in memory.
+func TestWriterStickyError(t *testing.T) {
+	const L = 6
+	h := Header{Grid: sphere.GridForBandLimit(L), L: L,
+		Members: 1, Scenarios: 1, Steps: 10, ChunkSteps: 2,
+		Bands: UniformBands(L, tile.FP16)}
+	fw := &failWriter{budget: len(encodeHeader(h.withDefaults()))} // header fits, nothing else does
+	w, err := NewWriter(fw, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := make([]float64, sht.PackDim(L))
+	if err := w.AddPacked(0, 0, 0, packed); err != nil {
+		t.Fatalf("buffered step should not fail: %v", err)
+	}
+	if err := w.AddPacked(0, 0, 1, packed); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("chunk flush error = %v, want disk full", err)
+	}
+	for tt := 2; tt < 5; tt++ {
+		if err := w.AddPacked(0, 0, tt, packed); err == nil || !strings.Contains(err.Error(), "disk full") {
+			t.Fatalf("step %d after failed flush: err = %v, want sticky disk full", tt, err)
+		}
+	}
+	if err := w.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close error = %v, want sticky disk full", err)
+	}
+}
+
+// TestCorruptionDetection covers the read-side error paths: corrupted
+// header, truncated file, and a bit-flipped chunk must all surface as
+// errors, never as silently wrong data.
+func TestCorruptionDetection(t *testing.T) {
+	const L = 6
+	h := Header{Grid: sphere.GridForBandLimit(L), L: L,
+		Members: 1, Scenarios: 1, Steps: 5, ChunkSteps: 2,
+		Bands: UniformBands(L, tile.FP16)}
+	data := campaignData(rand.New(rand.NewSource(5)), h, 10, 0.5)
+	file := writeArchive(t, h, data)
+
+	open := func(b []byte) (*Reader, error) { return NewReader(bytes.NewReader(b), int64(len(b))) }
+	if _, err := open(file); err != nil {
+		t.Fatalf("pristine file failed to open: %v", err)
+	}
+
+	// Corrupted header: flip a byte inside the fixed prefix.
+	corrupt := append([]byte(nil), file...)
+	corrupt[20] ^= 0xff
+	if _, err := open(corrupt); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted header error = %v, want checksum mismatch", err)
+	}
+
+	// Bad magic.
+	corrupt = append([]byte(nil), file...)
+	corrupt[0] ^= 0xff
+	if _, err := open(corrupt); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic error = %v, want bad magic", err)
+	}
+
+	// Truncated file: the trailer (and with it the index) is gone.
+	if _, err := open(file[:len(file)-10]); err == nil {
+		t.Error("truncated file opened without error")
+	}
+
+	// Bit flip inside the first chunk: Open succeeds (the index is
+	// intact) but reading any step of that chunk reports the CRC.
+	hlen := headerPrefixLen + 9*len(h.Bands) + 4
+	corrupt = append([]byte(nil), file...)
+	corrupt[hlen+chunkHeaderLen+5] ^= 0x01
+	r, err := open(corrupt)
+	if err != nil {
+		t.Fatalf("chunk-corrupted file should still open (index intact): %v", err)
+	}
+	if _, err := r.ReadPacked(0, 0, 0, nil); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt chunk read error = %v, want checksum mismatch", err)
+	}
+	// Steps in other chunks remain readable.
+	if _, err := r.ReadPacked(0, 0, 4, nil); err != nil {
+		t.Errorf("undamaged chunk unreadable: %v", err)
+	}
+
+	// Reads out of range.
+	r2, err := open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.ReadPacked(1, 0, 0, nil); err == nil {
+		t.Error("member out of range accepted by reader")
+	}
+	if _, err := r2.ReadPacked(0, 0, 5, nil); err == nil {
+		t.Error("step out of range accepted by reader")
+	}
+}
+
+func benchArchive(b *testing.B, L int) (Header, []float64) {
+	spec := make([]float64, L)
+	for l := range spec {
+		sigma := 100 * math.Pow(0.6, float64(l))
+		spec[l] = sigma * sigma
+	}
+	h := Header{Grid: sphere.GridForBandLimit(L), L: L,
+		Members: 1, Scenarios: 1, Steps: 1 << 30,
+		Bands: DefaultPolicy().PlanBands(spec)}
+	return h, decayingPacked(rand.New(rand.NewSource(1)), L, 100, 0.6)
+}
+
+// BenchmarkArchiveWrite measures quantize+encode throughput of the
+// streaming writer (no file system in the loop).
+func BenchmarkArchiveWrite(b *testing.B) {
+	h, packed := benchArchive(b, 32)
+	w, err := NewWriter(io.Discard, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(h.StepBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.AddPacked(0, 0, i, packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArchiveRead measures seek+decode throughput of random access
+// into an in-memory archive.
+func BenchmarkArchiveRead(b *testing.B) {
+	h, packed := benchArchive(b, 32)
+	h.Steps = 256
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tt := 0; tt < h.Steps; tt++ {
+		if err := w.AddPacked(0, 0, tt, packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, h.Dim())
+	b.SetBytes(int64(h.StepBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = r.ReadPacked(0, 0, (i*37)%h.Steps, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package archive
+
+import (
+	"math"
+
+	"exaclim/internal/tile"
+)
+
+// Policy is the spectrum-aware quantization policy: given the angular
+// power spectrum of the fields to store, it assigns every spherical
+// harmonic degree the narrowest storage width whose rounding error fits
+// a relative-L2 reconstruction budget. Because the real packing is an
+// isometry (sht.PackReal), a degree holding fraction p of the total
+// power contributes at most u^2*p to the squared relative field error
+// when stored with unit roundoff u, so the planner can spend the budget
+// where the spectrum says the energy is not.
+type Policy struct {
+	// MaxRelErr is the per-field relative L2 reconstruction error budget
+	// (quantization only); 1e-4 when zero. Note the scale: per-band
+	// power-of-two scaling makes even an all-binary16 archive accurate
+	// to its unit roundoff 2^-11 ≈ 4.9e-4, so budgets at or above ~1e-3
+	// plan a single HP band and the spectrum only starts steering
+	// precision below that.
+	MaxRelErr float64
+	// Safety is the fraction of the budget the planner spends, leaving
+	// headroom for per-step spectrum fluctuation around the planning
+	// spectrum; 0.5 when zero.
+	Safety float64
+}
+
+// DefaultPolicy is the archive's default: 0.01% relative reconstruction
+// error, planned at half budget — tight enough that the energetic low
+// degrees of a climate spectrum are promoted to wider words while the
+// tail stays at binary16.
+func DefaultPolicy() Policy { return Policy{MaxRelErr: 1e-4, Safety: 0.5} }
+
+// roundoff returns the unit roundoff of a storage precision (the
+// round-to-nearest relative error bound of its significand).
+func roundoff(p tile.Precision) float64 {
+	switch p {
+	case tile.FP64:
+		return 0 // exact relative to the float64 source data
+	case tile.FP32:
+		return 0x1p-24
+	case tile.FP16:
+		return 0x1p-11
+	}
+	return math.Inf(1)
+}
+
+// budget returns the defaulted planning target.
+func (p Policy) budget() float64 {
+	maxErr := p.MaxRelErr
+	if maxErr == 0 {
+		maxErr = 1e-4
+	}
+	safety := p.Safety
+	if safety == 0 {
+		safety = 0.5
+	}
+	return maxErr * safety
+}
+
+// PlanBands chooses per-degree precisions for the spectrum C_l (length =
+// band limit L, as returned by sht.Coeffs.PowerSpectrum or
+// stats.MeanPowerSpectrum) and coalesces adjacent equal choices into
+// bands. The planner is greedy and deterministic: every degree starts at
+// binary16; while the accumulated error bound exceeds the target, the
+// degree with the largest error contribution is promoted one width. For
+// the rapidly decaying spectra of climate fields this keeps the handful
+// of energetic low degrees in float64/float32 and the long high-degree
+// tail in binary16.
+func (p Policy) PlanBands(spectrum []float64) []Band {
+	L := len(spectrum)
+	if L == 0 {
+		return nil
+	}
+	// Degree power w_l = (2l+1) C_l; fraction of the total.
+	w := make([]float64, L)
+	total := 0.0
+	for l, cl := range spectrum {
+		if cl > 0 && !math.IsInf(cl, 0) && !math.IsNaN(cl) {
+			w[l] = float64(2*l+1) * cl
+			total += w[l]
+		}
+	}
+	prec := make([]tile.Precision, L)
+	for l := range prec {
+		prec[l] = tile.FP16
+	}
+	if total > 0 {
+		u16 := roundoff(tile.FP16)
+		contrib := make([]float64, L)
+		err2 := 0.0
+		for l := range contrib {
+			contrib[l] = u16 * u16 * w[l] / total
+			err2 += contrib[l]
+		}
+		target := p.budget()
+		target2 := target * target
+		for err2 > target2 {
+			worst := 0
+			for l := 1; l < L; l++ {
+				if contrib[l] > contrib[worst] {
+					worst = l
+				}
+			}
+			if prec[worst] == tile.FP64 {
+				break // everything relevant already exact
+			}
+			if prec[worst] == tile.FP16 {
+				prec[worst] = tile.FP32
+			} else {
+				prec[worst] = tile.FP64
+			}
+			u := roundoff(prec[worst])
+			next := u * u * w[worst] / total
+			err2 += next - contrib[worst]
+			contrib[worst] = next
+		}
+	}
+	return coalesce(prec)
+}
+
+// coalesce merges runs of equal per-degree precision into bands.
+func coalesce(prec []tile.Precision) []Band {
+	var bands []Band
+	for l := 0; l < len(prec); {
+		hi := l + 1
+		for hi < len(prec) && prec[hi] == prec[l] {
+			hi++
+		}
+		bands = append(bands, Band{Lo: l, Hi: hi, Prec: prec[l]})
+		l = hi
+	}
+	return bands
+}

@@ -324,32 +324,26 @@ func (m *Model) nuggetSD() []float64 {
 	return m.nugSD
 }
 
-// synthScratch bundles the reusable per-stream synthesis buffers.
-type synthScratch struct {
-	coeffs sht.Coeffs
-	field  sphere.Field
-}
+// burnIn is the VAR spin-up discarded before step 0. The ensemble
+// engine's batched path and the serial path must share it exactly: the
+// per-member byte-identity contract of EmulateEnsemble (and with it the
+// verifiability of archived campaigns against re-emulation) depends on
+// both running the same number of pre-emission RNG draws.
+func (m *Model) burnIn() int { return 10*m.VAR.P + 50 }
 
-// emulateStream is the generation core of Section III-B shared by the
-// serial and ensemble paths: run the VAR with innovations xi = V eta,
-// inverse-transform each spectral state, add the nugget, and restore the
-// deterministic component from fit (which may carry scenario forcing).
-// When scratch is non-nil its field is reused across steps, so fn must
-// copy to retain; otherwise each step gets a fresh field. Output depends
-// only on (seed, t0, fit), never on plan scheduling.
-func (m *Model) emulateStream(plan *sht.Plan, fit *trend.Fit, scratch *synthScratch, seed int64, t0, T int, fn func(t int, f sphere.Field)) {
+// emulateStream is the serial generation core of Section III-B: run the
+// VAR with innovations xi = V eta, inverse-transform each spectral
+// state, add the nugget, and restore the deterministic component from
+// fit (which may carry scenario forcing). Each step gets a freshly
+// allocated field. Output depends only on (seed, t0, fit), never on plan
+// scheduling; the ensemble engine reproduces it batch-wise via
+// varm.SimulateBatch.
+func (m *Model) emulateStream(plan *sht.Plan, fit *trend.Fit, seed int64, t0, T int, fn func(t int, f sphere.Field)) {
 	rng := rand.New(rand.NewSource(seed))
 	v := m.dense()
 	nug := m.nuggetSD()
-	burn := 10*m.VAR.P + 50
-	m.VAR.Simulate(v, rng, burn, T, func(t int, f []float64) {
-		var field sphere.Field
-		if scratch != nil {
-			plan.SynthesizeInto(scratch.field, sht.UnpackRealInto(scratch.coeffs, f))
-			field = scratch.field
-		} else {
-			field = plan.Synthesize(sht.UnpackReal(f))
-		}
+	m.VAR.Simulate(v, rng, m.burnIn(), T, func(t int, f []float64) {
+		field := plan.Synthesize(sht.UnpackReal(f))
 		for pix := range field.Data {
 			field.Data[pix] += nug[pix] * rng.NormFloat64()
 		}
@@ -366,7 +360,7 @@ func (m *Model) EmulateForEach(seed int64, t0, T int, fn func(t int, f sphere.Fi
 	if err := m.EnsurePlan(); err != nil {
 		return err
 	}
-	m.emulateStream(m.plan, m.Trend, nil, seed, t0, T, fn)
+	m.emulateStream(m.plan, m.Trend, seed, t0, T, fn)
 	return nil
 }
 

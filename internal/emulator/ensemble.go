@@ -2,8 +2,9 @@ package emulator
 
 import (
 	"fmt"
-	"sync"
+	"math/rand"
 
+	"exaclim/internal/linalg"
 	"exaclim/internal/par"
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
@@ -58,17 +59,32 @@ func MemberSeed(base int64, member, scenario int) int64 {
 	return int64(x)
 }
 
+// ensembleScratch bundles the per-worker synthesis buffers of the
+// ensemble engine: a packed coefficient column gathered from the batched
+// state matrix plus the spectral and spatial scratch of a synthesis.
+type ensembleScratch struct {
+	packed []float64
+	coeffs sht.Coeffs
+	field  sphere.Field
+}
+
 // EmulateEnsemble generates Members x max(1, len(Scenarios)) emulated
-// series concurrently from one trained model, streaming every field to
-// emit so the caller never holds members x steps fields in memory.
+// series from one trained model, streaming every field to emit so the
+// caller never holds members x steps fields in memory. The VAR stage is
+// batched: all members of a scenario advance together as the columns of
+// one state matrix, one lower-triangular matrix-matrix product per step
+// (varm.SimulateBatch) instead of Members independent LowerMulVec
+// chains, and the member fan-out happens at the synthesis stage, which
+// dominates the per-step cost.
 //
 // Concurrency contract: emit may be called from several goroutines at
 // once (synchronize in the callback if it writes shared state), but
-// within one (member, scenario) pair steps arrive strictly in order on a
-// single goroutine. The field passed to emit is worker scratch reused for
-// that member's next step — copy it to retain. Each member's series is
-// byte-identical to a serial Emulate(MemberSeed(spec.BaseSeed, member,
-// scenario), spec.T0, spec.Steps) under the same scenario forcing.
+// within one (member, scenario) pair steps arrive strictly in order and
+// never concurrently (each step happens-before the next). The field
+// passed to emit is worker scratch reused for later steps — copy it to
+// retain. Each member's series is byte-identical to a serial
+// Emulate(MemberSeed(spec.BaseSeed, member, scenario), spec.T0,
+// spec.Steps) under the same scenario forcing.
 func (m *Model) EmulateEnsemble(spec EnsembleSpec, emit func(member, scenario, t int, f sphere.Field)) error {
 	if spec.Members < 1 {
 		return fmt.Errorf("emulator: ensemble needs >= 1 member, got %d", spec.Members)
@@ -84,8 +100,8 @@ func (m *Model) EmulateEnsemble(spec EnsembleSpec, emit func(member, scenario, t
 	}
 	// Materialize the shared read-only state before fanning out so the
 	// workers only ever read it.
-	m.dense()
-	m.nuggetSD()
+	v := m.dense()
+	nug := m.nuggetSD()
 
 	scenarios := spec.Scenarios
 	if len(scenarios) == 0 {
@@ -100,25 +116,46 @@ func (m *Model) EmulateEnsemble(spec EnsembleSpec, emit func(member, scenario, t
 		}
 	}
 
-	// One generator goroutine per member saturates the CPU, so each runs
-	// its transforms sequentially; synthesis scratch is pooled across the
-	// campaign instead of allocated per (member, step).
+	// The synthesis fan-out already saturates the CPU, so each worker
+	// runs its transforms sequentially; scratch is per worker for the
+	// whole campaign instead of allocated per (member, step).
 	seqPlan := m.plan.Sequential()
-	pool := sync.Pool{New: func() any {
-		return &synthScratch{
-			coeffs: sht.NewCoeffs(m.Cfg.L),
-			field:  sphere.NewField(m.Grid),
+	M := spec.Members
+	dim := m.VAR.Dim
+	burn := m.burnIn()
+	scratch := make([]*ensembleScratch, par.SpanWorkers(spec.Workers, M))
+	for s := range scenarios {
+		// Member c's RNG drives both its VAR innovations (drawn inside
+		// SimulateBatch) and its nugget noise (drawn below, between
+		// steps), reproducing the serial per-member stream exactly.
+		rngs := make([]*rand.Rand, M)
+		for member := range rngs {
+			rngs[member] = rand.New(rand.NewSource(MemberSeed(spec.BaseSeed, member, s)))
 		}
-	}}
-	jobs := spec.Members * len(scenarios)
-	par.ForN(spec.Workers, jobs, func(idx int) {
-		member, s := idx%spec.Members, idx/spec.Members
-		scr := pool.Get().(*synthScratch)
-		seed := MemberSeed(spec.BaseSeed, member, s)
-		m.emulateStream(seqPlan, fits[s], scr, seed, spec.T0, spec.Steps, func(t int, f sphere.Field) {
-			emit(member, s, t, f)
+		fit := fits[s]
+		m.VAR.SimulateBatch(v, rngs, burn, spec.Steps, func(t int, states *linalg.Matrix) {
+			par.ForNWorker(spec.Workers, M, func(g, member int) {
+				scr := scratch[g]
+				if scr == nil {
+					scr = &ensembleScratch{
+						packed: make([]float64, dim),
+						coeffs: sht.NewCoeffs(m.Cfg.L),
+						field:  sphere.NewField(m.Grid),
+					}
+					scratch[g] = scr
+				}
+				for d := 0; d < dim; d++ {
+					scr.packed[d] = states.Data[d*M+member]
+				}
+				seqPlan.SynthesizeInto(scr.field, sht.UnpackRealInto(scr.coeffs, scr.packed))
+				rng := rngs[member]
+				for pix := range scr.field.Data {
+					scr.field.Data[pix] += nug[pix] * rng.NormFloat64()
+				}
+				fit.Unstandardize(scr.field, spec.T0+t)
+				emit(member, s, t, scr.field)
+			})
 		})
-		pool.Put(scr)
-	})
+	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"exaclim/internal/par"
 )
 
 // Matrix is a dense row-major float64 matrix. It is the convenience layer
@@ -148,6 +150,40 @@ func (m *Matrix) LowerMulVec(x, y []float64) {
 		}
 		y[i] = sum
 	}
+}
+
+// LowerMulMat computes Y = L X for the lower-triangular matrix L, where
+// X and Y are n x M — the batched sampling step Xi = V H of the ensemble
+// engine, one matrix-matrix product per VAR step instead of M LowerMulVec
+// calls. Each output element accumulates products in ascending-j order,
+// exactly like LowerMulVec, so column c of Y is bitwise identical to
+// LowerMulVec applied to column c of X. Rows are independent, so the
+// kernel parallelizes over row blocks deterministically.
+func (m *Matrix) LowerMulMat(x, y *Matrix) {
+	n := m.Rows
+	if m.Cols != n {
+		panic(fmt.Sprintf("linalg: LowerMulMat needs a square factor, got %dx%d", m.Rows, m.Cols))
+	}
+	if x.Rows != n || y.Rows != n || x.Cols != y.Cols {
+		panic(fmt.Sprintf("linalg: LowerMulMat dimension mismatch %dx%d * %dx%d -> %dx%d",
+			n, n, x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	cols := x.Cols
+	par.ForBlocks(0, n, blockSize, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yi := y.Data[i*cols : (i+1)*cols]
+			for c := range yi {
+				yi[c] = 0
+			}
+			row := m.Data[i*m.Cols : i*m.Cols+i+1]
+			for j, lv := range row {
+				xj := x.Data[j*cols : (j+1)*cols]
+				for c, xv := range xj {
+					yi[c] += lv * xv
+				}
+			}
+		}
+	})
 }
 
 // MulVec computes y = A x.

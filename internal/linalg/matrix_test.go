@@ -1,0 +1,67 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLowerMulMatMatchesLowerMulVec pins the bitwise contract the
+// ensemble engine relies on: column c of LowerMulMat's result must be
+// byte-identical to LowerMulVec applied to column c, including at
+// dimensions that straddle the parallel block boundary.
+func TestLowerMulMatMatchesLowerMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ n, cols int }{
+		{1, 1}, {3, 5}, {17, 4}, {64, 3}, {100, 7}, {130, 2},
+	} {
+		l := NewMatrix(tc.n, tc.n)
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j <= i; j++ {
+				l.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// Sprinkle explicit zeros inside the triangle: the batched kernel
+		// must treat them exactly like the scalar path does.
+		for i := 2; i < tc.n; i += 3 {
+			l.Set(i, i/2, 0)
+		}
+		x := NewMatrix(tc.n, tc.cols)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		y := NewMatrix(tc.n, tc.cols)
+		l.LowerMulMat(x, y)
+
+		col := make([]float64, tc.n)
+		ref := make([]float64, tc.n)
+		for c := 0; c < tc.cols; c++ {
+			for i := 0; i < tc.n; i++ {
+				col[i] = x.At(i, c)
+			}
+			l.LowerMulVec(col, ref)
+			for i := 0; i < tc.n; i++ {
+				if math.Float64bits(ref[i]) != math.Float64bits(y.At(i, c)) {
+					t.Fatalf("n=%d cols=%d: element (%d,%d) = %x, LowerMulVec gives %x",
+						tc.n, tc.cols, i, c, math.Float64bits(y.At(i, c)), math.Float64bits(ref[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestLowerMulMatDimensionChecks(t *testing.T) {
+	l := NewMatrix(4, 4)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("x rows", func() { l.LowerMulMat(NewMatrix(3, 2), NewMatrix(4, 2)) })
+	expectPanic("y rows", func() { l.LowerMulMat(NewMatrix(4, 2), NewMatrix(3, 2)) })
+	expectPanic("col mismatch", func() { l.LowerMulMat(NewMatrix(4, 2), NewMatrix(4, 3)) })
+	expectPanic("non-square", func() { NewMatrix(4, 3).LowerMulMat(NewMatrix(3, 2), NewMatrix(4, 2)) })
+}

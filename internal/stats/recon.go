@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"exaclim/internal/sphere"
+)
+
+// ReconError quantifies how well a reconstructed field (an archive
+// replay, a quantized round trip) matches its reference — the
+// max/RMS-vs-the-unquantized-field metrics of the spectral archive's
+// verification loop. RMS and the norms are area-weighted so polar rings
+// do not dominate the score the way they dominate the grid.
+type ReconError struct {
+	// MaxAbs is the largest absolute pointwise difference.
+	MaxAbs float64
+	// RMS is the area-weighted root-mean-square difference.
+	RMS float64
+	// RelL2 is the area-weighted L2 error relative to the reference
+	// norm (NaN for an all-zero reference).
+	RelL2 float64
+	// Fields is the number of fields folded in.
+	Fields int
+}
+
+// FieldReconError compares one reconstructed field against its
+// reference. The fields must share a grid.
+func FieldReconError(ref, recon sphere.Field) ReconError {
+	acc := newReconAccum(ref.Grid)
+	acc.add(ref, recon)
+	return acc.result()
+}
+
+// SeriesReconError compares a reconstructed series step by step,
+// pooling the error across all fields (the per-series verdict the
+// replay verifier prints).
+func SeriesReconError(ref, recon []sphere.Field) ReconError {
+	if len(ref) != len(recon) {
+		panic(fmt.Sprintf("stats: series lengths %d and %d differ", len(ref), len(recon)))
+	}
+	if len(ref) == 0 {
+		return ReconError{MaxAbs: math.NaN(), RMS: math.NaN(), RelL2: math.NaN()}
+	}
+	acc := newReconAccum(ref[0].Grid)
+	for t := range ref {
+		acc.add(ref[t], recon[t])
+	}
+	return acc.result()
+}
+
+// reconAccum pools area-weighted error sums across fields; the archive
+// verifier streams a series through one accumulator without retaining
+// fields.
+type reconAccum struct {
+	grid    sphere.Grid
+	weights []float64
+	maxAbs  float64
+	errSum  float64 // weighted sum of squared differences
+	refSum  float64 // weighted sum of squared reference values
+	wTotal  float64
+	fields  int
+}
+
+func newReconAccum(g sphere.Grid) *reconAccum {
+	return &reconAccum{grid: g, weights: g.AreaWeights()}
+}
+
+func (a *reconAccum) add(ref, recon sphere.Field) {
+	if ref.Grid != a.grid || recon.Grid != a.grid {
+		panic(fmt.Sprintf("stats: recon error grids %v, %v do not match %v", ref.Grid, recon.Grid, a.grid))
+	}
+	for i := 0; i < a.grid.NLat; i++ {
+		w := a.weights[i]
+		rr, cc := ref.Ring(i), recon.Ring(i)
+		for j, rv := range rr {
+			d := cc[j] - rv
+			if ad := math.Abs(d); ad > a.maxAbs {
+				a.maxAbs = ad
+			}
+			a.errSum += w * d * d
+			a.refSum += w * rv * rv
+			a.wTotal += w
+		}
+	}
+	a.fields++
+}
+
+func (a *reconAccum) result() ReconError {
+	e := ReconError{MaxAbs: a.maxAbs, Fields: a.fields}
+	if a.wTotal > 0 {
+		e.RMS = math.Sqrt(a.errSum / a.wTotal)
+	}
+	if a.refSum > 0 {
+		e.RelL2 = math.Sqrt(a.errSum / a.refSum)
+	} else {
+		e.RelL2 = math.NaN()
+	}
+	return e
+}
+
+// String renders the error like "max=1.2e-3 rms=4.5e-4 rel=1.1e-5".
+func (e ReconError) String() string {
+	return fmt.Sprintf("max=%.3g rms=%.3g rel=%.3g (%d fields)", e.MaxAbs, e.RMS, e.RelL2, e.Fields)
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"exaclim/internal/sphere"
+)
+
+func TestFieldReconErrorExactMatch(t *testing.T) {
+	g := sphere.NewGrid(5, 8)
+	f := sphere.NewField(g)
+	for i := range f.Data {
+		f.Data[i] = float64(i) - 10
+	}
+	e := FieldReconError(f, f.Copy())
+	if e.MaxAbs != 0 || e.RMS != 0 || e.RelL2 != 0 {
+		t.Errorf("identical fields should have zero error, got %v", e)
+	}
+	if e.Fields != 1 {
+		t.Errorf("field count %d, want 1", e.Fields)
+	}
+}
+
+func TestFieldReconErrorKnownPerturbation(t *testing.T) {
+	g := sphere.NewGrid(5, 8)
+	ref := sphere.NewField(g).Fill(2)
+	recon := ref.Copy()
+	const eps = 0.125
+	for i := range recon.Data {
+		if i%2 == 0 {
+			recon.Data[i] += eps
+		} else {
+			recon.Data[i] -= eps
+		}
+	}
+	e := FieldReconError(ref, recon)
+	if e.MaxAbs != eps {
+		t.Errorf("max error %g, want %g", e.MaxAbs, eps)
+	}
+	// Every point is off by exactly eps, so the weighted RMS is eps and
+	// the relative error is eps / |ref| = eps/2.
+	if math.Abs(e.RMS-eps) > 1e-12 {
+		t.Errorf("rms %g, want %g", e.RMS, eps)
+	}
+	if math.Abs(e.RelL2-eps/2) > 1e-12 {
+		t.Errorf("relative error %g, want %g", e.RelL2, eps/2)
+	}
+}
+
+func TestSeriesReconErrorPools(t *testing.T) {
+	g := sphere.NewGrid(4, 6)
+	mk := func(base, bump float64) ([]sphere.Field, []sphere.Field) {
+		ref := []sphere.Field{sphere.NewField(g).Fill(base), sphere.NewField(g).Fill(base)}
+		recon := []sphere.Field{ref[0].Copy(), ref[1].Copy()}
+		recon[1].Data[3] += bump
+		return ref, recon
+	}
+	ref, recon := mk(1, 0.5)
+	e := SeriesReconError(ref, recon)
+	if e.Fields != 2 {
+		t.Errorf("fields %d, want 2", e.Fields)
+	}
+	if e.MaxAbs != 0.5 {
+		t.Errorf("max %g, want 0.5", e.MaxAbs)
+	}
+	single := FieldReconError(ref[1], recon[1])
+	if !(e.RMS < single.RMS) {
+		t.Errorf("pooled RMS %g should dilute the single-field RMS %g", e.RMS, single.RMS)
+	}
+	if got := SeriesReconError(nil, nil); !math.IsNaN(got.RMS) {
+		t.Errorf("empty series should yield NaN metrics, got %v", got)
+	}
+}
+
+func TestReconErrorZeroReference(t *testing.T) {
+	g := sphere.NewGrid(4, 6)
+	ref := sphere.NewField(g)
+	recon := sphere.NewField(g).Fill(1e-3)
+	e := FieldReconError(ref, recon)
+	if !math.IsNaN(e.RelL2) {
+		t.Errorf("relative error vs zero reference should be NaN, got %g", e.RelL2)
+	}
+	if e.MaxAbs != 1e-3 {
+		t.Errorf("max %g, want 1e-3", e.MaxAbs)
+	}
+}

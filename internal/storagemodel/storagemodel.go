@@ -2,6 +2,14 @@
 // a trained emulator (megabytes to gigabytes of parameters) replaces
 // petabytes of archived simulation output, at NCAR's quoted cost of
 // about $45 per terabyte per year (Section I).
+//
+// Two kinds of numbers live here and must not be conflated. The
+// *analytic* estimators (EmulatorBytes, RawSeriesBytes, the paper-scale
+// reports) multiply parameter counts by byte widths — they extrapolate
+// to machine scales this repository cannot run. MeasuredReport instead
+// takes bytes that actually hit disk (a spectral archive written by
+// internal/archive) and compares them with the raw grids they replace,
+// turning the same claim into a measurement, overheads included.
 package storagemodel
 
 import (
@@ -48,24 +56,44 @@ func ERA5DailyPoints() int64 {
 // emulator: per-pixel trend coefficients (p params + rho + sigma +
 // nugget), P diagonal VAR coefficient vectors of length L^2, and the
 // tiled mixed-precision Cholesky factor of the L^2-dimensional
-// innovation covariance.
+// innovation covariance. When tileB does not divide L^2 the trailing
+// tile row and column are ragged and counted at their clamped sizes
+// (the old nt = L^2/tileB truncation dropped the ragged edge when
+// tileB < L^2 and counted a full tileB x tileB tile when tileB > L^2).
 func EmulatorBytes(g sphere.Grid, trendParams, L, P, tileB int, v tile.Variant) int64 {
 	pixels := int64(g.Points())
 	trend := pixels * int64(trendParams+3) * 8
 	l2 := int64(L) * int64(L)
 	varCoef := int64(P) * l2 * 8
-	nt := int(l2) / tileB
-	if nt < 1 {
-		nt = 1
+	nt := (int(l2) + tileB - 1) / tileB
+	tileDim := func(i int) int64 {
+		d := l2 - int64(i)*int64(tileB)
+		if d > int64(tileB) {
+			d = int64(tileB)
+		}
+		return d
 	}
 	var factor int64
 	pm := v.Map(nt)
 	for i := 0; i < nt; i++ {
 		for j := 0; j <= i; j++ {
-			factor += int64(tileB) * int64(tileB) * int64(pm(i, j).Bytes())
+			factor += tileDim(i) * tileDim(j) * int64(pm(i, j).Bytes())
 		}
 	}
 	return trend + varCoef + factor
+}
+
+// MeasuredReport compares the actual on-disk size of a spectral archive
+// (internal/archive) against the raw grid series it replaces: `fields`
+// stored fields on grid g at rawBytesPerValue bytes per sample (4 for
+// the float32 grids CMIP/ERA5 archives typically hold). Unlike
+// EmulatorBytes — an analytic estimate multiplying parameter counts by
+// byte widths — the numerator here is measured: it includes every real
+// overhead (chunk framing, scales, checksums, index), so the resulting
+// ratio is the storage claim as bytes on disk, not as arithmetic.
+func MeasuredReport(g sphere.Grid, fields int64, rawBytesPerValue int, archiveBytes int64) Report {
+	raw := fields * int64(g.Points()) * int64(rawBytesPerValue)
+	return Compare(raw, archiveBytes)
 }
 
 // Report compares raw archive storage against emulator storage.

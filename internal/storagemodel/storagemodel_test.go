@@ -48,6 +48,77 @@ func TestEmulatorBytesComposition(t *testing.T) {
 	}
 }
 
+// TestEmulatorBytesRaggedEdge is the regression test for the tile
+// accounting fix: when L^2 is not a multiple of tileB, the ragged edge
+// tiles must be counted at their clamped sizes — the old nt = L^2/tileB
+// truncation dropped them when tileB < L^2 and overcounted a full tile
+// when tileB > L^2. The expected value is built by brute-force
+// per-element accounting over the lower triangle.
+func TestEmulatorBytesRaggedEdge(t *testing.T) {
+	g := sphere.NewGrid(9, 16)
+	const trendParams, L, P = 2, 5, 1 // L^2 = 25
+	for _, tileB := range []int{4, 7, 25, 40} {
+		for _, v := range []tile.Variant{tile.VariantDP, tile.VariantDPSP, tile.VariantDPSPHP, tile.VariantDPHP} {
+			l2 := L * L
+			nt := (l2 + tileB - 1) / tileB
+			pm := v.Map(nt)
+			var factor int64
+			for r := 0; r < l2; r++ {
+				for c := 0; c <= r; c++ {
+					// Elements above the tile diagonal belong to the
+					// transposed tile in the lower-triangle storage.
+					ti, tj := r/tileB, c/tileB
+					factor += int64(pm(ti, tj).Bytes())
+				}
+				for c := r + 1; c < l2 && c/tileB == r/tileB; c++ {
+					// Same-diagonal-tile upper elements are stored too
+					// (tiles are dense squares).
+					factor += int64(pm(r/tileB, c/tileB).Bytes())
+				}
+			}
+			want := int64(g.Points())*int64(trendParams+3)*8 + int64(P)*int64(l2)*8 + factor
+			got := EmulatorBytes(g, trendParams, L, P, tileB, v)
+			if got != want {
+				t.Errorf("tileB=%d variant=%v: EmulatorBytes=%d, brute force=%d", tileB, v, got, want)
+			}
+		}
+	}
+	// With tileB < L^2 the fix adds the dropped ragged-edge bytes (the
+	// tileB > L^2 direction instead shrinks the overcounted lone tile).
+	old := func(tileB int, v tile.Variant) int64 {
+		l2 := L * L
+		nt := l2 / tileB
+		if nt < 1 {
+			nt = 1
+		}
+		pm := v.Map(nt)
+		var factor int64
+		for i := 0; i < nt; i++ {
+			for j := 0; j <= i; j++ {
+				factor += int64(tileB) * int64(tileB) * int64(pm(i, j).Bytes())
+			}
+		}
+		return int64(g.Points())*int64(trendParams+3)*8 + int64(P)*int64(l2)*8 + factor
+	}
+	if got, prev := EmulatorBytes(g, trendParams, L, P, 4, tile.VariantDP), old(4, tile.VariantDP); got <= prev {
+		t.Errorf("ragged-edge fix should add bytes: got %d, truncating accounting gave %d", got, prev)
+	}
+}
+
+// TestMeasuredReport checks the measured-bytes comparison used by
+// `exaclim archive`.
+func TestMeasuredReport(t *testing.T) {
+	g := sphere.NewGrid(25, 48)
+	r := MeasuredReport(g, 128, 4, 76800)
+	wantRaw := int64(128) * int64(g.Points()) * 4
+	if r.RawBytes != wantRaw {
+		t.Errorf("raw bytes %d, want %d", r.RawBytes, wantRaw)
+	}
+	if math.Abs(r.Ratio-float64(wantRaw)/76800.0) > 1e-12 {
+		t.Errorf("ratio %g", r.Ratio)
+	}
+}
+
 // TestUltraResolutionPointCount verifies the abstract's "477 billion
 // data points for a single year emulation" at 0.034 degrees hourly.
 func TestUltraResolutionPointCount(t *testing.T) {

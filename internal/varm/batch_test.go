@@ -1,0 +1,120 @@
+package varm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exaclim/internal/linalg"
+)
+
+// TestSimulateBatchMatchesSerial pins the contract that lets the
+// ensemble engine batch the VAR stage: with per-member RNGs seeded like
+// the serial path, every column of every emitted state matrix must be
+// byte-identical to an independent Simulate run of that member.
+func TestSimulateBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dim, P, members, burn, steps := 23, 3, 5, 17, 12
+	m := &Model{P: P, Dim: dim, Phi: make([][]float64, P)}
+	for p := range m.Phi {
+		m.Phi[p] = make([]float64, dim)
+		for d := range m.Phi[p] {
+			m.Phi[p][d] = 0.3 * rng.NormFloat64() / float64(p+1)
+		}
+	}
+	v := lowerFactor(rng, dim)
+
+	serial := make([][][]float64, members)
+	for c := 0; c < members; c++ {
+		serial[c] = make([][]float64, steps)
+		m.Simulate(v, rand.New(rand.NewSource(int64(c+1))), burn, steps, func(tt int, f []float64) {
+			serial[c][tt] = append([]float64(nil), f...)
+		})
+	}
+
+	rngs := make([]*rand.Rand, members)
+	for c := range rngs {
+		rngs[c] = rand.New(rand.NewSource(int64(c + 1)))
+	}
+	emitted := 0
+	m.SimulateBatch(v, rngs, burn, steps, func(tt int, states *linalg.Matrix) {
+		if states.Rows != dim || states.Cols != members {
+			t.Fatalf("state matrix is %dx%d, want %dx%d", states.Rows, states.Cols, dim, members)
+		}
+		for c := 0; c < members; c++ {
+			for d := 0; d < dim; d++ {
+				got, want := states.At(d, c), serial[c][tt][d]
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("step %d member %d dim %d: batch %x, serial %x",
+						tt, c, d, math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+		emitted++
+	})
+	if emitted != steps {
+		t.Fatalf("emitted %d steps, want %d", emitted, steps)
+	}
+}
+
+// TestSimulateBatchInterleavedDraws checks the RNG handoff the ensemble
+// engine uses: drawing from a member's RNG inside emit (nugget noise)
+// must leave the batch stream identical to a serial loop that interleaves
+// the same draws.
+func TestSimulateBatchInterleavedDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dim, P, members, burn, steps, extra := 8, 2, 3, 6, 9, 5
+	m := &Model{P: P, Dim: dim, Phi: make([][]float64, P)}
+	for p := range m.Phi {
+		m.Phi[p] = make([]float64, dim)
+		for d := range m.Phi[p] {
+			m.Phi[p][d] = 0.25 * rng.NormFloat64()
+		}
+	}
+	v := lowerFactor(rng, dim)
+
+	type record struct {
+		state []float64
+		noise []float64
+	}
+	serial := make([][]record, members)
+	for c := 0; c < members; c++ {
+		serial[c] = make([]record, steps)
+		r := rand.New(rand.NewSource(int64(100 + c)))
+		m.Simulate(v, r, burn, steps, func(tt int, f []float64) {
+			rec := record{state: append([]float64(nil), f...), noise: make([]float64, extra)}
+			for i := range rec.noise {
+				rec.noise[i] = r.NormFloat64()
+			}
+			serial[c][tt] = rec
+		})
+	}
+
+	rngs := make([]*rand.Rand, members)
+	for c := range rngs {
+		rngs[c] = rand.New(rand.NewSource(int64(100 + c)))
+	}
+	m.SimulateBatch(v, rngs, burn, steps, func(tt int, states *linalg.Matrix) {
+		for c := 0; c < members; c++ {
+			for d := 0; d < dim; d++ {
+				if math.Float64bits(states.At(d, c)) != math.Float64bits(serial[c][tt].state[d]) {
+					t.Fatalf("step %d member %d: state diverged with interleaved draws", tt, c)
+				}
+			}
+			for i := 0; i < extra; i++ {
+				got := rngs[c].NormFloat64()
+				if math.Float64bits(got) != math.Float64bits(serial[c][tt].noise[i]) {
+					t.Fatalf("step %d member %d: interleaved draw %d diverged", tt, c, i)
+				}
+			}
+		}
+	})
+}
+
+func TestSimulateBatchEmpty(t *testing.T) {
+	m := &Model{P: 1, Dim: 2, Phi: [][]float64{{0.5, 0.5}}}
+	v := linalg.Eye(2)
+	m.SimulateBatch(v, nil, 3, 3, func(tt int, states *linalg.Matrix) {
+		t.Fatal("emit called with zero members")
+	})
+}

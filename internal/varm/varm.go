@@ -169,6 +169,65 @@ func Jitter(u *linalg.Matrix, eps float64) float64 {
 	return j
 }
 
+// SimulateBatch runs M = len(rngs) independent VAR chains in lockstep,
+// advancing a Dim x M state matrix (member c in column c) with one
+// lower-triangular matrix-matrix product per step instead of M
+// LowerMulVec calls — the batched counterpart of Simulate used by the
+// ensemble engine. Member c draws its innovations from rngs[c] in the
+// same per-step order as Simulate, and LowerMulMat accumulates in
+// LowerMulVec's order, so column c of every emitted state matrix is
+// bitwise identical to a serial Simulate(v, rngs[c], burnIn, steps, ...)
+// run. emit receives the shared state matrix, reused for the next step:
+// copy (or fully consume) it before returning. rngs[c] must not be
+// touched by another goroutine while SimulateBatch is inside a step, but
+// emit may use it between steps (the ensemble engine draws each member's
+// nugget noise there, preserving the serial per-member RNG stream).
+func (m *Model) SimulateBatch(v *linalg.Matrix, rngs []*rand.Rand, burnIn, steps int, emit func(t int, states *linalg.Matrix)) {
+	if v.Rows != m.Dim || v.Cols != m.Dim {
+		panic(fmt.Sprintf("varm: factor is %dx%d, want %dx%d", v.Rows, v.Cols, m.Dim, m.Dim))
+	}
+	M := len(rngs)
+	if M == 0 {
+		return
+	}
+	hist := make([]*linalg.Matrix, m.P)
+	for p := range hist {
+		hist[p] = linalg.NewMatrix(m.Dim, M)
+	}
+	eta := linalg.NewMatrix(m.Dim, M)
+	state := linalg.NewMatrix(m.Dim, M)
+	for t := -burnIn; t < steps; t++ {
+		// Per member, draw dimensions in ascending order — the exact
+		// NormFloat64 call sequence of the serial path.
+		for c, rng := range rngs {
+			for d := 0; d < m.Dim; d++ {
+				eta.Data[d*M+c] = rng.NormFloat64()
+			}
+		}
+		v.LowerMulMat(eta, state)
+		for p := 0; p < m.P; p++ {
+			phi := m.Phi[p]
+			prev := hist[p]
+			for d := 0; d < m.Dim; d++ {
+				pd := phi[d]
+				srow := state.Data[d*M : (d+1)*M]
+				prow := prev.Data[d*M : (d+1)*M]
+				for c := range srow {
+					srow[c] += pd * prow[c]
+				}
+			}
+		}
+		// Rotate history so hist[0] holds the newest states.
+		last := hist[m.P-1]
+		copy(hist[1:], hist[:m.P-1])
+		hist[0] = last
+		copy(hist[0].Data, state.Data)
+		if t >= 0 {
+			emit(t, state)
+		}
+	}
+}
+
 // Simulate runs the VAR forward for steps steps from zero initial state,
 // drawing innovations xi = V eta with the given lower-triangular factor,
 // discarding burnIn steps first, and invoking emit for each kept state.
