@@ -11,6 +11,7 @@ package exaclim_test
 // executes the real mixed-precision task runtime on this host.
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -194,6 +195,137 @@ func BenchmarkEnsemble_Members(b *testing.B) {
 		}
 		b.ReportMetric(float64(members*steps)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
 	})
+}
+
+// replayBench caches one archived campaign across benchmark iterations
+// so the replay and retraining benchmarks time decoding and training,
+// not emulation.
+var replayBench struct {
+	once sync.Once
+	data []byte
+	rf   []float64
+	lead int
+	err  error
+}
+
+const (
+	replayBenchMembers = 6
+	replayBenchSteps   = 64
+)
+
+func replayBenchReader(b *testing.B) *exaclim.ArchiveReader {
+	replayBench.once.Do(func() {
+		model := ensembleBenchModel(b)
+		replayBench.rf = model.Trend.AnnualRF
+		replayBench.lead = model.Trend.Lead
+		var buf bytes.Buffer
+		w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
+			Grid: model.Grid, L: model.Cfg.L,
+			Members: replayBenchMembers, Scenarios: 1, Steps: replayBenchSteps,
+			ChunkSteps: 16,
+		})
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		spec := exaclim.EnsembleSpec{Members: replayBenchMembers, Steps: replayBenchSteps, BaseSeed: 3}
+		err = model.EmulateEnsemble(spec, func(member, scenario, t int, f exaclim.Field) {
+			if err := w.AddField(member, scenario, t, f); err != nil {
+				panic(err)
+			}
+		})
+		if err == nil {
+			err = w.Close()
+		}
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		replayBench.data = buf.Bytes()
+	})
+	if replayBench.err != nil {
+		b.Fatal(replayBench.err)
+	}
+	r, err := exaclim.NewArchiveReader(bytes.NewReader(replayBench.data), int64(len(replayBench.data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkReplay_Parallel tracks the tentpole speedup of the sharded
+// reader: `serial` replays every member series one after another through
+// one EachField loop (the pre-refactor workflow, where a single chunk
+// cache serialized all decoding), `parallel` fans the same series out
+// over independent Series cursors, one goroutine each. On >= 4-core
+// hosts the parallel decode throughput should be >= 2x serial; this
+// container may have fewer cores, so read the ratio there.
+func BenchmarkReplay_Parallel(b *testing.B) {
+	r := replayBenchReader(b)
+	fields := replayBenchMembers * replayBenchSteps
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < replayBenchMembers; m++ {
+				if err := r.EachField(m, 0, func(t int, f exaclim.Field) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(fields)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		grid := r.Header().Grid
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, replayBenchMembers)
+			for m := 0; m < replayBenchMembers; m++ {
+				wg.Add(1)
+				go func(m int) {
+					defer wg.Done()
+					cur, err := r.Series(m, 0)
+					if err != nil {
+						errs[m] = err
+						return
+					}
+					f := exaclim.Field{Grid: grid, Data: make([]float64, grid.Points())}
+					for t := 0; t < replayBenchSteps; t++ {
+						if err := cur.ReadFieldInto(f, t); err != nil {
+							errs[m] = err
+							return
+						}
+					}
+				}(m)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(fields)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
+	})
+}
+
+// BenchmarkTrainFromArchive times the archive-backed training path: the
+// campaign streams through the trend and residual passes one field at a
+// time per worker, never materialized. fields/s counts decoded fields
+// (two passes over members x steps).
+func BenchmarkTrainFromArchive(b *testing.B) {
+	r := replayBenchReader(b)
+	cfg := exaclim.Config{
+		L: 16, P: 2, Variant: exaclim.DPHP, SenderConvert: true,
+		Trend: exaclim.TrendOptions{
+			StepsPerYear: exaclim.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.5, 0.85},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := exaclim.TrainFromArchive(r, 0, replayBench.rf, replayBench.lead, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*replayBenchMembers*replayBenchSteps)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
 }
 
 // BenchmarkRuntime_TileCholesky executes the real task runtime and

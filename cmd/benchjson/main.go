@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark results as build artifacts and a
+// perf trajectory (BENCH_*.json per commit) accumulates over time.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | tee bench.txt
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_results.json
+//
+// Each benchmark line ("BenchmarkName-8  3  123456 ns/op  42.0 fields/s")
+// becomes one record carrying the package context lines ("pkg:", "cpu:",
+// ...) that preceded it, every reported metric keyed by unit, and the
+// commit/environment stamp when CI exports one (GITHUB_SHA).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived artifact.
+type Document struct {
+	Commit     string   `json:"commit,omitempty"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output to read (default stdin)")
+		out = flag.String("out", "", "JSON file to write (default stdout)")
+	)
+	flag.Parse()
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	doc.Commit = os.Getenv("GITHUB_SHA")
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parse scans go-test bench output, tracking the package context lines
+// and collecting every Benchmark result line.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Record{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, ok := parseBenchLine(line, pkg)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, rec)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-8 10 123 ns/op 4.5 fields/s ..."
+// into a record; value/unit pairs after the iteration count become the
+// metrics map.
+func parseBenchLine(line, pkg string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Record{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the trailing -GOMAXPROCS suffix, keeping sub-bench names.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -14,11 +14,16 @@
 //
 // The archive subcommand runs a campaign straight into the chunked
 // mixed-precision spectral store and reports the measured compression;
-// replay reconstructs fields and statistics from an archive alone:
+// replay reconstructs fields and statistics from an archive alone,
+// fanning the decode out over independent series cursors; retrain
+// re-fits an emulator directly from an archive — the full emulate ->
+// archive -> retrain -> emulate loop without ever materializing a raw
+// grid campaign:
 //
 //	exaclim archive -members 8 -steps 180 -out campaign.exa
-//	exaclim replay -archive campaign.exa
+//	exaclim replay -archive campaign.exa -workers 8
 //	exaclim replay -archive campaign.exa -member 0 -t 42 -maps out
+//	exaclim retrain -archive campaign.exa -save refit.gob -emulate 90
 package main
 
 import (
@@ -31,6 +36,8 @@ import (
 	"time"
 
 	"exaclim"
+	"exaclim/internal/par"
+	"exaclim/internal/sphere"
 	"exaclim/internal/stats"
 )
 
@@ -45,6 +52,9 @@ func main() {
 			return
 		case "replay":
 			runReplay(os.Args[2:])
+			return
+		case "retrain":
+			runRetrain(os.Args[2:])
 			return
 		}
 	}
@@ -125,18 +135,7 @@ func runPipeline() {
 	}
 
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := model.Save(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		size, _ := model.SizeBytes()
-		fmt.Printf("saved model to %s (%.2f MB)\n", *savePath, float64(size)/1e6)
+		saveModel(*savePath, model, "model")
 	}
 
 	if *emulateN > 0 {
@@ -409,6 +408,7 @@ func runReplay(args []string) {
 		path     = fs.String("archive", "campaign.exa", "archive file to replay")
 		member   = fs.Int("member", -1, "member to replay (-1 = all)")
 		scenario = fs.Int("scenario", -1, "scenario to replay (-1 = all)")
+		workers  = fs.Int("workers", 0, "concurrently replayed series (0 = GOMAXPROCS)")
 		tShow    = fs.Int("t", -1, "print the field at this step (member/scenario default to 0)")
 		mapDir   = fs.String("maps", "", "write a PGM map of step -t to this directory")
 	)
@@ -440,27 +440,50 @@ func runReplay(args []string) {
 	}
 	membersSel, scenariosSel := pick(*member, h.Members), pick(*scenario, h.Scenarios)
 	agg := stats.NewEnsembleAggregator(h.Scenarios, h.Members)
-	start := time.Now()
-	n := 0
+
+	// Fan the decode out over independent series cursors: each selected
+	// (member, scenario) pair replays on its own goroutine with its own
+	// chunk buffer and synthesis scratch, so replay throughput scales
+	// with cores like generation does.
+	type pair struct{ m, s int }
+	pairs := make([]pair, 0, len(membersSel)*len(scenariosSel))
 	for _, s := range scenariosSel {
 		for _, m := range membersSel {
-			err := r.EachField(m, s, func(t int, f exaclim.Field) error {
-				agg.Add(s, m, f)
-				n++
-				return nil
-			})
-			if err != nil {
-				fatal(err)
+			pairs = append(pairs, pair{m, s})
+		}
+	}
+	errs := make([]error, len(pairs))
+	start := time.Now()
+	par.ForN(*workers, len(pairs), func(i int) {
+		m, s := pairs[i].m, pairs[i].s
+		cur, err := r.Series(m, s)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		field := sphere.NewField(h.Grid)
+		for t := 0; t < h.Steps; t++ {
+			if err := cur.ReadFieldInto(field, t); err != nil {
+				errs[i] = err
+				return
 			}
+			agg.Add(s, m, field)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
 		}
 	}
 	elapsed := time.Since(start).Seconds()
+	n := len(pairs) * h.Steps
 	for _, s := range scenariosSel {
 		mean, spread := agg.MeanAndSpread(s)
 		fmt.Printf("  scenario %d: ensemble mean %.2f K, member spread %.3f K (reconstructed)\n",
 			s, mean, spread)
 	}
-	fmt.Printf("replayed %d fields in %.2fs (%.0f fields/s)\n", n, elapsed, float64(n)/elapsed)
+	fmt.Printf("replayed %d fields in %.2fs across %d series (decode throughput %.0f fields/s)\n",
+		n, elapsed, len(pairs), float64(n)/elapsed)
 
 	if *tShow >= 0 {
 		m0, s0 := *member, *scenario
@@ -489,6 +512,103 @@ func runReplay(args []string) {
 			fmt.Printf("wrote %s\n", p)
 		}
 	}
+}
+
+// runRetrain closes the emulate -> archive -> retrain loop: it re-fits
+// an emulator directly from the members of one scenario of a spectral
+// archive, streaming fields through per-worker cursors so the campaign
+// is never materialized as raw grids, then optionally saves the model
+// and emulates from it. The archive stores no forcing record, so the
+// trend's annual radiative forcing either comes from an existing model
+// (-rf-from) or is reconstructed from the named pathway and -startYear,
+// matching what the archive subcommand trained with.
+func runRetrain(args []string) {
+	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
+	var (
+		path      = fs.String("archive", "campaign.exa", "archive file to retrain from")
+		scenario  = fs.Int("scenario", 0, "archive scenario whose members form the training ensemble")
+		l         = fs.Int("L", 0, "emulator band limit (0 = archive band limit)")
+		p         = fs.Int("P", 2, "VAR order")
+		variant   = fs.String("variant", "DP/HP", "Cholesky precision: DP|DP/SP|DP/SP/HP|DP/HP")
+		workers   = fs.Int("workers", 0, "training decode/analysis workers (0 = GOMAXPROCS)")
+		startYear = fs.Int("startYear", 1990, "calendar year of archive step 0 (forcing alignment)")
+		lead      = fs.Int("lead", 15, "years of forcing history before the data window")
+		rfFrom    = fs.String("rf-from", "", "borrow the forcing record and lead from this saved model")
+		savePath  = fs.String("save", "", "save the retrained model to this file")
+		emulateN  = fs.Int("emulate", 0, "steps to emulate from the retrained model")
+		seed      = fs.Int64("seed", 1, "RNG seed for -emulate")
+	)
+	fs.Parse(args)
+	r, err := exaclim.OpenArchive(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	h := r.Header()
+	if *l == 0 {
+		*l = h.L
+	}
+	years := (h.Steps + exaclim.DaysPerYear - 1) / exaclim.DaysPerYear
+
+	var annualRF []float64
+	if *rfFrom != "" {
+		ref := loadModel(*rfFrom)
+		annualRF, *lead = ref.Trend.AnnualRF, ref.Trend.Lead
+	} else {
+		annualRF = exaclim.Historical().Annual(*startYear-*lead, *lead+years+1)
+	}
+
+	fmt.Printf("retraining from %s: scenario %d, %d members x %d steps at L=%d (archive L=%d)\n",
+		*path, *scenario, h.Members, h.Steps, *l, h.L)
+	start := time.Now()
+	model, err := exaclim.TrainFromArchive(r, *scenario, annualRF, *lead, exaclim.Config{
+		L: *l, P: *p, Variant: parseVariant(*variant), SenderConvert: true,
+		Workers: *workers,
+		Trend: exaclim.TrendOptions{
+			StepsPerYear: exaclim.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.5, 0.85},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	// Training streams the campaign twice: a trend pass and a residual
+	// pass, each decoding every (member, t) field from the archive.
+	decoded := 2 * h.Members * h.Steps
+	d := model.Diag
+	fmt.Printf("retrained: covariance %dx%d, variant %s, factorization %.2fs\n",
+		d.CovDim, d.CovDim, d.Variant, d.FactorSeconds)
+	fmt.Printf("streamed %d archived fields in %.2fs (decode throughput %.0f fields/s, %d workers)\n",
+		decoded, elapsed, float64(decoded)/elapsed, par.Workers(*workers))
+
+	if *savePath != "" {
+		saveModel(*savePath, model, "retrained model")
+	}
+	if *emulateN > 0 {
+		emu, err := model.Emulate(*seed, 0, *emulateN)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("emulated %d steps from the retrained model: %v\n",
+			*emulateN, stats.Summarize(emu))
+	}
+}
+
+// saveModel serializes a trained model to path, exiting on failure.
+func saveModel(path string, model *exaclim.Model, label string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	size, _ := model.SizeBytes()
+	fmt.Printf("saved %s to %s (%.2f MB)\n", label, path, float64(size)/1e6)
 }
 
 // loadModel opens and deserializes a trained model, exiting on failure.

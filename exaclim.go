@@ -51,6 +51,7 @@ import (
 	"exaclim/internal/era5"
 	"exaclim/internal/forcing"
 	"exaclim/internal/sht"
+	"exaclim/internal/source"
 	"exaclim/internal/sphere"
 	"exaclim/internal/stats"
 	"exaclim/internal/storagemodel"
@@ -89,6 +90,20 @@ type (
 	// EnsembleScenario names the annual forcing one campaign scenario is
 	// emulated under (nil forcing keeps the training record).
 	EnsembleScenario = emulator.Scenario
+)
+
+// Streaming field-source types: the ingest abstraction training
+// consumes. A FieldSource yields (realization, t) -> Field series of
+// known shape through independent per-realization cursors, so training
+// streams residual analysis without holding a campaign in memory.
+type (
+	// FieldSource is a streaming view of a training campaign.
+	FieldSource = source.Ensemble
+	// FieldCursor reads one realization's fields; one per goroutine.
+	FieldCursor = source.Cursor
+	// ArchiveSeries is an independent, race-free streaming cursor over
+	// one (member, scenario) series of an archive.
+	ArchiveSeries = archive.Series
 )
 
 // Data substrate types.
@@ -174,6 +189,44 @@ func NewSHT(g Grid, L int) (*SHT, error) { return sht.NewPlan(g, L) }
 // precede the data window.
 func Train(ensemble [][]Field, annualRF []float64, lead int, cfg Config) (*Model, error) {
 	return emulator.Train(ensemble, annualRF, lead, cfg)
+}
+
+// TrainFrom fits an emulator from a streaming field source without ever
+// materializing the campaign: residual analysis consumes one field at a
+// time per worker. For a fixed cfg.Workers the fit is bit-deterministic,
+// so sources yielding bitwise-equal fields produce byte-identical models
+// (up to the timing diagnostic).
+func TrainFrom(src FieldSource, annualRF []float64, lead int, cfg Config) (*Model, error) {
+	return emulator.TrainFrom(src, annualRF, lead, cfg)
+}
+
+// TrainFromArchive re-fits an emulator directly from the members of one
+// scenario of a spectral archive — the emulate -> archive -> retrain
+// loop: campaigns consumed in spectral form are rehydrated one field at
+// a time per worker, never as a raw grid series.
+func TrainFromArchive(r *ArchiveReader, scenario int, annualRF []float64, lead int, cfg Config) (*Model, error) {
+	src, err := source.FromArchive(r, scenario)
+	if err != nil {
+		return nil, err
+	}
+	return emulator.TrainFrom(src, annualRF, lead, cfg)
+}
+
+// SourceFromSlices wraps an in-memory ensemble as a streaming field
+// source (all members equal length, one shared grid).
+func SourceFromSlices(ens [][]Field) (FieldSource, error) { return source.FromSlices(ens) }
+
+// SourceFromArchive exposes the members of scenario `scenario` of an
+// opened archive as a streaming field source for TrainFrom.
+func SourceFromArchive(r *ArchiveReader, scenario int) (FieldSource, error) {
+	return source.FromArchive(r, scenario)
+}
+
+// SourceFromSynthetic wraps `members` synthetic-ERA5 generators derived
+// from cfg (member r uses cfg.Member + r) as a streaming field source of
+// `steps` steps each; fields match NewSynthetic(cfg).Run bitwise.
+func SourceFromSynthetic(cfg SyntheticConfig, members, steps int) (FieldSource, error) {
+	return source.FromSynthetic(cfg, members, steps)
 }
 
 // LoadModel deserializes a model saved with Model.Save.

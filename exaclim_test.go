@@ -158,3 +158,97 @@ func TestScenarios(t *testing.T) {
 		t.Error("stabilization should have lower end-century forcing than historical-high")
 	}
 }
+
+// TestPublicStreamingTraining exercises the streaming ingest surface:
+// build a source from slices, train from it, then run the emulate ->
+// archive -> retrain loop through TrainFromArchive, checking the
+// retrained model emulates identically to one trained on the decoded
+// slices.
+func TestPublicStreamingTraining(t *testing.T) {
+	gen, err := exaclim.NewSynthetic(exaclim.SyntheticConfig{
+		Grid: exaclim.GridForBandLimit(16), L: 16, Seed: 31, StartYear: 1990,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 100
+	sim := gen.Run(steps)
+	rf := gen.AnnualRF(15, 3)
+	cfg := exaclim.Config{
+		L: 12, P: 2, Variant: exaclim.DPHP, Workers: 2,
+		Trend: exaclim.TrendOptions{
+			StepsPerYear: exaclim.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.5, 0.85},
+		},
+	}
+
+	src, err := exaclim.SourceFromSlices([][]exaclim.Field{sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Realizations() != 1 || src.Steps() != steps {
+		t.Fatalf("source shape %dx%d, want 1x%d", src.Realizations(), src.Steps(), steps)
+	}
+	model, err := exaclim.TrainFrom(src, rf, 15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Archive a short campaign from the model, then retrain from it.
+	var buf bytes.Buffer
+	w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
+		Grid: model.Grid, L: cfg.L, Members: 2, Scenarios: 1, Steps: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := exaclim.EnsembleSpec{Members: 2, Steps: 60, BaseSeed: 5}
+	if err := model.EmulateEnsemble(spec, func(m, s, tt int, f exaclim.Field) {
+		if err := w.AddField(m, s, tt, f); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := exaclim.NewArchiveReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := exaclim.TrainFromArchive(r, 0, rf, 15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decoded := make([][]exaclim.Field, 2)
+	for m := range decoded {
+		decoded[m] = make([]exaclim.Field, 60)
+		if err := r.EachField(m, 0, func(tt int, f exaclim.Field) error {
+			decoded[m][tt] = f.Copy()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sliceModel, err := exaclim.Train(decoded, rf, 15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := refit.Emulate(9, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sliceModel.Emulate(9, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range a {
+		for pix := range a[tt].Data {
+			if a[tt].Data[pix] != b[tt].Data[pix] {
+				t.Fatalf("retrained emulation differs at step %d pixel %d", tt, pix)
+			}
+		}
+	}
+}

@@ -17,9 +17,14 @@ import (
 // (member, scenario, t), decode the step's coefficient vector, and
 // synthesize the field on demand — the "replay" half of the storage
 // claim, where archived campaigns are reconstructed instead of re-read
-// from petabytes of raw grids. A Reader is safe for concurrent use;
-// decoded-chunk caching serializes reads, so fan out over multiple
-// Readers for parallel replay of one file.
+// from petabytes of raw grids.
+//
+// A Reader is safe for concurrent use. The chunk-decode cache is sharded
+// per (member, scenario) series, so concurrent reads of different series
+// never contend; reads within one series serialize on that series' shard
+// only. For fully lock-free replay fan-out, open one Series cursor per
+// goroutine: cursors own their decode buffers and synthesis scratch and
+// share nothing mutable with the Reader or each other.
 type Reader struct {
 	h     Header
 	r     io.ReaderAt
@@ -34,11 +39,19 @@ type Reader struct {
 	plan     *sht.Plan
 	planErr  error
 
-	mu         sync.Mutex
-	cacheSID   int
-	cacheChunk int
-	cacheT0    int
-	cacheBuf   []byte // verified payload of the cached chunk
+	// shards[sid] caches the most recently decoded chunk of series sid.
+	// Decoding always happens under the shard lock and only ever escapes
+	// through caller-owned destination slices, so data handed out by
+	// ReadPacked never aliases cache state (pinned by regression test).
+	shards []readerShard
+}
+
+// readerShard is the per-series chunk cache.
+type readerShard struct {
+	mu    sync.Mutex
+	chunk int    // cached chunk index, -1 when empty
+	t0    int    // first step of the cached chunk
+	buf   []byte // raw verified chunk frame, reused across reads
 }
 
 // Open opens the archive file at path; Close releases it.
@@ -127,15 +140,18 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 			}
 		}
 	}
+	shards := make([]readerShard, h.Series())
+	for sid := range shards {
+		shards[sid].chunk = -1
+	}
 	return &Reader{
-		h:          h,
-		r:          r,
-		size:       size,
-		index:      index,
-		dim:        h.Dim(),
-		stepB:      stepB,
-		cacheSID:   -1,
-		cacheChunk: -1,
+		h:      h,
+		r:      r,
+		size:   size,
+		index:  index,
+		dim:    h.Dim(),
+		stepB:  stepB,
+		shards: shards,
 	}, nil
 }
 
@@ -158,39 +174,41 @@ func (r *Reader) ensurePlan() (*sht.Plan, error) {
 	return r.plan, r.planErr
 }
 
-// chunkPayload returns the verified step payload of the given chunk,
-// reading and CRC-checking it unless cached. Called with r.mu held.
-func (r *Reader) chunkPayload(sid, k int) ([]byte, error) {
-	if sid == r.cacheSID && k == r.cacheChunk {
-		return r.cacheBuf, nil
-	}
+// readChunk reads and CRC-verifies chunk k of series sid into buf (grown
+// when too small), returning the backing buffer, its step payload view,
+// and the chunk's first step. It takes no locks: callers either hold the
+// series shard lock or own buf outright (Series cursors).
+func (r *Reader) readChunk(sid, k int, buf []byte) (raw, payload []byte, t0 int, err error) {
 	ref := r.index[sid][k]
-	buf := make([]byte, ref.length)
+	if cap(buf) < int(ref.length) {
+		buf = make([]byte, ref.length)
+	}
+	buf = buf[:ref.length]
 	if _, err := r.r.ReadAt(buf, ref.off); err != nil {
-		return nil, fmt.Errorf("archive: reading chunk: %w", err)
+		return nil, nil, 0, fmt.Errorf("archive: reading chunk: %w", err)
 	}
 	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if got := crc32.ChecksumIEEE(buf[:len(buf)-4]); got != want {
-		return nil, fmt.Errorf("archive: series %d chunk %d checksum mismatch (corrupt or truncated chunk)", sid, k)
+		return nil, nil, 0, fmt.Errorf("archive: series %d chunk %d checksum mismatch (corrupt or truncated chunk)", sid, k)
 	}
 	member := int(binary.LittleEndian.Uint32(buf[0:]))
 	scenario := int(binary.LittleEndian.Uint32(buf[4:]))
-	t0 := int(binary.LittleEndian.Uint32(buf[8:]))
+	t0 = int(binary.LittleEndian.Uint32(buf[8:]))
 	count := int(binary.LittleEndian.Uint32(buf[12:]))
 	if r.h.seriesID(member, scenario) != sid || t0 != k*r.h.ChunkSteps {
-		return nil, fmt.Errorf("archive: chunk at series %d index %d identifies as member %d scenario %d t0 %d",
+		return nil, nil, 0, fmt.Errorf("archive: chunk at series %d index %d identifies as member %d scenario %d t0 %d",
 			sid, k, member, scenario, t0)
 	}
 	if chunkHeaderLen+count*r.stepB+4 != len(buf) {
-		return nil, fmt.Errorf("archive: series %d chunk %d count %d disagrees with its length", sid, k, count)
+		return nil, nil, 0, fmt.Errorf("archive: series %d chunk %d count %d disagrees with its length", sid, k, count)
 	}
-	r.cacheSID, r.cacheChunk, r.cacheT0 = sid, k, t0
-	r.cacheBuf = buf[chunkHeaderLen : len(buf)-4]
-	return r.cacheBuf, nil
+	return buf, buf[chunkHeaderLen : len(buf)-4], t0, nil
 }
 
 // ReadPacked decodes the packed coefficient vector of step t of
 // (member, scenario) into dst (allocated when too small) and returns it.
+// The returned data is always caller-owned: it never aliases the chunk
+// cache, so it stays valid across any later reads.
 func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, error) {
 	if err := r.h.checkCoord(member, scenario, t); err != nil {
 		return nil, err
@@ -201,13 +219,22 @@ func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, 
 	dst = dst[:r.dim]
 	sid := r.h.seriesID(member, scenario)
 	k := t / r.h.ChunkSteps
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	payload, err := r.chunkPayload(sid, k)
-	if err != nil {
-		return nil, err
+	sh := &r.shards[sid]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.chunk != k {
+		// Invalidate before reading: readChunk reuses the buffer in
+		// place, so a failed read (I/O error, CRC mismatch) leaves it
+		// holding bytes that no longer match the old cache key.
+		sh.chunk = -1
+		raw, _, t0, err := r.readChunk(sid, k, sh.buf)
+		if err != nil {
+			return nil, err
+		}
+		sh.buf, sh.t0, sh.chunk = raw, t0, k
 	}
-	rec := payload[(t-r.cacheT0)*r.stepB : (t-r.cacheT0+1)*r.stepB]
+	payload := sh.buf[chunkHeaderLen : len(sh.buf)-4]
+	rec := payload[(t-sh.t0)*r.stepB : (t-sh.t0+1)*r.stepB]
 	if err := decodeStep(rec, r.h.Bands, dst); err != nil {
 		return nil, err
 	}
@@ -231,24 +258,143 @@ func (r *Reader) ReadField(member, scenario, t int) (sphere.Field, error) {
 // EachField streams the full series of (member, scenario) through fn in
 // step order, reusing one decode and synthesis scratch set (copy the
 // field to retain it). A non-nil error from fn stops the replay and is
-// returned.
+// returned. The synthesis uses the reader's parallel plan; callers that
+// fan out over many series should prefer per-goroutine Series cursors,
+// whose transforms run sequentially so the fan-out happens at exactly
+// one level.
 func (r *Reader) EachField(member, scenario int, fn func(t int, f sphere.Field) error) error {
 	plan, err := r.ensurePlan()
 	if err != nil {
 		return err
 	}
-	packed := make([]float64, r.dim)
-	coeffs := sht.NewCoeffs(r.h.L)
+	s, err := r.Series(member, scenario)
+	if err != nil {
+		return err
+	}
+	s.plan = plan
 	field := sphere.NewField(r.h.Grid)
 	for t := 0; t < r.h.Steps; t++ {
-		if _, err := r.ReadPacked(member, scenario, t, packed); err != nil {
+		if err := s.ReadFieldInto(field, t); err != nil {
 			return err
 		}
-		plan.SynthesizeInto(field, sht.UnpackRealInto(coeffs, packed))
 		if err := fn(t, field); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// Series opens an independent, race-free streaming cursor over the
+// (member, scenario) series: it owns its chunk buffer, decode state and
+// synthesis scratch, so any number of cursors — including several over
+// the same series — replay concurrently without sharing a single lock.
+// This is what makes replay scale with cores like generation does. A
+// cursor is not itself safe for concurrent use; open one per goroutine.
+func (r *Reader) Series(member, scenario int) (*Series, error) {
+	if err := r.h.checkCoord(member, scenario, 0); err != nil {
+		return nil, err
+	}
+	return &Series{
+		r:        r,
+		member:   member,
+		scenario: scenario,
+		sid:      r.h.seriesID(member, scenario),
+		chunk:    -1,
+	}, nil
+}
+
+// Series is a streaming cursor over one (member, scenario) series. Its
+// transforms run sequentially on the calling goroutine (callers fan out
+// over cursors), and everything it decodes into caller-provided
+// destinations is copied out of its internal buffers.
+type Series struct {
+	r        *Reader
+	member   int
+	scenario int
+	sid      int
+
+	chunk int // cached chunk index, -1 when empty
+	t0    int
+	buf   []byte
+
+	plan   *sht.Plan // lazily built; sequential unless overridden
+	packed []float64
+	coeffs sht.Coeffs
+}
+
+// Member returns the cursor's member index.
+func (s *Series) Member() int { return s.member }
+
+// Scenario returns the cursor's scenario index.
+func (s *Series) Scenario() int { return s.scenario }
+
+// Steps returns the number of steps in the series.
+func (s *Series) Steps() int { return s.r.h.Steps }
+
+// ReadPacked decodes the packed coefficient vector of step t into dst
+// (allocated when too small) and returns it. Like Reader.ReadPacked, the
+// returned data never aliases cursor state.
+func (s *Series) ReadPacked(t int, dst []float64) ([]float64, error) {
+	if err := s.r.h.checkCoord(s.member, s.scenario, t); err != nil {
+		return nil, err
+	}
+	if cap(dst) < s.r.dim {
+		dst = make([]float64, s.r.dim)
+	}
+	dst = dst[:s.r.dim]
+	k := t / s.r.h.ChunkSteps
+	if s.chunk != k {
+		// Invalidate before reading: a failed readChunk clobbers the
+		// reused buffer, so the old cache key must not survive it.
+		s.chunk = -1
+		raw, _, t0, err := s.r.readChunk(s.sid, k, s.buf)
+		if err != nil {
+			return nil, err
+		}
+		s.buf, s.t0, s.chunk = raw, t0, k
+	}
+	payload := s.buf[chunkHeaderLen : len(s.buf)-4]
+	rec := payload[(t-s.t0)*s.r.stepB : (t-s.t0+1)*s.r.stepB]
+	if err := decodeStep(rec, s.r.h.Bands, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ensurePlan builds the cursor's synthesis plan on first field read: the
+// reader's shared tables, run sequentially on the calling goroutine.
+func (s *Series) ensurePlan() (*sht.Plan, error) {
+	if s.plan != nil {
+		return s.plan, nil
+	}
+	plan, err := s.r.ensurePlan()
+	if err != nil {
+		return nil, err
+	}
+	s.plan = plan.Sequential()
+	return s.plan, nil
+}
+
+// ReadFieldInto decodes step t and synthesizes it into dst, which must
+// live on the archive grid. Scratch is cursor-owned, so concurrent
+// cursors never contend.
+func (s *Series) ReadFieldInto(dst sphere.Field, t int) error {
+	plan, err := s.ensurePlan()
+	if err != nil {
+		return err
+	}
+	if dst.Grid != s.r.h.Grid {
+		return fmt.Errorf("archive: destination grid %v does not match archive grid %v", dst.Grid, s.r.h.Grid)
+	}
+	packed, err := s.ReadPacked(t, s.packed)
+	if err != nil {
+		return err
+	}
+	s.packed = packed
+	if s.coeffs.L == 0 {
+		s.coeffs = sht.NewCoeffs(s.r.h.L)
+	}
+	plan.SynthesizeInto(dst, sht.UnpackRealInto(s.coeffs, packed))
 	return nil
 }
 

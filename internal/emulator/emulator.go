@@ -26,6 +26,7 @@ import (
 	"exaclim/internal/mpchol"
 	"exaclim/internal/par"
 	"exaclim/internal/sht"
+	"exaclim/internal/source"
 	"exaclim/internal/sphere"
 	"exaclim/internal/stats"
 	"exaclim/internal/tile"
@@ -109,10 +110,36 @@ func chooseTile(n int) int {
 
 // Train fits the emulator on an ensemble of simulation series sharing a
 // forcing record. annualRF must include `lead` years of history before
-// the data window (for the distributed-lag terms).
+// the data window (for the distributed-lag terms). It is a thin adapter
+// over TrainFrom: the slices are wrapped as a streaming source, so the
+// in-memory and archive-backed training paths run identical arithmetic.
 func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Model, error) {
 	if len(ens) == 0 || len(ens[0]) == 0 {
 		return nil, errors.New("emulator: empty training ensemble")
+	}
+	src, err := source.FromSlices(ens)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+	return TrainFrom(src, annualRF, lead, cfg)
+}
+
+// TrainFrom fits the emulator from a streaming field source: residual
+// analysis consumes one field at a time per worker, so the campaign is
+// never materialized — only the packed spectral coefficients (R*T
+// vectors of length L^2, the same representation the archive stores) are
+// held for the temporal and covariance stages. This is what lets a
+// spectral archive be re-fit without rehydrating raw grids.
+//
+// The source is read twice: once to accumulate the trend statistics,
+// once for the residual analysis. For a fixed worker count the fit is
+// bit-deterministic, and two sources yielding bitwise-equal fields (for
+// example an archive and the slices decoded from it) produce
+// byte-identical models up to the timing field of Diag.
+func TrainFrom(src source.Ensemble, annualRF []float64, lead int, cfg Config) (*Model, error) {
+	R, T := src.Realizations(), src.Steps()
+	if R < 1 || T < 1 {
+		return nil, fmt.Errorf("emulator: empty training source (%d realizations x %d steps)", R, T)
 	}
 	if cfg.L < 2 {
 		return nil, fmt.Errorf("emulator: band limit %d too small", cfg.L)
@@ -123,31 +150,57 @@ func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Mod
 	if cfg.JitterEps == 0 {
 		cfg.JitterEps = 1e-8
 	}
-	grid := ens[0][0].Grid
+	grid := src.Grid()
 	if !grid.SupportsBandLimit(cfg.L) {
 		return nil, fmt.Errorf("emulator: grid %v does not support band limit %d", grid, cfg.L)
 	}
 	cfg.Trend.Workers = cfg.Workers
 
-	// Step 1: deterministic component (eq. 2).
-	fit, err := trend.FitEnsemble(ens, annualRF, lead, cfg.Trend)
+	// Step 1: deterministic component (eq. 2), streamed. Fields flow
+	// through the trend accumulator in realization-major, time-ascending
+	// order — the fixed order that pins the fit bit-for-bit — while the
+	// per-field pixel fold parallelizes internally.
+	acc, err := trend.NewAccumulator(grid, R, T, annualRF, lead, cfg.Trend)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: trend fit: %w", err)
+	}
+	y := sphere.NewField(grid)
+	for r := 0; r < R; r++ {
+		cur, err := src.Series(r)
+		if err != nil {
+			return nil, fmt.Errorf("emulator: trend pass: %w", err)
+		}
+		for t := 0; t < T; t++ {
+			if err := cur.ReadInto(y, t); err != nil {
+				cur.Close()
+				return nil, fmt.Errorf("emulator: trend pass: %w", err)
+			}
+			if err := acc.Add(r, t, y); err != nil {
+				cur.Close()
+				return nil, fmt.Errorf("emulator: trend fit: %w", err)
+			}
+		}
+		cur.Close()
+	}
+	fit, err := acc.Solve()
 	if err != nil {
 		return nil, fmt.Errorf("emulator: trend fit: %w", err)
 	}
 
 	// Step 2: spherical harmonic analysis of standardized residuals, and
 	// the nugget variance from the truncation error. Every (realization,
-	// timestep) pair is independent, so the loop fans out over the
-	// flattened index with per-worker scratch fields and per-worker nugget
-	// accumulators (merged below). The plan is concurrency-safe; each
-	// worker runs its transforms sequentially so the fan-out happens at
-	// exactly one level.
+	// timestep) pair is independent, so the second pass fans out over
+	// static contiguous spans of the flattened index: each worker walks
+	// its span in order through its own source cursor with per-worker
+	// scratch, and the per-span nugget partials merge in span order, so
+	// the result is bit-deterministic for a fixed worker count (unlike
+	// dynamic scheduling, whose partition varies run to run). The plan is
+	// concurrency-safe; each worker runs its transforms sequentially so
+	// the fan-out happens at exactly one level.
 	plan, err := sht.NewPlan(grid, cfg.L, sht.WithWorkers(cfg.Workers))
 	if err != nil {
 		return nil, fmt.Errorf("emulator: %w", err)
 	}
-	R := len(ens)
-	T := len(ens[0]) // trend.FitEnsemble enforced equal member lengths
 	total := R * T
 	dim := sht.PackDim(cfg.L)
 	coeffBuf := make([]float64, total*dim) // one pre-sized backing array
@@ -159,35 +212,57 @@ func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Mod
 			packed[r][t] = coeffBuf[off : off+dim : off+dim]
 		}
 	}
-	type analyzeScratch struct {
-		z, recon sphere.Field
-		nugget   []float64
-	}
-	seqPlan := plan.Sequential()
-	scratch := make([]analyzeScratch, par.SpanWorkers(cfg.Workers, total))
-	par.ForNWorker(cfg.Workers, total, func(g, idx int) {
-		s := &scratch[g]
-		if s.nugget == nil {
-			s.z = sphere.NewField(grid)
-			s.recon = sphere.NewField(grid)
-			s.nugget = make([]float64, grid.Points())
-		}
-		r, t := idx/T, idx%T
-		fit.StandardizeInto(s.z, ens[r][t], t)
-		coeffs := seqPlan.Analyze(s.z)
-		coeffs.PackReal(packed[r][t])
-		seqPlan.SynthesizeInto(s.recon, coeffs)
-		for pix, v := range s.z.Data {
-			d := v - s.recon.Data[pix]
-			s.nugget[pix] += d * d
+	nWorkers := par.SpanWorkers(cfg.Workers, total)
+	nuggetPart := make([][]float64, nWorkers)
+	spanErrs := make([]error, nWorkers)
+	par.ForSpans(cfg.Workers, total, func(g, lo, hi int) {
+		z := sphere.NewField(grid)
+		recon := sphere.NewField(grid)
+		nug := make([]float64, grid.Points())
+		nuggetPart[g] = nug
+		seqPlan := plan.Sequential()
+		var cur source.Cursor
+		curR := -1
+		defer func() {
+			if cur != nil {
+				cur.Close()
+			}
+		}()
+		for idx := lo; idx < hi; idx++ {
+			r, t := idx/T, idx%T
+			if r != curR {
+				if cur != nil {
+					cur.Close()
+				}
+				var err error
+				if cur, err = src.Series(r); err != nil {
+					spanErrs[g] = err
+					return
+				}
+				curR = r
+			}
+			if err := cur.ReadInto(z, t); err != nil {
+				spanErrs[g] = err
+				return
+			}
+			fit.StandardizeInto(z, z, t)
+			coeffs := seqPlan.Analyze(z)
+			coeffs.PackReal(packed[r][t])
+			seqPlan.SynthesizeInto(recon, coeffs)
+			for pix, v := range z.Data {
+				d := v - recon.Data[pix]
+				nug[pix] += d * d
+			}
 		}
 	})
-	nugget := make([]float64, grid.Points())
-	for g := range scratch {
-		if scratch[g].nugget == nil {
-			continue
+	for g := range spanErrs {
+		if spanErrs[g] != nil {
+			return nil, fmt.Errorf("emulator: residual pass: %w", spanErrs[g])
 		}
-		for pix, v := range scratch[g].nugget {
+	}
+	nugget := make([]float64, grid.Points())
+	for g := range nuggetPart {
+		for pix, v := range nuggetPart[g] {
 			nugget[pix] += v
 		}
 	}
@@ -261,8 +336,8 @@ func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Mod
 			CovDim:         u.Rows,
 			TileSize:       b,
 			Variant:        cfg.Variant.String(),
-			Members:        len(ens),
-			StepsPerMember: len(ens[0]),
+			Members:        R,
+			StepsPerMember: T,
 			FactorSeconds:  elapsed,
 			Conversions:    res.Conversions,
 			MovedBytes:     res.MovedBytes,

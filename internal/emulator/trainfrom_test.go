@@ -1,0 +1,226 @@
+package emulator
+
+import (
+	"bytes"
+	"testing"
+
+	"exaclim/internal/archive"
+	"exaclim/internal/era5"
+	"exaclim/internal/source"
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+	"exaclim/internal/trend"
+)
+
+// smallStreamCfg is the shared configuration of the streaming-training
+// tests: Workers pinned so the static-span partition — and with it the
+// bit-level fit — is identical across the paths being compared.
+func smallStreamCfg() Config {
+	return Config{
+		L: 12, P: 2, Workers: 3,
+		Trend: trend.Options{
+			StepsPerYear: era5.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.5, 0.85},
+		},
+		Variant: tile.VariantDPHP,
+	}
+}
+
+// streamTestData builds a two-member synthetic campaign plus its forcing.
+func streamTestData(t *testing.T, steps int) ([][]sphere.Field, []float64, int) {
+	t.Helper()
+	const lead = 15
+	ens := make([][]sphere.Field, 2)
+	var rf []float64
+	for m := range ens {
+		gen, err := era5.New(era5.Config{
+			Grid: sphere.GridForBandLimit(16), L: 16, Seed: 21, Member: m,
+			StartYear: 1990, StepsPerDay: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ens[m] = gen.Run(steps)
+		rf = gen.AnnualRF(lead, steps/era5.DaysPerYear+2)
+	}
+	return ens, rf, lead
+}
+
+// gobBytes serializes a model with the wall-clock timing diagnostic
+// zeroed (restored afterwards), so byte comparison tests only
+// deterministic state.
+func gobBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	saved := m.Diag.FactorSeconds
+	m.Diag.FactorSeconds = 0
+	defer func() { m.Diag.FactorSeconds = saved }()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainFromSlicesMatchesTrain pins the slice-adapter contract: the
+// legacy Train signature and an explicit slice source must produce
+// byte-identical models.
+func TestTrainFromSlicesMatchesTrain(t *testing.T) {
+	ens, rf, lead := streamTestData(t, 120)
+	cfg := smallStreamCfg()
+	m1, err := Train(ens, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.FromSlices(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainFrom(src, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, m1), gobBytes(t, m2)) {
+		t.Fatal("Train and TrainFrom(FromSlices) models differ")
+	}
+}
+
+// TestTrainFromArchiveByteIdentical is the acceptance test of the
+// streaming refactor: training from a spectral archive must be
+// byte-identical — gob encoding and emulated output — to training on
+// the in-memory slices decoded from that same archive.
+func TestTrainFromArchiveByteIdentical(t *testing.T) {
+	ens, rf, lead := streamTestData(t, 120)
+	cfg := smallStreamCfg()
+	grid := ens[0][0].Grid
+	const steps = 120
+
+	// Archive the campaign (members of one scenario) with a mixed band
+	// table so real quantization is in play; both training paths then see
+	// the same quantized data.
+	h := archive.Header{
+		Grid: grid, L: 16,
+		Members: len(ens), Scenarios: 1, Steps: steps, ChunkSteps: 16,
+		Bands: []archive.Band{
+			{Lo: 0, Hi: 6, Prec: tile.FP64},
+			{Lo: 6, Hi: 12, Prec: tile.FP32},
+			{Lo: 12, Hi: 16, Prec: tile.FP16},
+		},
+	}
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range ens {
+		for tt, f := range ens[m] {
+			if err := w.AddField(m, 0, tt, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path A: materialize the decoded campaign and train on slices.
+	decoded := make([][]sphere.Field, len(ens))
+	for m := range decoded {
+		decoded[m] = make([]sphere.Field, steps)
+		if err := r.EachField(m, 0, func(tt int, f sphere.Field) error {
+			decoded[m][tt] = f.Copy()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sliceModel, err := Train(decoded, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: stream straight from the archive.
+	src, err := source.FromArchive(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archModel, err := TrainFrom(src, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(gobBytes(t, sliceModel), gobBytes(t, archModel)) {
+		t.Fatal("archive-trained model differs from slice-trained model on identical data")
+	}
+	if archModel.Diag.Members != len(ens) || archModel.Diag.StepsPerMember != steps {
+		t.Fatalf("diagnostics report %dx%d, want %dx%d",
+			archModel.Diag.Members, archModel.Diag.StepsPerMember, len(ens), steps)
+	}
+
+	// Emulation from the two models must agree bit for bit under a fixed
+	// seed — the round-trip guarantee the retrain CLI relies on.
+	const seed, emuSteps = 42, 20
+	a, err := sliceModel.Emulate(seed, 0, emuSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := archModel.Emulate(seed, 0, emuSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range a {
+		for pix := range a[tt].Data {
+			if a[tt].Data[pix] != b[tt].Data[pix] {
+				t.Fatalf("emulated fields differ at step %d pixel %d", tt, pix)
+			}
+		}
+	}
+}
+
+// TestTrainFromDeterministic pins run-to-run determinism of the
+// streaming trainer for a fixed worker count.
+func TestTrainFromDeterministic(t *testing.T) {
+	ens, rf, lead := streamTestData(t, 90)
+	cfg := smallStreamCfg()
+	m1, err := Train(ens, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(ens, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, m1), gobBytes(t, m2)) {
+		t.Fatal("two identical training runs produced different models")
+	}
+}
+
+// TestTrainFromSyntheticSource checks the generator-backed source end to
+// end: training streamed from lazily built generators matches training
+// on the equivalent materialized runs.
+func TestTrainFromSyntheticSource(t *testing.T) {
+	const steps = 90
+	ens, rf, lead := streamTestData(t, steps)
+	cfg := smallStreamCfg()
+	src, err := source.FromSynthetic(era5.Config{
+		Grid: sphere.GridForBandLimit(16), L: 16, Seed: 21,
+		StartYear: 1990, StepsPerDay: 1,
+	}, 2, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := TrainFrom(src, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(ens, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, m1), gobBytes(t, m2)) {
+		t.Fatal("synthetic-source model differs from slice-trained model")
+	}
+}

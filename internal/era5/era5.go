@@ -277,7 +277,19 @@ func (g *Generator) AnnualRF(lead, years int) []float64 {
 
 // Next produces the field at the current step and advances the clock.
 func (g *Generator) Next() sphere.Field {
+	out := sphere.NewField(g.cfg.Grid)
+	g.NextInto(out)
+	return out
+}
+
+// NextInto writes the field at the current step into dst (which must
+// live on the generator's grid) and advances the clock — the
+// allocation-free streaming form the training field sources use.
+func (g *Generator) NextInto(dst sphere.Field) {
 	cfg := &g.cfg
+	if dst.Grid != cfg.Grid {
+		panic(fmt.Sprintf("era5: destination grid %v does not match generator grid %v", dst.Grid, cfg.Grid))
+	}
 	day := g.step / cfg.StepsPerDay
 	doy := day % DaysPerYear
 	year := day / DaysPerYear
@@ -293,12 +305,11 @@ func (g *Generator) Next() sphere.Field {
 	g.advanceWeather()
 	g.plan.SynthesizeInto(g.weather, g.state)
 
-	out := sphere.NewField(cfg.Grid)
 	seas := math.Cos(2 * math.Pi * float64(doy-197) / DaysPerYear)
 	diur := math.Cos(2 * math.Pi * (hour - 14) / 24)
 	forcingTerm := 0.6*g.curRF + 0.4*g.lagRF
-	for p := range out.Data {
-		out.Data[p] = g.climate[p] +
+	for p := range dst.Data {
+		dst.Data[p] = g.climate[p] +
 			g.seasonalAmp[p]*seas +
 			g.diurnalAmp[p]*diur +
 			g.sensitivity[p]*forcingTerm +
@@ -306,7 +317,6 @@ func (g *Generator) Next() sphere.Field {
 			cfg.NuggetStd*g.rng.NormFloat64()
 	}
 	g.step++
-	return out
 }
 
 // Run produces the next n fields.

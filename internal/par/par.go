@@ -69,6 +69,33 @@ func ForNWorker(workers, n int, fn func(g, i int)) {
 	wg.Wait()
 }
 
+// ForSpans splits [0, n) into SpanWorkers(workers, n) contiguous spans of
+// near-equal size and runs fn(g, lo, hi) for span g, each on its own
+// goroutine. Unlike ForNWorker's dynamic scheduling, the partition is a
+// pure function of (workers, n) and every span is walked in ascending
+// order by exactly one worker, so reductions that accumulate per-span
+// partials and merge them in span order are bit-deterministic for a fixed
+// worker count — the property the streaming training path relies on to
+// make archive-trained and slice-trained fits byte-identical.
+func ForSpans(workers, n int, fn func(g, lo, hi int)) {
+	w := SpanWorkers(workers, n)
+	if w <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(g int) {
+			defer wg.Done()
+			fn(g, g*n/w, (g+1)*n/w)
+		}(g)
+	}
+	wg.Wait()
+}
+
 // ForBlocks splits [0, n) into contiguous blocks of the given size and
 // runs fn(lo, hi) for each, in parallel. Contiguous blocks preserve cache
 // locality for kernels that stream memory (GEMM panels, FFT batches).

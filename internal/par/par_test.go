@@ -2,6 +2,7 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -95,5 +96,44 @@ func TestForBlocksClampsBlockSize(t *testing.T) {
 	ForBlocks(2, 5, 0, func(lo, hi int) { count.Add(1) })
 	if count.Load() != 5 {
 		t.Errorf("block=0 should clamp to 1, got %d blocks", count.Load())
+	}
+}
+
+// TestForSpansPartition checks that ForSpans covers [0, n) exactly with
+// SpanWorkers(workers, n) contiguous spans, and that the partition is a
+// pure function of (workers, n) — the determinism contract streaming
+// training reductions rely on.
+func TestForSpansPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 97} {
+		for _, workers := range []int{1, 2, 4, 13, 200} {
+			var mu sync.Mutex
+			spans := map[int][2]int{}
+			var total atomic.Int64
+			ForSpans(workers, n, func(g, lo, hi int) {
+				mu.Lock()
+				if _, dup := spans[g]; dup {
+					t.Errorf("workers=%d n=%d: span %d ran twice", workers, n, g)
+				}
+				spans[g] = [2]int{lo, hi}
+				mu.Unlock()
+				total.Add(int64(hi - lo))
+			})
+			if got := total.Load(); got != int64(n) {
+				t.Fatalf("workers=%d n=%d: covered %d elements", workers, n, got)
+			}
+			if n == 0 {
+				continue
+			}
+			w := SpanWorkers(workers, n)
+			if len(spans) != w {
+				t.Fatalf("workers=%d n=%d: %d spans, want %d", workers, n, len(spans), w)
+			}
+			for g := 0; g < w; g++ {
+				want := [2]int{g * n / w, (g + 1) * n / w}
+				if spans[g] != want {
+					t.Errorf("workers=%d n=%d span %d: %v, want %v", workers, n, g, spans[g], want)
+				}
+			}
+		}
 	}
 }

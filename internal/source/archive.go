@@ -1,0 +1,54 @@
+package source
+
+import (
+	"fmt"
+
+	"exaclim/internal/archive"
+	"exaclim/internal/sphere"
+)
+
+// archiveEnsemble exposes the members of one scenario of a spectral
+// archive as a training ensemble: realization r is member r, and every
+// cursor is an independent archive.Series, so training fan-out decodes
+// chunks fully in parallel.
+type archiveEnsemble struct {
+	r        *archive.Reader
+	scenario int
+}
+
+// FromArchive wraps the members of scenario `scenario` of an opened
+// archive as a streaming ensemble — the re-fit-from-storage path: a
+// campaign consumed in spectral form is rehydrated one field at a time
+// per worker, never as a materialized grid series.
+func FromArchive(r *archive.Reader, scenario int) (Ensemble, error) {
+	h := r.Header()
+	if scenario < 0 || scenario >= h.Scenarios {
+		return nil, fmt.Errorf("source: archive scenario %d out of range [0,%d)", scenario, h.Scenarios)
+	}
+	return &archiveEnsemble{r: r, scenario: scenario}, nil
+}
+
+func (a *archiveEnsemble) Realizations() int { return a.r.Header().Members }
+func (a *archiveEnsemble) Steps() int        { return a.r.Header().Steps }
+func (a *archiveEnsemble) Grid() sphere.Grid { return a.r.Header().Grid }
+
+func (a *archiveEnsemble) Series(r int) (Cursor, error) {
+	if err := checkRange(r, a.r.Header().Members); err != nil {
+		return nil, err
+	}
+	s, err := a.r.Series(r, a.scenario)
+	if err != nil {
+		return nil, err
+	}
+	return archiveCursor{s: s}, nil
+}
+
+type archiveCursor struct {
+	s *archive.Series
+}
+
+func (c archiveCursor) ReadInto(dst sphere.Field, t int) error {
+	return c.s.ReadFieldInto(dst, t)
+}
+
+func (c archiveCursor) Close() error { return nil }

@@ -1,0 +1,113 @@
+// Package source defines the streaming field-source abstraction the
+// training path consumes: an Ensemble is a campaign of R realization
+// series, T steps each, on a fixed grid, read through independent
+// per-realization cursors instead of a materialized [][]sphere.Field.
+//
+// This is the structural piece of the paper's exascale claim: training
+// never has to hold a campaign in memory, because residual analysis
+// streams one field at a time per worker. Adapters exist for in-memory
+// slices (FromSlices), the synthetic ERA5 generator (FromSynthetic), and
+// — the headline — the spectral archive (FromArchive), which lets a
+// stored campaign be re-fit without ever rematerializing raw grids.
+package source
+
+import (
+	"errors"
+	"fmt"
+
+	"exaclim/internal/sphere"
+)
+
+// Ensemble is a streaming view of a training campaign. Implementations
+// must be safe for concurrent Series calls, and the cursors they return
+// must be independent: one cursor per goroutine is the intended pattern.
+type Ensemble interface {
+	// Realizations is the number of member series R.
+	Realizations() int
+	// Steps is the number of time steps T in every series.
+	Steps() int
+	// Grid is the spatial grid every field lives on.
+	Grid() sphere.Grid
+	// Series opens an independent cursor over realization r.
+	Series(r int) (Cursor, error)
+}
+
+// Cursor reads the fields of one realization. A cursor is not safe for
+// concurrent use; it owns its decode and synthesis scratch so distinct
+// cursors never contend. Reads are random access, but ascending-t reads
+// are the fast path every adapter optimizes for (chunk caches, generator
+// state).
+type Cursor interface {
+	// ReadInto writes the field of step t into dst, which must live on
+	// the ensemble's grid. The data written never aliases cursor-internal
+	// state: it stays valid across subsequent reads.
+	ReadInto(dst sphere.Field, t int) error
+	// Close releases cursor resources.
+	Close() error
+}
+
+// checkRange validates a realization index against the ensemble shape.
+func checkRange(r, R int) error {
+	if r < 0 || r >= R {
+		return fmt.Errorf("source: realization %d out of range [0,%d)", r, R)
+	}
+	return nil
+}
+
+// sliceEnsemble adapts a fully materialized campaign. It is the bridge
+// that lets the legacy Train signature delegate to the streaming path.
+type sliceEnsemble struct {
+	ens  [][]sphere.Field
+	grid sphere.Grid
+	T    int
+}
+
+// FromSlices wraps an in-memory ensemble as a streaming source. All
+// members must be non-empty, of equal length, and share one grid.
+func FromSlices(ens [][]sphere.Field) (Ensemble, error) {
+	if len(ens) == 0 || len(ens[0]) == 0 {
+		return nil, errors.New("source: empty ensemble")
+	}
+	grid := ens[0][0].Grid
+	T := len(ens[0])
+	for r := range ens {
+		if len(ens[r]) != T {
+			return nil, fmt.Errorf("source: member %d has %d steps, want %d", r, len(ens[r]), T)
+		}
+		for t := range ens[r] {
+			if ens[r][t].Grid != grid {
+				return nil, fmt.Errorf("source: member %d step %d grid %v, want %v", r, t, ens[r][t].Grid, grid)
+			}
+		}
+	}
+	return &sliceEnsemble{ens: ens, grid: grid, T: T}, nil
+}
+
+func (s *sliceEnsemble) Realizations() int { return len(s.ens) }
+func (s *sliceEnsemble) Steps() int        { return s.T }
+func (s *sliceEnsemble) Grid() sphere.Grid { return s.grid }
+
+func (s *sliceEnsemble) Series(r int) (Cursor, error) {
+	if err := checkRange(r, len(s.ens)); err != nil {
+		return nil, err
+	}
+	return sliceCursor{fields: s.ens[r], grid: s.grid}, nil
+}
+
+type sliceCursor struct {
+	fields []sphere.Field
+	grid   sphere.Grid
+}
+
+func (c sliceCursor) ReadInto(dst sphere.Field, t int) error {
+	if t < 0 || t >= len(c.fields) {
+		return fmt.Errorf("source: step %d out of range [0,%d)", t, len(c.fields))
+	}
+	if dst.Grid != c.grid {
+		return fmt.Errorf("source: destination grid %v, want %v", dst.Grid, c.grid)
+	}
+	copy(dst.Data, c.fields[t].Data)
+	return nil
+}
+
+func (c sliceCursor) Close() error { return nil }

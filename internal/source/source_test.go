@@ -1,0 +1,212 @@
+package source
+
+import (
+	"bytes"
+	"testing"
+
+	"exaclim/internal/archive"
+	"exaclim/internal/era5"
+	"exaclim/internal/sphere"
+)
+
+// makeEnsemble builds a small deterministic in-memory campaign.
+func makeEnsemble(grid sphere.Grid, R, T int) [][]sphere.Field {
+	ens := make([][]sphere.Field, R)
+	for r := range ens {
+		ens[r] = make([]sphere.Field, T)
+		for t := range ens[r] {
+			f := sphere.NewField(grid)
+			for pix := range f.Data {
+				f.Data[pix] = float64(r*1000+t*10) + float64(pix)/7
+			}
+			ens[r][t] = f
+		}
+	}
+	return ens
+}
+
+func TestFromSlicesRoundTrip(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	ens := makeEnsemble(grid, 3, 5)
+	src, err := FromSlices(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Realizations() != 3 || src.Steps() != 5 || src.Grid() != grid {
+		t.Fatalf("shape %dx%d on %v, want 3x5 on %v", src.Realizations(), src.Steps(), src.Grid(), grid)
+	}
+	dst := sphere.NewField(grid)
+	// Read out of order to exercise random access, including re-reads.
+	order := []int{2, 0, 4, 4, 1, 3}
+	for r := 0; r < 3; r++ {
+		cur, err := src.Series(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tt := range order {
+			if err := cur.ReadInto(dst, tt); err != nil {
+				t.Fatal(err)
+			}
+			for pix := range dst.Data {
+				if dst.Data[pix] != ens[r][tt].Data[pix] {
+					t.Fatalf("member %d step %d pixel %d: %g, want %g",
+						r, tt, pix, dst.Data[pix], ens[r][tt].Data[pix])
+				}
+			}
+		}
+		cur.Close()
+	}
+}
+
+func TestFromSlicesValidation(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	if _, err := FromSlices(nil); err == nil {
+		t.Error("expected error for empty ensemble")
+	}
+	ragged := makeEnsemble(grid, 2, 3)
+	ragged[1] = ragged[1][:2]
+	if _, err := FromSlices(ragged); err == nil {
+		t.Error("expected error for ragged ensemble")
+	}
+	mixed := makeEnsemble(grid, 2, 3)
+	mixed[1][1] = sphere.NewField(sphere.NewGrid(5, 6))
+	if _, err := FromSlices(mixed); err == nil {
+		t.Error("expected error for mixed grids")
+	}
+	src, err := FromSlices(makeEnsemble(grid, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Series(2); err == nil {
+		t.Error("expected error for out-of-range realization")
+	}
+	cur, _ := src.Series(0)
+	if err := cur.ReadInto(sphere.NewField(grid), 3); err == nil {
+		t.Error("expected error for out-of-range step")
+	}
+	if err := cur.ReadInto(sphere.NewField(sphere.NewGrid(5, 6)), 0); err == nil {
+		t.Error("expected error for wrong destination grid")
+	}
+}
+
+// TestFromSyntheticMatchesRun pins the adapter contract: cursor reads
+// are bitwise equal to the generator's native Run output, member by
+// member, including after a backward seek forces a generator rebuild.
+func TestFromSyntheticMatchesRun(t *testing.T) {
+	cfg := era5.Config{Grid: sphere.GridForBandLimit(8), L: 8, Seed: 11, StartYear: 1995}
+	const members, steps = 2, 6
+	want := make([][]sphere.Field, members)
+	for m := 0; m < members; m++ {
+		c := cfg
+		c.Member = m
+		gen, err := era5.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[m] = gen.Run(steps)
+	}
+	src, err := FromSynthetic(cfg, members, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Realizations() != members || src.Steps() != steps {
+		t.Fatalf("shape %dx%d, want %dx%d", src.Realizations(), src.Steps(), members, steps)
+	}
+	dst := sphere.NewField(cfg.Grid)
+	check := func(cur Cursor, m, tt int) {
+		t.Helper()
+		if err := cur.ReadInto(dst, tt); err != nil {
+			t.Fatal(err)
+		}
+		for pix := range dst.Data {
+			if dst.Data[pix] != want[m][tt].Data[pix] {
+				t.Fatalf("member %d step %d pixel %d: %g, want %g",
+					m, tt, pix, dst.Data[pix], want[m][tt].Data[pix])
+			}
+		}
+	}
+	for m := 0; m < members; m++ {
+		cur, err := src.Series(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt < steps; tt++ { // forward streaming
+			check(cur, m, tt)
+		}
+		check(cur, m, 1) // backward seek: rebuild and fast-forward
+		check(cur, m, 4) // then forward again
+		cur.Close()
+	}
+	if _, err := FromSynthetic(cfg, 0, steps); err == nil {
+		t.Error("expected error for zero members")
+	}
+	if _, err := FromSynthetic(era5.Config{Grid: cfg.Grid, L: 2}, 1, 1); err == nil {
+		t.Error("expected error for invalid generator config")
+	}
+}
+
+// TestFromArchiveMatchesReader pins the archive adapter against the
+// reader's own random-access decode.
+func TestFromArchiveMatchesReader(t *testing.T) {
+	grid := sphere.GridForBandLimit(8)
+	h := archive.Header{
+		Grid: grid, L: 8, Members: 2, Scenarios: 2, Steps: 7, ChunkSteps: 3,
+	}
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := makeEnsemble(grid, h.Members*h.Scenarios, h.Steps)
+	for s := 0; s < h.Scenarios; s++ {
+		for m := 0; m < h.Members; m++ {
+			for tt := 0; tt < h.Steps; tt++ {
+				if err := w.AddField(m, s, tt, ens[s*h.Members+m][tt]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < h.Scenarios; s++ {
+		src, err := FromArchive(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Realizations() != h.Members || src.Steps() != h.Steps || src.Grid() != grid {
+			t.Fatalf("scenario %d: bad shape", s)
+		}
+		dst := sphere.NewField(grid)
+		for m := 0; m < h.Members; m++ {
+			cur, err := src.Series(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tt := range []int{0, 5, 2, 6, 2} { // cross-chunk random access
+				if err := cur.ReadInto(dst, tt); err != nil {
+					t.Fatal(err)
+				}
+				want, err := r.ReadField(m, s, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pix := range dst.Data {
+					if dst.Data[pix] != want.Data[pix] {
+						t.Fatalf("scenario %d member %d step %d pixel %d: %g, want %g",
+							s, m, tt, pix, dst.Data[pix], want.Data[pix])
+					}
+				}
+			}
+			cur.Close()
+		}
+	}
+	if _, err := FromArchive(r, 2); err == nil {
+		t.Error("expected error for out-of-range scenario")
+	}
+}

@@ -1,0 +1,86 @@
+package source
+
+import (
+	"fmt"
+
+	"exaclim/internal/era5"
+	"exaclim/internal/sphere"
+)
+
+// syntheticEnsemble exposes an ensemble of synthetic-ERA5 members as a
+// streaming source: realization r is the generator configured with
+// Member = cfg.Member + r, so the fields match era5.New(cfg).Run(steps)
+// for each member bitwise. Forward reads are the generator's native
+// streaming; backward seeks rebuild the generator and fast-forward.
+type syntheticEnsemble struct {
+	cfg     era5.Config
+	members int
+	steps   int
+}
+
+// FromSynthetic wraps `members` synthetic generators derived from cfg as
+// a streaming ensemble of `steps` steps each. Generators are constructed
+// lazily per cursor, so a campaign's memory footprint stays at
+// O(cursors) fields regardless of members x steps.
+func FromSynthetic(cfg era5.Config, members, steps int) (Ensemble, error) {
+	if members < 1 || steps < 1 {
+		return nil, fmt.Errorf("source: synthetic ensemble needs members >= 1 and steps >= 1, got %d and %d", members, steps)
+	}
+	// Fail fast on a bad configuration instead of at first read.
+	if _, err := era5.New(cfg); err != nil {
+		return nil, err
+	}
+	return &syntheticEnsemble{cfg: cfg, members: members, steps: steps}, nil
+}
+
+func (s *syntheticEnsemble) Realizations() int { return s.members }
+func (s *syntheticEnsemble) Steps() int        { return s.steps }
+func (s *syntheticEnsemble) Grid() sphere.Grid { return s.cfg.Grid }
+
+func (s *syntheticEnsemble) Series(r int) (Cursor, error) {
+	if err := checkRange(r, s.members); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.Member += r
+	return &syntheticCursor{cfg: cfg, steps: s.steps}, nil
+}
+
+type syntheticCursor struct {
+	cfg   era5.Config
+	steps int
+	gen   *era5.Generator
+	pos   int // step the generator will produce next
+	skip  sphere.Field
+}
+
+func (c *syntheticCursor) ReadInto(dst sphere.Field, t int) error {
+	if t < 0 || t >= c.steps {
+		return fmt.Errorf("source: step %d out of range [0,%d)", t, c.steps)
+	}
+	if dst.Grid != c.cfg.Grid {
+		return fmt.Errorf("source: destination grid %v, want %v", dst.Grid, c.cfg.Grid)
+	}
+	if c.gen == nil || t < c.pos {
+		gen, err := era5.New(c.cfg)
+		if err != nil {
+			return err
+		}
+		c.gen, c.pos = gen, 0
+	}
+	if c.skip.Data == nil {
+		c.skip = sphere.NewField(c.cfg.Grid)
+	}
+	for c.pos < t {
+		c.gen.NextInto(c.skip)
+		c.pos++
+	}
+	c.gen.NextInto(dst)
+	c.pos++
+	return nil
+}
+
+func (c *syntheticCursor) Close() error {
+	c.gen = nil
+	return nil
+}

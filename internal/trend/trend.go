@@ -132,10 +132,11 @@ func lagSeries(annual []float64, rho float64) []float64 {
 // forcing. annualRF must contain at least lead years of history before
 // the data window plus ceil(T/tau) years covering it. All members must
 // have equal length and grid.
+//
+// It is a thin wrapper over the streaming Accumulator — the same code
+// path archive-backed training uses — so fits from materialized slices
+// and fits streamed from storage are byte-identical on equal inputs.
 func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options) (*Fit, error) {
-	if err := opt.setDefaults(); err != nil {
-		return nil, err
-	}
 	if len(ens) == 0 || len(ens[0]) == 0 {
 		return nil, errors.New("trend: empty ensemble")
 	}
@@ -146,25 +147,84 @@ func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options
 			return nil, fmt.Errorf("trend: ensemble member %d has %d steps, want %d", r, len(ens[r]), T)
 		}
 	}
+	acc, err := NewAccumulator(grid, len(ens), T, annualRF, lead, opt)
+	if err != nil {
+		return nil, err
+	}
+	for r := range ens {
+		for t := range ens[r] {
+			if err := acc.Add(r, t, ens[r][t]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc.Solve()
+}
+
+// rhoCtx is the per-rho shared design state: the full design matrix is
+// never multiplied against the data again after accumulation, but its
+// normal matrix is needed for the exact RSS and the ridged solve.
+type rhoCtx struct {
+	xtx  *linalg.Matrix // p x p unridged R * X^T X (symmetric)
+	chol *linalg.Matrix // p x p lower factor of ridged R * X^T X
+}
+
+// Accumulator streams the trend fit of eq. (2): instead of gathering a
+// per-pixel R*T response vector (which requires the whole campaign in
+// memory), it folds each (realization, timestep) field into per-pixel
+// sufficient statistics — y'y, the rho-independent design correlations,
+// and one lagged-forcing correlation per rho candidate — of fixed size
+// O(nPix * (p + len(RhoGrid))) regardless of campaign length. Solve then
+// runs the same profiled OLS as before from the statistics alone.
+//
+// Add must be called exactly once per (r, t) pair. Accumulation order is
+// the floating-point summation order, so callers that need reproducible
+// fits must feed fields in a fixed order; FitEnsemble and the emulator's
+// streaming trainer use realization-major, time-ascending order, which
+// makes slice-fed and archive-fed fits byte-identical on equal inputs.
+type Accumulator struct {
+	grid sphere.Grid
+	opt  Options
+	R, T int
+	lead int
+
+	annualRF []float64
+	ctxs     []rhoCtx
+	base     *linalg.Matrix // T x p design rows with the lag column zeroed
+	lagAt    [][]float64    // [rho][t] lagged forcing at step t
+
+	added int64
+	yty   []float64 // nPix
+	cBase []float64 // nPix x p, lag column stays zero
+	cLag  []float64 // nPix x len(RhoGrid)
+}
+
+// NewAccumulator prepares a streaming fit over an R x T campaign on
+// grid. annualRF and lead follow FitEnsemble's contract.
+func NewAccumulator(grid sphere.Grid, R, T int, annualRF []float64, lead int, opt Options) (*Accumulator, error) {
+	if err := opt.setDefaults(); err != nil {
+		return nil, err
+	}
+	if R < 1 || T < 1 {
+		return nil, fmt.Errorf("trend: campaign shape %dx%d needs R >= 1 and T >= 1", R, T)
+	}
 	needYears := lead + (T+opt.StepsPerYear-1)/opt.StepsPerYear
+	if lead < 0 {
+		return nil, fmt.Errorf("trend: lead %d must be >= 0", lead)
+	}
 	if len(annualRF) < needYears {
 		return nil, fmt.Errorf("trend: annualRF has %d years, need >= %d", len(annualRF), needYears)
 	}
-	R := len(ens)
 	p := opt.Params()
 	nPix := grid.Points()
 
-	// Per-rho shared design and normal-matrix factorization. The solve
-	// uses a tiny ridge for safety against collinear regressors (smooth
-	// forcing paths make current and lagged RF nearly collinear), but the
-	// residual sum of squares is evaluated with the exact unridged
-	// quadratic form so sigma and the rho profile are unbiased.
-	type rhoCtx struct {
-		x    *linalg.Matrix // T x p
-		xtx  *linalg.Matrix // p x p unridged R * X^T X (symmetric)
-		chol *linalg.Matrix // p x p lower factor of ridged R * X^T X
-	}
+	// Per-rho normal-matrix factorization. The solve uses a tiny ridge
+	// for safety against collinear regressors (smooth forcing paths make
+	// current and lagged RF nearly collinear), but the residual sum of
+	// squares is evaluated with the exact unridged quadratic form so
+	// sigma and the rho profile are unbiased.
 	ctxs := make([]rhoCtx, len(opt.RhoGrid))
+	lagAt := make([][]float64, len(opt.RhoGrid))
 	for ri, rho := range opt.RhoGrid {
 		lag := lagSeries(annualRF, rho)
 		x := design(T, opt, annualRF, lag, lead)
@@ -176,43 +236,101 @@ func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options
 		if err := ridged.Cholesky(); err != nil {
 			return nil, fmt.Errorf("trend: singular design for rho=%g: %w", rho, err)
 		}
-		ctxs[ri] = rhoCtx{x: x, xtx: xtx, chol: ridged}
+		ctxs[ri] = rhoCtx{xtx: xtx, chol: ridged}
+		lagAt[ri] = make([]float64, T)
+		for t := 0; t < T; t++ {
+			lagAt[ri][t] = lag[lead+t/opt.StepsPerYear]
+		}
 	}
+	// The design correlations shared by every rho: all columns except the
+	// lagged-forcing one, which accumulates per rho in cLag.
+	zeroLag := make([]float64, len(annualRF))
+	base := design(T, opt, annualRF, zeroLag, lead)
 
+	return &Accumulator{
+		grid:     grid,
+		opt:      opt,
+		R:        R,
+		T:        T,
+		lead:     lead,
+		annualRF: append([]float64(nil), annualRF...),
+		ctxs:     ctxs,
+		base:     base,
+		lagAt:    lagAt,
+		yty:      make([]float64, nPix),
+		cBase:    make([]float64, nPix*p),
+		cLag:     make([]float64, nPix*len(opt.RhoGrid)),
+	}, nil
+}
+
+// Add folds the field of realization r at step t into the statistics.
+// Distinct pixels accumulate independently (the pixel sweep is
+// parallelized internally), so results do not depend on worker count —
+// only on the order of Add calls.
+func (a *Accumulator) Add(r, t int, y sphere.Field) error {
+	if r < 0 || r >= a.R || t < 0 || t >= a.T {
+		return fmt.Errorf("trend: (realization %d, step %d) outside campaign %dx%d", r, t, a.R, a.T)
+	}
+	if y.Grid != a.grid {
+		return fmt.Errorf("trend: field grid %v does not match accumulator grid %v", y.Grid, a.grid)
+	}
+	p := a.opt.Params()
+	nR := len(a.opt.RhoGrid)
+	row := a.base.Row(t)
+	lag := make([]float64, nR)
+	for ri := range lag {
+		lag[ri] = a.lagAt[ri][t]
+	}
+	par.ForBlocks(a.opt.Workers, a.grid.Points(), 4096, func(lo, hi int) {
+		for pix := lo; pix < hi; pix++ {
+			v := y.Data[pix]
+			a.yty[pix] += v * v
+			cb := a.cBase[pix*p : (pix+1)*p]
+			for j, x := range row {
+				cb[j] += x * v
+			}
+			cl := a.cLag[pix*nR : (pix+1)*nR]
+			for ri, l := range lag {
+				cl[ri] += l * v
+			}
+		}
+	})
+	a.added++
+	return nil
+}
+
+// Solve runs the profiled per-pixel OLS from the accumulated statistics
+// and returns the fit. Every (r, t) pair must have been added.
+func (a *Accumulator) Solve() (*Fit, error) {
+	if a.added != int64(a.R)*int64(a.T) {
+		return nil, fmt.Errorf("trend: accumulated %d fields, want %d (R=%d x T=%d)", a.added, a.R*a.T, a.R, a.T)
+	}
+	p := a.opt.Params()
+	nR := len(a.opt.RhoGrid)
+	nPix := a.grid.Points()
 	fit := &Fit{
-		Grid:     grid,
-		Opt:      opt,
-		Lead:     lead,
-		AnnualRF: append([]float64(nil), annualRF...),
+		Grid:     a.grid,
+		Opt:      a.opt,
+		Lead:     a.lead,
+		AnnualRF: append([]float64(nil), a.annualRF...),
 		Beta:     make([][]float64, nPix),
 		Rho:      make([]float64, nPix),
 		Sigma:    make([]float64, nPix),
 	}
-
-	par.ForN(opt.Workers, nPix, func(pix int) {
-		y := make([]float64, R*T)
-		for r := 0; r < R; r++ {
-			for t := 0; t < T; t++ {
-				y[r*T+t] = ens[r][t].Data[pix]
-			}
-		}
-		yty := linalg.Dot(y, y)
-
+	par.ForN(a.opt.Workers, nPix, func(pix int) {
+		yty := a.yty[pix]
 		bestRSS := math.Inf(1)
 		bestBeta := make([]float64, p)
 		bestRho := 0.0
 		c := make([]float64, p)
 		beta := make([]float64, p)
 		xtxb := make([]float64, p)
-		for ri := range ctxs {
-			ctx := &ctxs[ri]
-			// c = sum_r X^T y_r.
-			for j := range c {
-				c[j] = 0
-			}
-			for r := 0; r < R; r++ {
-				linalg.MatVec(linalg.Transpose, T, p, 1.0, ctx.x.Data, p, y[r*T:(r+1)*T], 1.0, c)
-			}
+		for ri := range a.ctxs {
+			ctx := &a.ctxs[ri]
+			// c = sum_r X^T y_r: the shared columns plus this rho's
+			// lagged-forcing correlation.
+			copy(c, a.cBase[pix*p:(pix+1)*p])
+			c[2] = a.cLag[pix*nR+ri]
 			copy(beta, c)
 			linalg.CholSolve(p, ctx.chol.Data, p, beta)
 			// Exact RSS = y'y - 2 b'c + b' (X'X) b, robust to the ridge.
@@ -221,15 +339,15 @@ func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options
 			if rss < bestRSS {
 				bestRSS = rss
 				copy(bestBeta, beta)
-				bestRho = opt.RhoGrid[ri]
+				bestRho = a.opt.RhoGrid[ri]
 			}
 		}
 		if bestRSS < 0 {
 			bestRSS = 0
 		}
-		fit.Beta[pix] = append([]float64(nil), bestBeta...)
+		fit.Beta[pix] = bestBeta
 		fit.Rho[pix] = bestRho
-		sigma := math.Sqrt(bestRSS / float64(R*T))
+		sigma := math.Sqrt(bestRSS / float64(a.R*a.T))
 		if sigma < 1e-9 {
 			sigma = 1e-9 // degenerate pixels must not divide by zero
 		}

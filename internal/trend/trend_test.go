@@ -375,3 +375,96 @@ func TestMeanFieldBeyondTrainingWindow(t *testing.T) {
 		t.Errorf("extrapolated mean %g K implausible", m.Data[0])
 	}
 }
+
+// TestAccumulatorValidation covers the streaming-fit bookkeeping: shape
+// and forcing validation up front, per-call coordinate and grid checks,
+// and the completeness check at Solve.
+func TestAccumulatorValidation(t *testing.T) {
+	grid := sphere.NewGrid(3, 4)
+	opt := smallOptions()
+	annual := make([]float64, 8)
+	for i := range annual {
+		annual[i] = 2 + 0.1*float64(i)
+	}
+	if _, err := NewAccumulator(grid, 0, 73, annual, 0, opt); err == nil {
+		t.Error("expected error for zero realizations")
+	}
+	if _, err := NewAccumulator(grid, 1, 73, annual, -1, opt); err == nil {
+		t.Error("expected error for negative lead")
+	}
+	if _, err := NewAccumulator(grid, 1, 73*20, annual, 0, opt); err == nil {
+		t.Error("expected error for short forcing record")
+	}
+	acc, err := NewAccumulator(grid, 1, 73, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(1, 0, sphere.NewField(grid)); err == nil {
+		t.Error("expected error for out-of-range realization")
+	}
+	if err := acc.Add(0, 73, sphere.NewField(grid)); err == nil {
+		t.Error("expected error for out-of-range step")
+	}
+	if err := acc.Add(0, 0, sphere.NewField(sphere.NewGrid(4, 4))); err == nil {
+		t.Error("expected error for wrong grid")
+	}
+	if _, err := acc.Solve(); err == nil {
+		t.Error("expected error for incomplete accumulation")
+	}
+}
+
+// TestAccumulatorMatchesFitEnsemble pins the streaming fit against the
+// slice entry point on a multi-member ensemble (they share one code
+// path; this guards the wiring).
+func TestAccumulatorMatchesFitEnsemble(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	opt := smallOptions()
+	rng := rand.New(rand.NewSource(9))
+	years := 6
+	T := years * opt.StepsPerYear
+	annual := make([]float64, years+3)
+	for i := range annual {
+		annual[i] = 2 + math.Sin(float64(i))
+	}
+	ens := make([][]sphere.Field, 2)
+	for r := range ens {
+		ens[r] = make([]sphere.Field, T)
+		for tt := range ens[r] {
+			f := sphere.NewField(grid)
+			for pix := range f.Data {
+				f.Data[pix] = 280 + rng.NormFloat64()
+			}
+			ens[r][tt] = f
+		}
+	}
+	want, err := FitEnsemble(ens, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(grid, 2, T, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range ens {
+		for tt := range ens[r] {
+			if err := acc.Add(r, tt, ens[r][tt]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := acc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pix := 0; pix < grid.Points(); pix++ {
+		if got.Rho[pix] != want.Rho[pix] || got.Sigma[pix] != want.Sigma[pix] {
+			t.Fatalf("pixel %d: (rho, sigma) = (%g, %g), want (%g, %g)",
+				pix, got.Rho[pix], got.Sigma[pix], want.Rho[pix], want.Sigma[pix])
+		}
+		for j := range got.Beta[pix] {
+			if got.Beta[pix][j] != want.Beta[pix][j] {
+				t.Fatalf("pixel %d coef %d: %g, want %g", pix, j, got.Beta[pix][j], want.Beta[pix][j])
+			}
+		}
+	}
+}
