@@ -12,7 +12,14 @@ package exaclim_test
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"exaclim"
@@ -373,4 +380,170 @@ func BenchmarkAblation_Extremes(b *testing.B) {
 		}
 	}
 	reportRows(b, t)
+}
+
+// serveBenchServer fronts the cached replay archive with a query server
+// and an HTTP listener — the load-generator fixture for the serving
+// benchmarks.
+func serveBenchServer(b *testing.B) (*exaclim.Server, *httptest.Server) {
+	r := replayBenchReader(b)
+	s, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	b.Cleanup(hs.Close)
+	return s, hs
+}
+
+// BenchmarkServe_Concurrent is the serving-subsystem load generator:
+// full-field HTTP requests cycling over every (member, t) of the
+// archived campaign, serial vs parallel clients. After the first epoch
+// the working set is cache-resident, so this measures the hot serving
+// path (cache hit + JSON encoding + transport), the regime a popular
+// field sees; req/s is the headline metric and the parallel/serial
+// ratio the scaling story.
+func BenchmarkServe_Concurrent(b *testing.B) {
+	get := func(client *http.Client, url string) error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %s", resp.Status)
+		}
+		return err
+	}
+	urlFor := func(base string, i int) string {
+		return fmt.Sprintf("%s/v1/field?member=%d&t=%d",
+			base, i%replayBenchMembers, (i/replayBenchMembers)%replayBenchSteps)
+	}
+	b.Run("serial", func(b *testing.B) {
+		_, hs := serveBenchServer(b)
+		client := hs.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := get(client, urlFor(hs.URL, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		s, hs := serveBenchServer(b)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := hs.Client()
+			for pb.Next() {
+				i := int(next.Add(1))
+				if err := get(client, urlFor(hs.URL, i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		st := s.Stats()
+		b.ReportMetric(float64(st.FieldLoads), "decodes")
+	})
+}
+
+// pointBench caches a high-resolution (L=64) archive so the point-query
+// benchmark measures serving cost, not fixture construction.
+var pointBench struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+const (
+	pointBenchL     = 64
+	pointBenchSteps = 32
+)
+
+func pointBenchReader(b *testing.B) *exaclim.ArchiveReader {
+	pointBench.once.Do(func() {
+		grid := exaclim.GridForBandLimit(pointBenchL)
+		var buf bytes.Buffer
+		w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
+			Grid: grid, L: pointBenchL, Members: 1, Scenarios: 1, Steps: pointBenchSteps,
+		})
+		if err != nil {
+			pointBench.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(17))
+		packed := make([]float64, pointBenchL*pointBenchL)
+		for t := 0; t < pointBenchSteps; t++ {
+			for i := range packed {
+				packed[i] = rng.NormFloat64()
+			}
+			if err := w.AddPacked(0, 0, t, packed); err != nil {
+				pointBench.err = err
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			pointBench.err = err
+			return
+		}
+		pointBench.data = buf.Bytes()
+	})
+	if pointBench.err != nil {
+		b.Fatal(pointBench.err)
+	}
+	r, err := exaclim.NewArchiveReader(bytes.NewReader(pointBench.data), int64(len(pointBench.data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkServe_PointSeries is the point-query cost claim at L=64: the
+// `point` path answers a full time series through O(L^2) spectral
+// evaluation on streamed packed coefficients, the `grid` path is the
+// pre-serve workflow — synthesize every full field and index one pixel.
+// The acceptance bar is point >= 10x cheaper per series.
+func BenchmarkServe_PointSeries(b *testing.B) {
+	const lat, lon = 37.5, 142.0
+	b.Run("point", func(b *testing.B) {
+		r := pointBenchReader(b)
+		s, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.PointSeries(0, 0, lat, lon, 0, pointBenchSteps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pointBenchSteps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+	})
+	b.Run("grid", func(b *testing.B) {
+		r := pointBenchReader(b)
+		grid := r.Header().Grid
+		theta := (90 - lat) * math.Pi / 180
+		i := int(theta / math.Pi * float64(grid.NLat-1))
+		j := int(lon / 360 * float64(grid.NLon))
+		if _, err := r.ReadField(0, 0, 0); err != nil { // warm the synthesis plan
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var sink float64
+		for it := 0; it < b.N; it++ {
+			for t := 0; t < pointBenchSteps; t++ {
+				f, err := r.ReadField(0, 0, t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += f.At(i, j)
+			}
+		}
+		b.ReportMetric(float64(pointBenchSteps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+		_ = sink
+	})
 }

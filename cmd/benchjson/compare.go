@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Comparison modes: `benchjson -compare old.json new.json` matches the
+// two documents' benchmarks by (package, name) and reports per-benchmark
+// ns/op deltas, flagging moves beyond the threshold — the bench
+// trajectory report CI prints against the previous commit's artifact.
+
+// delta is one matched benchmark's movement.
+type delta struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	pct      float64 // (new-old)/old * 100; positive = slower
+	flagged  bool
+	improved bool
+}
+
+// loadDocument reads a benchjson artifact.
+func loadDocument(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Document
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// benchKey joins package and benchmark name; sub-benchmarks keep their
+// full path so serial/parallel variants compare independently.
+func benchKey(r Record) string {
+	if r.Package == "" {
+		return r.Name
+	}
+	return r.Package + "." + r.Name
+}
+
+// compare matches the documents and computes the deltas plus the names
+// present on only one side.
+func compare(oldDoc, newDoc *Document, threshold float64) (deltas []delta, added, removed []string) {
+	oldNs := map[string]float64{}
+	for _, r := range oldDoc.Benchmarks {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			oldNs[benchKey(r)] = ns
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range newDoc.Benchmarks {
+		key := benchKey(r)
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		seen[key] = true
+		old, ok := oldNs[key]
+		if !ok {
+			added = append(added, key)
+			continue
+		}
+		d := delta{name: key, oldNs: old, newNs: ns}
+		if old > 0 {
+			d.pct = (ns - old) / old * 100
+		}
+		d.flagged = d.pct > threshold*100
+		d.improved = d.pct < -threshold*100
+		deltas = append(deltas, d)
+	}
+	for _, r := range oldDoc.Benchmarks {
+		if key := benchKey(r); !seen[key] {
+			if _, hasNs := r.Metrics["ns/op"]; hasNs {
+				removed = append(removed, key)
+			}
+		}
+	}
+	// Worst regressions first, then name for stability.
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].pct != deltas[j].pct {
+			return deltas[i].pct > deltas[j].pct
+		}
+		return deltas[i].name < deltas[j].name
+	})
+	sort.Strings(added)
+	sort.Strings(removed)
+	return deltas, added, removed
+}
+
+// runCompare prints the trend report and returns the regression count.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldDoc, err := loadDocument(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := loadDocument(newPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas, added, removed := compare(oldDoc, newDoc, threshold)
+	fmt.Fprintf(w, "bench trend: %s (commit %.10s) -> %s (commit %.10s), threshold %.0f%%\n",
+		oldPath, oldDoc.Commit, newPath, newDoc.Commit, threshold*100)
+	regressions := 0
+	for _, d := range deltas {
+		mark := "  "
+		switch {
+		case d.flagged:
+			mark = "!!"
+			regressions++
+		case d.improved:
+			mark = "++"
+		}
+		fmt.Fprintf(w, "%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n", mark, d.name, d.oldNs, d.newNs, d.pct)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "new %s\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "gone %s\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold*100)
+	} else {
+		fmt.Fprintf(w, "no regressions beyond %.0f%% across %d matched benchmarks\n", threshold*100, len(deltas))
+	}
+	return regressions, nil
+}

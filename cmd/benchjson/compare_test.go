@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc Document) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(pkg, name string, ns float64) Record {
+	return Record{Name: name, Package: pkg, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Document{
+		Commit: "abcdef123456",
+		Benchmarks: []Record{
+			rec("exaclim", "BenchmarkStable", 1000),
+			rec("exaclim", "BenchmarkSlower", 1000),
+			rec("exaclim", "BenchmarkFaster", 1000),
+			rec("exaclim", "BenchmarkGone", 500),
+		},
+	})
+	newPath := writeDoc(t, dir, "new.json", Document{
+		Commit: "123456abcdef",
+		Benchmarks: []Record{
+			rec("exaclim", "BenchmarkStable", 1050), // +5%: within threshold
+			rec("exaclim", "BenchmarkSlower", 1600), // +60%: regression
+			rec("exaclim", "BenchmarkFaster", 500),  // -50%: improvement
+			rec("exaclim", "BenchmarkNew", 100),     // added
+		},
+	})
+	var out bytes.Buffer
+	regressions, err := runCompare(&out, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"!! exaclim.BenchmarkSlower",
+		"++ exaclim.BenchmarkFaster",
+		"new exaclim.BenchmarkNew",
+		"gone exaclim.BenchmarkGone",
+		"1 benchmark(s) regressed beyond 25%",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "!! exaclim.BenchmarkStable") {
+		t.Errorf("within-threshold benchmark flagged:\n%s", report)
+	}
+	// Worst regression sorts first among the deltas.
+	slowerAt := strings.Index(report, "BenchmarkSlower")
+	stableAt := strings.Index(report, "BenchmarkStable")
+	if slowerAt < 0 || stableAt < 0 || slowerAt > stableAt {
+		t.Errorf("regressions not sorted first:\n%s", report)
+	}
+}
+
+func TestCompareNoRegressions(t *testing.T) {
+	dir := t.TempDir()
+	doc := Document{Benchmarks: []Record{rec("p", "BenchmarkA", 100)}}
+	oldPath := writeDoc(t, dir, "old.json", doc)
+	newPath := writeDoc(t, dir, "new.json", doc)
+	var out bytes.Buffer
+	regressions, err := runCompare(&out, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	if !strings.Contains(out.String(), "no regressions beyond 25% across 1 matched benchmarks") {
+		t.Errorf("report: %s", out.String())
+	}
+}
+
+func TestCompareBadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := writeDoc(t, dir, "good.json", Document{})
+	if _, err := runCompare(&bytes.Buffer{}, filepath.Join(dir, "missing.json"), good, 0.25); err == nil {
+		t.Error("expected error for missing old file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := runCompare(&bytes.Buffer{}, good, bad, 0.25); err == nil {
+		t.Error("expected error for malformed new file")
+	}
+}
+
+// TestParseBenchLine covers the pre-existing parser the compare mode
+// builds on (the package previously had no tests).
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkServe_Concurrent/parallel-8   200   322564 ns/op   3100 req/s", "exaclim")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkServe_Concurrent/parallel" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", r.Name)
+	}
+	if r.Iterations != 200 || r.Metrics["ns/op"] != 322564 || r.Metrics["req/s"] != 3100 {
+		t.Errorf("record = %+v", r)
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken abc", ""); ok {
+		t.Error("malformed line parsed")
+	}
+}

@@ -9,6 +9,14 @@
 // becomes one record carrying the package context lines ("pkg:", "cpu:",
 // ...) that preceded it, every reported metric keyed by unit, and the
 // commit/environment stamp when CI exports one (GITHUB_SHA).
+//
+// The compare mode turns two archived artifacts into a trend report:
+// per-benchmark ns/op deltas, regressions beyond -threshold flagged
+// with "!!", improvements with "++", and added/removed benchmarks
+// listed. With -fail the exit status is 1 when anything regressed:
+//
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
+//	go run ./cmd/benchjson -compare -threshold 0.5 -fail old.json new.json
 package main
 
 import (
@@ -41,10 +49,26 @@ type Document struct {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "bench output to read (default stdin)")
-		out = flag.String("out", "", "JSON file to write (default stdout)")
+		in        = flag.String("in", "", "bench output to read (default stdin)")
+		out       = flag.String("out", "", "JSON file to write (default stdout)")
+		doCompare = flag.Bool("compare", false, "compare two archived JSON artifacts: benchjson -compare old.json new.json")
+		threshold = flag.Float64("threshold", 0.25, "relative ns/op increase flagged as a regression in -compare mode")
+		failOnReg = flag.Bool("fail", false, "exit nonzero when -compare finds regressions")
 	)
 	flag.Parse()
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two JSON files, got %d args", flag.NArg()))
+		}
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 && *failOnReg {
+			os.Exit(1)
+		}
+		return
+	}
 	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"exaclim"
+)
+
+// runInfo prints an archive's header, band policy, chunk layout and
+// measured compression against float32 raw grids, without decoding any
+// field data:
+//
+//	exaclim info campaign.exa
+//	exaclim info -archive campaign.exa
+func runInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("archive", "campaign.exa", "archive file to describe")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		*path = fs.Arg(0)
+	}
+	r, err := exaclim.OpenArchive(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	h := r.Header()
+
+	fmt.Printf("archive %s\n", *path)
+	fmt.Printf("  grid        %v\n", h.Grid)
+	fmt.Printf("  band limit  L=%d (%d packed coefficients/step)\n", h.L, h.Dim())
+	fmt.Printf("  campaign    %d members x %d scenarios x %d steps (%d series, %d fields)\n",
+		h.Members, h.Scenarios, h.Steps, h.Series(), int64(h.Series())*int64(h.Steps))
+	fmt.Printf("  chunking    %d steps/chunk, %d chunks/series\n", h.ChunkSteps, h.Chunks())
+	fmt.Printf("  bands       %d:\n", len(h.Bands))
+	for _, b := range h.Bands {
+		fmt.Printf("    %v: %d coefficients, %d B\n", b, b.Coeffs(), 8+b.Coeffs()*b.Prec.Bytes())
+	}
+	if rel := r.RelErrBound(); !math.IsNaN(rel) {
+		fmt.Printf("  budget      %g relative L2 reconstruction error\n", rel)
+	}
+
+	stepB := h.StepBytes()
+	rawB := h.Grid.Points() * 4
+	fmt.Printf("  step record %d B vs %d B float32 raw grid (%.1fx smaller)\n",
+		stepB, rawB, float64(rawB)/float64(stepB))
+	fields := int64(h.Series()) * int64(h.Steps)
+	fmt.Printf("  file size   %d B (%.1f B/field with framing and index)\n",
+		r.Size(), float64(r.Size())/float64(fields))
+	fmt.Printf("  measured vs float32 raw grids: %v\n",
+		exaclim.MeasuredStorageReport(h.Grid, fields, 4, r.Size()))
+}

@@ -24,6 +24,16 @@
 //	exaclim replay -archive campaign.exa -workers 8
 //	exaclim replay -archive campaign.exa -member 0 -t 42 -maps out
 //	exaclim retrain -archive campaign.exa -save refit.gob -emulate 90
+//
+// The info subcommand prints an archive's header, band policy, chunk
+// layout and measured compression without decoding any fields; serve
+// fronts an archive (plus an optional model for live scenarios) with
+// the concurrent HTTP query API — full fields, point/box time series
+// and ensemble statistics:
+//
+//	exaclim info campaign.exa
+//	exaclim serve -archive campaign.exa -addr :8080
+//	exaclim serve -archive campaign.exa -smoke "/v1/point?lat=30&lon=100" -smoke-n 32
 package main
 
 import (
@@ -55,6 +65,12 @@ func main() {
 			return
 		case "retrain":
 			runRetrain(os.Args[2:])
+			return
+		case "info":
+			runInfo(os.Args[2:])
+			return
+		case "serve":
+			runServe(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The CLI's end-to-end smoke test: build the real binary once, then run
+// the documented workflow in a temp dir — train/save, ensemble, archive,
+// info, replay, retrain, and serve one request — asserting each
+// subcommand exits 0 and prints its headline lines. Sizes are kept tiny
+// (gridL=8, L=6, one training year) so the whole pipeline stays in the
+// seconds range.
+
+var cliBin struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+// buildCLI compiles the exaclim binary into a shared temp dir.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	cliBin.once.Do(func() {
+		dir, err := os.MkdirTemp("", "exaclim-cli")
+		if err != nil {
+			cliBin.err = err
+			return
+		}
+		bin := filepath.Join(dir, "exaclim")
+		cmd := exec.Command("go", "build", "-o", bin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			cliBin.err = err
+			t.Logf("go build: %s", out)
+			return
+		}
+		cliBin.path = bin
+	})
+	if cliBin.err != nil {
+		t.Fatalf("building CLI: %v", cliBin.err)
+	}
+	return cliBin.path
+}
+
+// run executes the binary and returns combined output, failing the test
+// on a nonzero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("exaclim %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// expect asserts every substring appears in the output.
+func expect(t *testing.T, label, out string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Fatalf("%s output missing %q:\n%s", label, w, out)
+		}
+	}
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the full CLI pipeline")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	arch := filepath.Join(dir, "campaign.exa")
+
+	// Pipeline: train on synthetic data, save the model.
+	out := run(t, bin, "-gridL", "8", "-L", "6", "-years", "1", "-P", "1",
+		"-emulate", "0", "-save", model)
+	expect(t, "pipeline", out, "training emulator", "saved model to "+model)
+
+	// Ensemble: a tiny scenario-parallel campaign from the saved model.
+	out = run(t, bin, "ensemble", "-load", model, "-members", "2", "-steps", "8", "-workers", "2")
+	expect(t, "ensemble", out, "loaded model", "ensemble mean", "generated 16 fields")
+
+	// Archive: emulate straight into the spectral store.
+	out = run(t, bin, "archive", "-load", model, "-members", "2", "-steps", "12", "-out", arch)
+	expect(t, "archive", out, "archived 24 fields", "measured vs float32 raw grids")
+
+	// Info: read-only header report, positional-argument form.
+	out = run(t, bin, "info", arch)
+	expect(t, "info", out, "band limit  L=6", "2 members x 1 scenarios x 12 steps",
+		"step record", "measured vs float32 raw grids")
+
+	// Replay: reconstruct fields and statistics from the archive alone.
+	out = run(t, bin, "replay", "-archive", arch, "-workers", "2", "-t", "3")
+	expect(t, "replay", out, "replayed 24 fields", "step 3")
+
+	// Retrain: refit an emulator from the archived campaign.
+	out = run(t, bin, "retrain", "-archive", arch, "-L", "6", "-P", "1", "-emulate", "5")
+	expect(t, "retrain", out, "retrained: covariance 36x36", "emulated 5 steps")
+
+	// Serve: answer one field request plus a coalesced point-series
+	// burst through the HTTP API.
+	out = run(t, bin, "serve", "-archive", arch, "-smoke", "/v1/field?member=0&scenario=0&t=3")
+	expect(t, "serve", out, `"member":0`, `"t":3`, "smoke: 1 requests")
+
+	out = run(t, bin, "serve", "-archive", arch,
+		"-smoke", "/v1/point?lat=30&lon=100&member=1&t0=0&t1=12", "-smoke-n", "16")
+	expect(t, "serve point", out, `"values":[`, "smoke: 16 requests")
+
+	// Serve with live scenarios: scenario 1 does not exist in the
+	// archive and is emulated on demand from the model.
+	out = run(t, bin, "serve", "-archive", arch, "-load", model, "-live", "1",
+		"-smoke", "/v1/field?member=0&scenario=1&t=2")
+	expect(t, "serve live", out, `"scenario":1`, "1 live")
+}
+
+// TestCLIErrors pins the failure surface: bad inputs exit nonzero with
+// a diagnostic on stderr instead of succeeding vacuously.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"info", filepath.Join(t.TempDir(), "missing.exa")},
+		{"serve", "-archive", filepath.Join(t.TempDir(), "missing.exa"), "-smoke", "/healthz"},
+		{"ensemble", "-members", "0"},
+	} {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("exaclim %s succeeded, want failure:\n%s", strings.Join(args, " "), out)
+		}
+		if !strings.Contains(string(out), "exaclim:") {
+			t.Errorf("exaclim %s: no diagnostic printed:\n%s", strings.Join(args, " "), out)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"exaclim"
+)
+
+// runServe fronts an archive (and optionally a trained model for live
+// scenarios) with the concurrent HTTP query API:
+//
+//	exaclim serve -archive campaign.exa -addr :8080
+//	exaclim serve -archive campaign.exa -load model.gob -live 2
+//
+// The -smoke mode is the CI load probe: it binds an ephemeral port,
+// issues -smoke-n concurrent in-process requests for the given path,
+// prints the first response and the server's cache/coalescing counters,
+// and exits — one command proving the whole serve path end to end.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		path      = fs.String("archive", "campaign.exa", "archive file to serve")
+		addr      = fs.String("addr", ":8080", "listen address")
+		loadPath  = fs.String("load", "", "trained model serving live scenarios (optional)")
+		live      = fs.Int("live", -1, "live emulated scenarios appended after the archive's (requires -load; -1 = 1 when -load is given, else 0)")
+		liveSteps = fs.Int("liveSteps", 0, "steps per live scenario (0 = archive steps)")
+		liveT0    = fs.Int("liveT0", 0, "training-step offset of live step 0 (match the archive's -t0)")
+		seed      = fs.Int64("seed", 1, "base seed for live member emulation")
+		cacheMB   = fs.Int("cacheMB", 256, "field cache capacity in MiB")
+		shards    = fs.Int("shards", 16, "field cache shards")
+		smoke     = fs.String("smoke", "", "issue one-shot requests for this path (e.g. /v1/field?t=3), print, exit")
+		smokeN    = fs.Int("smoke-n", 1, "concurrent requests issued in -smoke mode")
+	)
+	fs.Parse(args)
+
+	r, err := exaclim.OpenArchive(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	var model *exaclim.Model
+	if *loadPath != "" {
+		model = loadModel(*loadPath)
+	}
+	// -1 means "unset": default to one live scenario when a model is
+	// loaded. An explicit -live 0 keeps serving archive-only.
+	if *live < 0 {
+		if model != nil {
+			*live = 1
+		} else {
+			*live = 0
+		}
+	}
+	srv, err := exaclim.NewServer(r, model, exaclim.ServeConfig{
+		CacheBytes:    int64(*cacheMB) << 20,
+		CacheShards:   *shards,
+		LiveScenarios: *live,
+		LiveSteps:     *liveSteps,
+		LiveT0:        *liveT0,
+		BaseSeed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	h := r.Header()
+	fmt.Printf("serving %s: grid %v, L=%d, %d members x %d scenarios (%d live) x %d steps\n",
+		*path, h.Grid, h.L, h.Members, h.Scenarios, *live, h.Steps)
+
+	if *smoke != "" {
+		runServeSmoke(srv, *smoke, *smokeN)
+		return
+	}
+	fmt.Printf("listening on %s (endpoints: /v1/info /v1/field /v1/point /v1/box /v1/stats)\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// runServeSmoke binds an ephemeral loopback port, fires n concurrent
+// requests at the path, prints the first body (truncated) and the
+// serving counters, and returns.
+func runServeSmoke(srv *exaclim.Server, path string, n int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	if n < 1 {
+		n = 1
+	}
+	url := "http://" + ln.Addr().String() + path
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	body := bodies[0]
+	const maxShow = 512
+	if len(body) > maxShow {
+		fmt.Printf("%s... (%d bytes)\n", body[:maxShow], len(body))
+	} else {
+		fmt.Printf("%s", body)
+	}
+	st := srv.Stats()
+	fmt.Printf("smoke: %d requests in %.3fs (%.0f req/s)\n", n, elapsed, float64(n)/elapsed)
+	fmt.Printf("cache: %d loads, %d hits, %d coalesced, %d misses, %d entries (%.1f KB)\n",
+		st.FieldLoads+st.LiveLoads, st.Cache.Hits, st.Cache.Coalesced, st.Cache.Misses,
+		st.Cache.Entries, float64(st.Cache.Bytes)/1e3)
+}

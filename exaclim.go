@@ -50,6 +50,7 @@ import (
 	"exaclim/internal/emulator"
 	"exaclim/internal/era5"
 	"exaclim/internal/forcing"
+	"exaclim/internal/serve"
 	"exaclim/internal/sht"
 	"exaclim/internal/source"
 	"exaclim/internal/sphere"
@@ -150,6 +151,43 @@ const (
 	FP64 = tile.FP64
 	FP32 = tile.FP32
 	FP16 = tile.FP16
+)
+
+// Serving types: the concurrent query subsystem that lets consumers
+// read climate fields back on demand — full fields, point/box time
+// series, or ensemble statistics — from a spectral archive (plus live
+// emulation for scenarios the archive does not hold) over an HTTP
+// JSON/binary API. Field requests ride a sharded single-flight LRU
+// cache; point and box requests are answered by O(L^2) spectral
+// evaluation without ever synthesizing a full grid.
+type (
+	// Server answers concurrent field/point/box/statistics queries over
+	// one archive and, optionally, one trained model. Build with
+	// NewServer; Server.Handler returns the HTTP API; the query methods
+	// (Field, PointSeries, BoxSeries, EnsembleStats) serve in-process
+	// callers. Safe for concurrent use by any number of goroutines.
+	Server = serve.Server
+	// ServeConfig tunes the server: cache capacity and sharding, live
+	// scenario count/horizon, and the live base seed.
+	ServeConfig = serve.Config
+	// ServeStats snapshots the server's instrumentation: request,
+	// decode+synthesis and live-emulation counters plus cache counters.
+	ServeStats = serve.Stats
+	// ServeCacheStats is the field cache's counter snapshot.
+	ServeCacheStats = serve.CacheStats
+	// QueryBox is a geographic lat/lon box (degrees; longitudes wrap).
+	QueryBox = serve.Box
+	// FieldResponse, SeriesResponse, StatsResponse and InfoResponse are
+	// the JSON bodies of /v1/field, /v1/point + /v1/box, /v1/stats and
+	// /v1/info.
+	FieldResponse  = serve.FieldResponse
+	SeriesResponse = serve.SeriesResponse
+	StatsResponse  = serve.StatsResponse
+	InfoResponse   = serve.InfoResponse
+	// PointEvaluator evaluates band-limited fields at one fixed
+	// location in O(L^2) — the primitive under point time-series
+	// queries. Safe for concurrent use once built.
+	PointEvaluator = sht.PointEvaluator
 )
 
 // Performance-model types.
@@ -280,6 +318,26 @@ func OpenArchive(path string) (*ArchiveReader, error) { return archive.Open(path
 func NewArchiveReader(r io.ReaderAt, size int64) (*ArchiveReader, error) {
 	return archive.NewReader(r, size)
 }
+
+// NewServer builds a query server over an opened archive. model may be
+// nil (archive-only serving); with cfg.LiveScenarios > 0 it serves
+// scenario indices beyond the archive's by emulating on demand,
+// byte-identical to Model.Emulate under MemberSeed(cfg.BaseSeed, ...).
+func NewServer(r *ArchiveReader, model *Model, cfg ServeConfig) (*Server, error) {
+	return serve.New(r, model, cfg)
+}
+
+// NewPointEvaluator builds an O(L^2) point evaluator at colatitude
+// theta and longitude phi (radians). Its EvalPacked is a dot product
+// with the packed coefficient vectors ArchiveReader.ReadPacked returns.
+func NewPointEvaluator(L int, theta, phi float64) *PointEvaluator {
+	return sht.NewPointEvaluator(L, theta, phi)
+}
+
+// EvalPoint evaluates coefficients c at a single (colatitude theta,
+// longitude phi) without synthesizing a grid. For time series at one
+// location build a PointEvaluator once instead.
+func EvalPoint(c Coeffs, theta, phi float64) float64 { return sht.EvalPoint(c, theta, phi) }
 
 // MeasuredStorageReport compares the measured byte size of an archive
 // against the raw grid series it replaces (rawBytesPerValue is 4 for the

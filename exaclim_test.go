@@ -2,7 +2,11 @@ package exaclim_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -250,5 +254,113 @@ func TestPublicStreamingTraining(t *testing.T) {
 				t.Fatalf("retrained emulation differs at step %d pixel %d", tt, pix)
 			}
 		}
+	}
+}
+
+// TestPublicServing exercises the serving surface: archive a campaign,
+// front it with NewServer, and check field queries against direct
+// archive reads and point queries against spectral point evaluation.
+func TestPublicServing(t *testing.T) {
+	const (
+		L       = 10
+		members = 2
+		steps   = 20
+	)
+	grid := exaclim.GridForBandLimit(L)
+	rng := rand.New(rand.NewSource(8))
+	var buf bytes.Buffer
+	w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
+		Grid: grid, L: L, Members: members, Scenarios: 1, Steps: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := make([]float64, L*L)
+	for m := 0; m < members; m++ {
+		for ts := 0; ts < steps; ts++ {
+			for i := range packed {
+				packed[i] = rng.NormFloat64()
+			}
+			if err := w.AddPacked(m, 0, ts, packed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := exaclim.NewArchiveReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Field queries are byte-identical to direct archive reads.
+	want, err := r.ReadField(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Field(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range want.Data {
+		if got[p] != want.Data[p] {
+			t.Fatalf("served field pixel %d: %g != %g", p, got[p], want.Data[p])
+		}
+	}
+
+	// Point queries agree with the synthesized pixel and with the
+	// public point-evaluation primitives.
+	i, j := grid.NLat/2, 3
+	series, err := srv.PointSeries(1, 0, grid.Latitude(i), grid.LongitudeDeg(j), 0, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := exaclim.NewPointEvaluator(L, grid.Colatitude(i), grid.Longitude(j))
+	for ts := 0; ts < steps; ts++ {
+		f, err := r.ReadField(1, 0, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(series[ts] - f.At(i, j)); diff > 1e-10*(1+math.Abs(f.At(i, j))) {
+			t.Fatalf("point series t=%d: %g vs pixel %g", ts, series[ts], f.At(i, j))
+		}
+		pk, err := r.ReadPacked(1, 0, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(series[ts] - ev.EvalPacked(pk)); diff > 1e-12*(1+math.Abs(series[ts])) {
+			t.Fatalf("PointEvaluator t=%d: %g vs series %g", ts, ev.EvalPacked(pk), series[ts])
+		}
+	}
+
+	// Ensemble statistics and the HTTP handler respond.
+	mean, spread, err := srv.EnsembleStats(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean) != grid.Points() || len(spread) != grid.Points() {
+		t.Fatalf("stats lengths %d/%d, want %d", len(mean), len(spread), grid.Points())
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info exaclim.InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.L != L || info.Members != members {
+		t.Fatalf("info = %+v", info)
+	}
+	if st := srv.Stats(); st.Requests == 0 || st.FieldLoads == 0 {
+		t.Fatalf("stats not counting: %+v", st)
 	}
 }

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"exaclim/internal/sphere"
+)
+
+// HTTP API. All endpoints are GET and return JSON unless noted:
+//
+//	/healthz                              liveness probe
+//	/v1/info                              archive + server metadata, cache stats
+//	/v1/field?member=&scenario=&t=        full field; &format=f32 streams raw
+//	                                      little-endian float32 (row-major)
+//	/v1/point?member=&scenario=&lat=&lon=&t0=&t1=   point time series
+//	/v1/box?member=&scenario=&lat0=&lat1=&lon0=&lon1=&t0=&t1=  box-mean series
+//	/v1/stats?scenario=&t=                ensemble mean/spread across members
+//
+// t1 defaults to the scenario's step count; t0 defaults to 0.
+
+// FieldResponse is the JSON body of /v1/field.
+type FieldResponse struct {
+	Member   int       `json:"member"`
+	Scenario int       `json:"scenario"`
+	T        int       `json:"t"`
+	NLat     int       `json:"nlat"`
+	NLon     int       `json:"nlon"`
+	Data     []float64 `json:"data"` // row-major, NLat x NLon
+}
+
+// SeriesResponse is the JSON body of /v1/point and /v1/box.
+type SeriesResponse struct {
+	Member   int       `json:"member"`
+	Scenario int       `json:"scenario"`
+	T0       int       `json:"t0"`
+	Values   []float64 `json:"values"`
+}
+
+// StatsResponse is the JSON body of /v1/stats.
+type StatsResponse struct {
+	Scenario     int       `json:"scenario"`
+	T            int       `json:"t"`
+	Members      int       `json:"members"`
+	NLat         int       `json:"nlat"`
+	NLon         int       `json:"nlon"`
+	Mean         []float64 `json:"mean"`   // row-major ensemble mean
+	Spread       []float64 `json:"spread"` // row-major sample std across members
+	GlobalMean   float64   `json:"global_mean"`
+	GlobalSpread float64   `json:"global_spread"`
+}
+
+// InfoResponse is the JSON body of /v1/info.
+type InfoResponse struct {
+	Grid          string `json:"grid"`
+	NLat          int    `json:"nlat"`
+	NLon          int    `json:"nlon"`
+	L             int    `json:"L"`
+	Members       int    `json:"members"`
+	Scenarios     int    `json:"scenarios"`
+	LiveScenarios int    `json:"live_scenarios"`
+	Steps         int    `json:"steps"`
+	// LiveSteps is the valid t-range of live scenarios, which may
+	// differ from the archive's Steps.
+	LiveSteps    int      `json:"live_steps,omitempty"`
+	ChunkSteps   int      `json:"chunk_steps"`
+	Bands        []string `json:"bands"`
+	StepBytes    int      `json:"step_bytes"`
+	RawRatio     float64  `json:"raw_ratio"` // float32 raw grid bytes / archived bytes per step
+	ArchiveBytes int64    `json:"archive_bytes"`
+	Stats        Stats    `json:"stats"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/field", s.handleField)
+	mux.HandleFunc("GET /v1/point", s.handlePoint)
+	mux.HandleFunc("GET /v1/box", s.handleBox)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// httpError maps caller mistakes (QueryError: bad coordinates or
+// parameters) to 400 and everything else — I/O failures, corrupt
+// chunks — to 500, so monitors can tell data-plane failures from bad
+// requests.
+func httpError(w http.ResponseWriter, err error) {
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badQuery("serve: bad %s=%q: %v", name, v, err)
+	}
+	return n, nil
+}
+
+// queryFloat parses a float query parameter; it is required.
+func queryFloat(r *http.Request, name string) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, badQuery("serve: missing required parameter %s", name)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badQuery("serve: bad %s=%q: %v", name, v, err)
+	}
+	return f, nil
+}
+
+// writeJSON encodes v as the response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	h := s.h
+	bands := make([]string, len(h.Bands))
+	for i, b := range h.Bands {
+		bands[i] = b.String()
+	}
+	rawPerStep := float64(h.Grid.Points() * 4)
+	liveSteps := 0
+	if s.cfg.LiveScenarios > 0 {
+		liveSteps = s.cfg.LiveSteps
+	}
+	writeJSON(w, InfoResponse{
+		Grid: h.Grid.String(), NLat: h.Grid.NLat, NLon: h.Grid.NLon, L: h.L,
+		Members: h.Members, Scenarios: h.Scenarios, LiveScenarios: s.cfg.LiveScenarios,
+		Steps: h.Steps, ChunkSteps: h.ChunkSteps, Bands: bands, LiveSteps: liveSteps,
+		StepBytes:    h.StepBytes(),
+		RawRatio:     rawPerStep / float64(h.StepBytes()),
+		ArchiveBytes: s.r.Size(),
+		Stats:        s.Stats(),
+	})
+}
+
+func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
+	member, err := queryInt(r, "member", 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	scenario, err := queryInt(r, "scenario", 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	t, err := queryInt(r, "t", 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	data, err := s.Field(member, scenario, t)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	g := s.h.Grid
+	if r.URL.Query().Get("format") == "f32" {
+		// Raw row-major little-endian float32, the layout raw climate
+		// archives typically store; dimensions travel in headers.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Exaclim-NLat", strconv.Itoa(g.NLat))
+		w.Header().Set("X-Exaclim-NLon", strconv.Itoa(g.NLon))
+		buf := make([]byte, 4*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(v)))
+		}
+		w.Write(buf)
+		return
+	}
+	writeJSON(w, FieldResponse{
+		Member: member, Scenario: scenario, T: t,
+		NLat: g.NLat, NLon: g.NLon, Data: data,
+	})
+}
+
+// seriesParams parses the shared member/scenario/t0/t1 parameters.
+func (s *Server) seriesParams(r *http.Request) (member, scenario, t0, t1 int, err error) {
+	if member, err = queryInt(r, "member", 0); err != nil {
+		return
+	}
+	if scenario, err = queryInt(r, "scenario", 0); err != nil {
+		return
+	}
+	if t0, err = queryInt(r, "t0", 0); err != nil {
+		return
+	}
+	t1, err = queryInt(r, "t1", s.Steps(scenario))
+	return
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	member, scenario, t0, t1, err := s.seriesParams(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	lat, err := queryFloat(r, "lat")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	lon, err := queryFloat(r, "lon")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	values, err := s.PointSeries(member, scenario, lat, lon, t0, t1)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, SeriesResponse{Member: member, Scenario: scenario, T0: t0, Values: values})
+}
+
+func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
+	member, scenario, t0, t1, err := s.seriesParams(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	var box Box
+	if box.LatMin, err = queryFloat(r, "lat0"); err != nil {
+		httpError(w, err)
+		return
+	}
+	if box.LatMax, err = queryFloat(r, "lat1"); err != nil {
+		httpError(w, err)
+		return
+	}
+	if box.LonMin, err = queryFloat(r, "lon0"); err != nil {
+		httpError(w, err)
+		return
+	}
+	if box.LonMax, err = queryFloat(r, "lon1"); err != nil {
+		httpError(w, err)
+		return
+	}
+	values, err := s.BoxSeries(member, scenario, box, t0, t1)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, SeriesResponse{Member: member, Scenario: scenario, T0: t0, Values: values})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	scenario, err := queryInt(r, "scenario", 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	t, err := queryInt(r, "t", 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	mean, spread, err := s.EnsembleStats(scenario, t)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	g := s.h.Grid
+	gm := sphere.Field{Grid: g, Data: mean}.Mean()
+	gs := sphere.Field{Grid: g, Data: spread}.Mean()
+	writeJSON(w, StatsResponse{
+		Scenario: scenario, T: t, Members: s.h.Members,
+		NLat: g.NLat, NLon: g.NLon, Mean: mean, Spread: spread,
+		GlobalMean: gm, GlobalSpread: gs,
+	})
+}

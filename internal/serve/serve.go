@@ -1,0 +1,548 @@
+// Package serve implements exaclim's concurrent query-serving subsystem:
+// the consumer-facing read path the storage claim exists for. Instead of
+// hauling raw ESM output around, many clients ask a server for exactly
+// what they need — a full field at (member, scenario, t), a time series
+// at an arbitrary (lat, lon) point or lat/lon box, or ensemble
+// statistics across members — and the server answers from a spectral
+// archive (and optionally from live emulation for scenarios the archive
+// does not hold).
+//
+// Two mechanisms carry the load:
+//
+//   - Point-wise spectral evaluation. A point or box query never
+//     materializes a full grid: the packed coefficient vector of each
+//     step is decoded through an independent archive.Series cursor and
+//     evaluated at the query location in O(L^2) by sht.PointEvaluator
+//     (a dot product) or per-ring by sht.RingEvaluator — orders of
+//     magnitude cheaper than full synthesis for L >= 64.
+//
+//   - A sharded LRU field cache with single-flight coalescing. N
+//     concurrent requests for the same field trigger exactly one
+//     decode + synthesis; everyone else waits on that flight and shares
+//     the (read-only) result. Hot fields are served straight from
+//     memory.
+//
+// A Server is safe for concurrent use by any number of goroutines; the
+// HTTP layer in http.go fronts it with a JSON/binary API.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"exaclim/internal/archive"
+	"exaclim/internal/emulator"
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheBytes bounds the field cache (default 256 MiB).
+	CacheBytes int64
+	// CacheShards is the shard count, rounded up to a power of two
+	// (default 16). More shards means less lock contention across
+	// distinct hot fields.
+	CacheShards int
+	// LiveScenarios adds that many emulated-on-demand scenarios after
+	// the archive's own (scenario indices Scenarios() .. Scenarios() +
+	// LiveScenarios - 1). Requires a model.
+	LiveScenarios int
+	// LiveSteps bounds t for live scenarios (default: the archive's
+	// Steps).
+	LiveSteps int
+	// LiveT0 is the training-step offset of live step 0. Set it to the
+	// T0 the archived campaign was emulated at (exaclim archive -t0) so
+	// live and archived scenarios stay aligned in season and forcing
+	// year; the archive header does not record the offset.
+	LiveT0 int
+	// BaseSeed derives live member seeds via emulator.MemberSeed, so a
+	// live series is reproducible and byte-identical to
+	// Model.Emulate(MemberSeed(BaseSeed, member, scenario), LiveT0, T).
+	BaseSeed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults(h archive.Header) Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	if c.LiveSteps == 0 {
+		c.LiveSteps = h.Steps
+	}
+	return c
+}
+
+// Server answers field, point, box and ensemble-statistics queries over
+// one spectral archive and (optionally) one trained emulator.
+type Server struct {
+	r     *archive.Reader
+	model *emulator.Model
+	h     archive.Header
+	cfg   Config
+	cache *fieldCache
+	plan  *sht.Plan // shared read-only; synthesis runs sequentially per request
+
+	scratch sync.Pool // *serveScratch, decode buffers for field loads
+
+	fieldLoads atomic.Int64 // underlying archive decode+synthesis count
+	liveLoads  atomic.Int64 // underlying live emulation runs
+	requests   atomic.Int64 // queries answered (any kind)
+}
+
+// serveScratch is the pooled per-load decode state.
+type serveScratch struct {
+	packed []float64
+	coeffs sht.Coeffs
+}
+
+// Stats is a point-in-time snapshot of the server's instrumentation.
+type Stats struct {
+	// Cache is the field cache's counter snapshot.
+	Cache CacheStats
+	// FieldLoads counts underlying archive decode+synthesis runs — with
+	// single-flight coalescing this stays at one per distinct field no
+	// matter how many concurrent requests raced for it.
+	FieldLoads int64
+	// LiveLoads counts on-demand emulation runs.
+	LiveLoads int64
+	// Requests counts answered queries of any kind.
+	Requests int64
+}
+
+// New builds a server over an opened archive. model may be nil (archive
+// only); cfg.LiveScenarios > 0 requires it and serves scenario indices
+// beyond the archive's by emulating on demand.
+func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("serve: nil archive reader")
+	}
+	h := r.Header()
+	cfg = cfg.withDefaults(h)
+	if cfg.LiveScenarios > 0 {
+		if model == nil {
+			return nil, fmt.Errorf("serve: %d live scenarios requested without a model", cfg.LiveScenarios)
+		}
+		if model.Grid != h.Grid {
+			return nil, fmt.Errorf("serve: model grid %v does not match archive grid %v", model.Grid, h.Grid)
+		}
+	}
+	plan, err := sht.NewPlan(h.Grid, h.L)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		r:     r,
+		model: model,
+		h:     h,
+		cfg:   cfg,
+		cache: newFieldCache(cfg.CacheBytes, cfg.CacheShards),
+		// Requests fan out across clients, so each synthesis runs on its
+		// own goroutine alone — the same one-level-of-parallelism rule
+		// archive.Series cursors follow.
+		plan: plan.Sequential(),
+	}
+	s.scratch.New = func() any {
+		return &serveScratch{
+			packed: make([]float64, h.Dim()),
+			coeffs: sht.NewCoeffs(h.L),
+		}
+	}
+	return s, nil
+}
+
+// Header returns the archive header the server fronts.
+func (s *Server) Header() archive.Header { return s.h }
+
+// Grid returns the serving grid.
+func (s *Server) Grid() sphere.Grid { return s.h.Grid }
+
+// Scenarios returns the total scenario count: archived plus live.
+func (s *Server) Scenarios() int { return s.h.Scenarios + s.cfg.LiveScenarios }
+
+// Members returns the member count (shared by archive and live series).
+func (s *Server) Members() int { return s.h.Members }
+
+// Steps returns the step count of scenario (live scenarios may differ).
+func (s *Server) Steps(scenario int) int {
+	if s.isLive(scenario) {
+		return s.cfg.LiveSteps
+	}
+	return s.h.Steps
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Cache:      s.cache.stats(),
+		FieldLoads: s.fieldLoads.Load(),
+		LiveLoads:  s.liveLoads.Load(),
+		Requests:   s.requests.Load(),
+	}
+}
+
+// isLive reports whether scenario is served by on-demand emulation.
+func (s *Server) isLive(scenario int) bool { return scenario >= s.h.Scenarios }
+
+// QueryError marks a request the caller got wrong (out-of-range
+// coordinates, malformed parameters) as opposed to a server-side
+// failure (I/O error, corrupt chunk). The HTTP layer maps it to 400;
+// everything else is a 500.
+type QueryError struct{ msg string }
+
+func (e *QueryError) Error() string { return e.msg }
+
+// badQuery builds a QueryError.
+func badQuery(format string, args ...any) error {
+	return &QueryError{msg: fmt.Sprintf(format, args...)}
+}
+
+// check validates a (member, scenario, t) query coordinate against the
+// combined archive + live shape.
+func (s *Server) check(member, scenario, t int) error {
+	if member < 0 || member >= s.h.Members {
+		return badQuery("serve: member %d out of range [0,%d)", member, s.h.Members)
+	}
+	if scenario < 0 || scenario >= s.Scenarios() {
+		return badQuery("serve: scenario %d out of range [0,%d) (%d archived + %d live)",
+			scenario, s.Scenarios(), s.h.Scenarios, s.cfg.LiveScenarios)
+	}
+	if steps := s.Steps(scenario); t < 0 || t >= steps {
+		return badQuery("serve: step %d out of range [0,%d)", t, steps)
+	}
+	return nil
+}
+
+// checkRange validates a [t0, t1) query window.
+func (s *Server) checkRange(member, scenario, t0, t1 int) error {
+	if t1 <= t0 {
+		return badQuery("serve: empty step range [%d,%d)", t0, t1)
+	}
+	if err := s.check(member, scenario, t0); err != nil {
+		return err
+	}
+	return s.check(member, scenario, t1-1)
+}
+
+// Field returns the full grid field of (member, scenario, t) as a shared
+// read-only slice in sphere.Field row-major layout. Concurrent requests
+// for one field coalesce into a single decode+synthesis; subsequent
+// requests hit the cache.
+func (s *Server) Field(member, scenario, t int) ([]float64, error) {
+	if err := s.check(member, scenario, t); err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	return s.field(member, scenario, t)
+}
+
+// field is Field without the request accounting — the internal path
+// composite queries (statistics, live series) fetch through, so one
+// client query counts once no matter how many fields it touches.
+func (s *Server) field(member, scenario, t int) ([]float64, error) {
+	key := cacheKey{live: s.isLive(scenario), member: member, scenario: scenario, t: t}
+	if key.live {
+		return s.cache.getOrLoad(key, func() ([]float64, error) {
+			return s.loadLiveField(member, scenario, t)
+		})
+	}
+	return s.cache.getOrLoad(key, func() ([]float64, error) {
+		return s.loadArchiveField(member, scenario, t)
+	})
+}
+
+// loadArchiveField is the uncached archive read: decode the packed
+// coefficients and synthesize on the serving grid.
+func (s *Server) loadArchiveField(member, scenario, t int) ([]float64, error) {
+	s.fieldLoads.Add(1)
+	sc := s.scratch.Get().(*serveScratch)
+	defer s.scratch.Put(sc)
+	packed, err := s.r.ReadPacked(member, scenario, t, sc.packed)
+	if err != nil {
+		return nil, err
+	}
+	sc.packed = packed
+	out := sphere.NewField(s.h.Grid)
+	s.plan.SynthesizeInto(out, sht.UnpackRealInto(sc.coeffs, packed))
+	return out.Data, nil
+}
+
+// loadLiveField emulates (member, scenario) from step 0 through t —
+// VAR generation is sequential, so reaching step t costs O(t) — and
+// opportunistically caches every step generated on the way (earlier
+// steps become cache hits; series queries exploit this by fetching
+// their last step first, so a whole range costs one run). Coalescing
+// still holds: concurrent requests for one step share a single run.
+func (s *Server) loadLiveField(member, scenario, t int) ([]float64, error) {
+	s.liveLoads.Add(1)
+	seed := emulator.MemberSeed(s.cfg.BaseSeed, member, scenario)
+	var want []float64
+	err := s.model.EmulateForEach(seed, s.cfg.LiveT0, t+1, func(tt int, f sphere.Field) {
+		if tt == t {
+			want = f.Data
+			return
+		}
+		// Emulated fields are freshly allocated per step, so handing the
+		// slice to the cache is safe.
+		s.cache.add(cacheKey{live: true, member: member, scenario: scenario, t: tt}, f.Data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return want, nil
+}
+
+// angles converts a geographic (lat, lon) in degrees to (colatitude,
+// longitude) in radians.
+func angles(lat, lon float64) (theta, phi float64, err error) {
+	if lat < -90 || lat > 90 || math.IsNaN(lat) {
+		return 0, 0, badQuery("serve: latitude %g out of range [-90,90]", lat)
+	}
+	if math.IsNaN(lon) || math.IsInf(lon, 0) {
+		return 0, 0, badQuery("serve: bad longitude %g", lon)
+	}
+	return (90 - lat) * math.Pi / 180, lon * math.Pi / 180, nil
+}
+
+// PointSeries returns the field value at geographic (lat degrees, lon
+// degrees) for every step in [t0, t1) of (member, scenario).
+//
+// For archived scenarios the series never materializes a grid: each
+// step's packed coefficients stream through an independent series cursor
+// and are evaluated at the exact query location by an O(L^2) dot
+// product. For live scenarios the emulated fields (which carry
+// pixel-space nugget noise, so they are not band-limited) are sampled by
+// bilinear interpolation on the grid instead.
+func (s *Server) PointSeries(member, scenario int, lat, lon float64, t0, t1 int) ([]float64, error) {
+	if err := s.checkRange(member, scenario, t0, t1); err != nil {
+		return nil, err
+	}
+	theta, phi, err := angles(lat, lon)
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	out := make([]float64, t1-t0)
+	if s.isLive(scenario) {
+		// Fetch the last step first: its miss emulates [0, t1) in one
+		// run and caches every earlier step, so the ascending loop below
+		// is all cache hits instead of one re-emulation per step.
+		if _, err := s.field(member, scenario, t1-1); err != nil {
+			return nil, err
+		}
+		for t := t0; t < t1; t++ {
+			data, err := s.field(member, scenario, t)
+			if err != nil {
+				return nil, err
+			}
+			out[t-t0] = bilinear(s.h.Grid, data, theta, phi)
+		}
+		return out, nil
+	}
+	ev := sht.NewPointEvaluator(s.h.L, theta, phi)
+	cur, err := s.r.Series(member, scenario)
+	if err != nil {
+		return nil, err
+	}
+	var packed []float64
+	for t := t0; t < t1; t++ {
+		packed, err = cur.ReadPacked(t, packed)
+		if err != nil {
+			return nil, err
+		}
+		out[t-t0] = ev.EvalPacked(packed)
+	}
+	return out, nil
+}
+
+// Box is a geographic latitude/longitude box in degrees. Longitudes wrap:
+// LonMin > LonMax selects the band crossing the date line.
+type Box struct {
+	LatMin, LatMax float64
+	LonMin, LonMax float64
+}
+
+// boxPoints returns the grid rings and longitudes inside the box.
+func boxPoints(g sphere.Grid, b Box) (rings, lons []int, err error) {
+	if b.LatMin > b.LatMax {
+		return nil, nil, badQuery("serve: box latitude range [%g,%g] is empty", b.LatMin, b.LatMax)
+	}
+	for i := 0; i < g.NLat; i++ {
+		if lat := g.Latitude(i); lat >= b.LatMin && lat <= b.LatMax {
+			rings = append(rings, i)
+		}
+	}
+	if b.LonMax-b.LonMin >= 360 {
+		// A full (or wider) circle: every longitude, before the mod-360
+		// normalization below would collapse the span to a single value.
+		for j := 0; j < g.NLon; j++ {
+			lons = append(lons, j)
+		}
+	} else {
+		lonMin := math.Mod(math.Mod(b.LonMin, 360)+360, 360)
+		lonMax := math.Mod(math.Mod(b.LonMax, 360)+360, 360)
+		for j := 0; j < g.NLon; j++ {
+			lon := g.LongitudeDeg(j)
+			in := lon >= lonMin && lon <= lonMax
+			if lonMin > lonMax { // wraps across 0
+				in = lon >= lonMin || lon <= lonMax
+			}
+			if in {
+				lons = append(lons, j)
+			}
+		}
+	}
+	if len(rings) == 0 || len(lons) == 0 {
+		return nil, nil, badQuery("serve: box %+v contains no grid points on %v", b, g)
+	}
+	return rings, lons, nil
+}
+
+// BoxSeries returns the area-weighted mean over the grid points inside
+// box for every step in [t0, t1) of (member, scenario). Archived
+// scenarios evaluate only the box's rings and longitudes via per-ring
+// spectral evaluation (O(L^2) per ring plus O(L) per point), never the
+// full grid; live scenarios average the emulated fields directly.
+func (s *Server) BoxSeries(member, scenario int, box Box, t0, t1 int) ([]float64, error) {
+	if err := s.checkRange(member, scenario, t0, t1); err != nil {
+		return nil, err
+	}
+	rings, lons, err := boxPoints(s.h.Grid, box)
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	// Area weights, renormalized over the box.
+	aw := s.h.Grid.AreaWeights()
+	wsum := 0.0
+	for _, i := range rings {
+		wsum += aw[i] * float64(len(lons))
+	}
+	out := make([]float64, t1-t0)
+
+	if s.isLive(scenario) {
+		// As in PointSeries: warm the series with one emulation run.
+		if _, err := s.field(member, scenario, t1-1); err != nil {
+			return nil, err
+		}
+		for t := t0; t < t1; t++ {
+			data, err := s.field(member, scenario, t)
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			for _, i := range rings {
+				row := data[i*s.h.Grid.NLon:]
+				for _, j := range lons {
+					sum += aw[i] * row[j]
+				}
+			}
+			out[t-t0] = sum / wsum
+		}
+		return out, nil
+	}
+
+	evs := make([]*sht.RingEvaluator, len(rings))
+	for k, i := range rings {
+		evs[k] = sht.NewRingEvaluator(s.h.L, s.h.Grid.Colatitude(i))
+	}
+	phis := make([]float64, len(lons))
+	for k, j := range lons {
+		phis[k] = s.h.Grid.Longitude(j)
+	}
+	cur, err := s.r.Series(member, scenario)
+	if err != nil {
+		return nil, err
+	}
+	var packed []float64
+	for t := t0; t < t1; t++ {
+		packed, err = cur.ReadPacked(t, packed)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for k, ev := range evs {
+			ev.SetPacked(packed)
+			ringSum := 0.0
+			for _, phi := range phis {
+				ringSum += ev.EvalLon(phi)
+			}
+			sum += aw[rings[k]] * ringSum
+		}
+		out[t-t0] = sum / wsum
+	}
+	return out, nil
+}
+
+// EnsembleStats returns the per-pixel ensemble mean and spread (sample
+// standard deviation across members) of scenario at step t, served
+// through the field cache so repeated statistics queries share decodes.
+func (s *Server) EnsembleStats(scenario, t int) (mean, spread []float64, err error) {
+	if err := s.check(0, scenario, t); err != nil {
+		return nil, nil, err
+	}
+	s.requests.Add(1)
+	n := s.h.Members
+	pts := s.h.Grid.Points()
+	mean = make([]float64, pts)
+	m2 := make([]float64, pts)
+	for m := 0; m < n; m++ {
+		data, err := s.field(m, scenario, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Welford across members, vectorized over pixels.
+		inv := 1 / float64(m+1)
+		for p, v := range data {
+			d := v - mean[p]
+			mean[p] += d * inv
+			m2[p] += d * (v - mean[p])
+		}
+	}
+	spread = m2
+	if n > 1 {
+		inv := 1 / float64(n-1)
+		for p := range spread {
+			spread[p] = math.Sqrt(spread[p] * inv)
+		}
+	} else {
+		for p := range spread {
+			spread[p] = 0
+		}
+	}
+	return mean, spread, nil
+}
+
+// bilinear samples a row-major grid field at (theta, phi) by bilinear
+// interpolation, periodic in longitude and clamped at the poles — the
+// sampling rule for live-emulated fields, whose pixel-space nugget noise
+// puts them outside the band-limited space spectral evaluation assumes.
+func bilinear(g sphere.Grid, data []float64, theta, phi float64) float64 {
+	fi := theta / math.Pi * float64(g.NLat-1)
+	i0 := int(math.Floor(fi))
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i0 > g.NLat-2 {
+		i0 = g.NLat - 2
+	}
+	ti := fi - float64(i0)
+	if ti < 0 {
+		ti = 0
+	}
+	if ti > 1 {
+		ti = 1
+	}
+	fj := math.Mod(math.Mod(phi, 2*math.Pi)+2*math.Pi, 2*math.Pi) / (2 * math.Pi) * float64(g.NLon)
+	j0 := int(math.Floor(fj)) % g.NLon
+	tj := fj - math.Floor(fj)
+	j1 := (j0 + 1) % g.NLon
+	top := data[i0*g.NLon+j0]*(1-tj) + data[i0*g.NLon+j1]*tj
+	bot := data[(i0+1)*g.NLon+j0]*(1-tj) + data[(i0+1)*g.NLon+j1]*tj
+	return top*(1-ti) + bot*ti
+}

@@ -1,0 +1,758 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"exaclim/internal/archive"
+	"exaclim/internal/emulator"
+	"exaclim/internal/era5"
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+	"exaclim/internal/trend"
+)
+
+const (
+	fixL        = 12
+	fixMembers  = 3
+	fixScen     = 2
+	fixSteps    = 40
+	fixChunk    = 16
+	fixCacheCap = 1 << 24
+)
+
+// buildArchive writes an in-memory archive of random band-limited steps
+// and returns a reader over it. Mixed bands exercise the quantized
+// decode path the server rides.
+func buildArchive(t testing.TB, grid sphere.Grid, L int) *archive.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, archive.Header{
+		Grid: grid, L: L,
+		Members: fixMembers, Scenarios: fixScen, Steps: fixSteps,
+		ChunkSteps: fixChunk,
+		Bands: []archive.Band{
+			{Lo: 0, Hi: L / 2, Prec: tile.FP64},
+			{Lo: L / 2, Hi: L, Prec: tile.FP32},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	packed := make([]float64, sht.PackDim(L))
+	for s := 0; s < fixScen; s++ {
+		for m := 0; m < fixMembers; m++ {
+			for ts := 0; ts < fixSteps; ts++ {
+				for i := range packed {
+					packed[i] = rng.NormFloat64()
+				}
+				if err := w.AddPacked(m, s, ts, packed); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testServer(t testing.TB) (*Server, *archive.Reader) {
+	t.Helper()
+	grid := sphere.GridForBandLimit(fixL)
+	r := buildArchive(t, grid, fixL)
+	s, err := New(r, nil, Config{CacheBytes: fixCacheCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+// TestFieldMatchesUncachedRead pins byte-identity of served fields:
+// first (uncached) and second (cached) requests both equal a direct
+// archive.ReadField of the same step.
+func TestFieldMatchesUncachedRead(t *testing.T) {
+	s, r := testServer(t)
+	for _, q := range [][3]int{{0, 0, 0}, {2, 1, 39}, {1, 0, 17}} {
+		want, err := r.ReadField(q[0], q[1], q[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := s.Field(q[0], q[1], q[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := s.Field(q[0], q[1], q[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range want.Data {
+			if first[p] != want.Data[p] {
+				t.Fatalf("%v pixel %d: served %g, direct read %g", q, p, first[p], want.Data[p])
+			}
+			if second[p] != first[p] {
+				t.Fatalf("%v pixel %d: cache hit %g != first read %g", q, p, second[p], first[p])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.FieldLoads != 3 {
+		t.Errorf("FieldLoads = %d, want 3 (one per distinct field)", st.FieldLoads)
+	}
+	if st.Cache.Hits != 3 {
+		t.Errorf("cache hits = %d, want 3", st.Cache.Hits)
+	}
+}
+
+// TestSingleFlightUnderLoad is the acceptance test for the coalescing
+// claim: 32+ goroutines hammering one (member, scenario, t) observe
+// exactly one underlying decode+synthesis, and every response is
+// byte-identical to an uncached read. Run under -race in CI.
+func TestSingleFlightUnderLoad(t *testing.T) {
+	s, r := testServer(t)
+	want, err := r.ReadField(1, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 32
+	got := make([][]float64, N)
+	errs := make([]error, N)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i], errs[i] = s.Field(1, 1, 7)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for p := range want.Data {
+			if got[i][p] != want.Data[p] {
+				t.Fatalf("goroutine %d pixel %d: %g != uncached %g", i, p, got[i][p], want.Data[p])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.FieldLoads != 1 {
+		t.Fatalf("FieldLoads = %d, want exactly 1 for %d concurrent requests", st.FieldLoads, N)
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits+st.Cache.Coalesced != N-1 {
+		t.Errorf("cache stats %+v inconsistent with single flight over %d requests", st.Cache, N)
+	}
+}
+
+// TestPointSeriesMatchesSynthesis checks the O(L^2) point path against
+// grid-synthesis-then-index at grid locations, to the acceptance bound
+// of 1e-10 relative to the field scale — and confirms the server never
+// synthesized a grid to get there.
+func TestPointSeriesMatchesSynthesis(t *testing.T) {
+	s, r := testServer(t)
+	grid := s.Grid()
+	coords := [][2]int{{0, 0}, {3, 5}, {grid.NLat - 1, grid.NLon - 1}, {grid.NLat / 2, 0}}
+	for _, mc := range coords {
+		i, j := mc[0], mc[1]
+		lat, lon := grid.Latitude(i), grid.LongitudeDeg(j)
+		series, err := s.PointSeries(2, 1, lat, lon, 0, fixSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ts := 0; ts < fixSteps; ts++ {
+			f, err := r.ReadField(2, 1, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := f.MinMax()
+			scale := math.Max(math.Abs(lo), math.Abs(hi))
+			if diff := math.Abs(series[ts] - f.At(i, j)); diff > 1e-10*scale {
+				t.Fatalf("point (%d,%d) t=%d: spectral %g vs synthesized %g (diff %g)",
+					i, j, ts, series[ts], f.At(i, j), diff)
+			}
+		}
+	}
+	if st := s.Stats(); st.FieldLoads != 0 {
+		t.Fatalf("point queries ran %d full-grid loads; the point path must never materialize a grid", st.FieldLoads)
+	}
+}
+
+// TestBoxSeriesMatchesFieldAverage checks the per-ring box path against
+// the area-weighted average of fully synthesized fields, including a box
+// wrapping the date line.
+func TestBoxSeriesMatchesFieldAverage(t *testing.T) {
+	s, r := testServer(t)
+	grid := s.Grid()
+	boxes := []Box{
+		{LatMin: -30, LatMax: 45, LonMin: 10, LonMax: 120},
+		{LatMin: 60, LatMax: 90, LonMin: 300, LonMax: 60}, // wraps 0
+		{LatMin: -90, LatMax: 90, LonMin: 0, LonMax: 360}, // whole sphere
+	}
+	aw := grid.AreaWeights()
+	for _, box := range boxes {
+		rings, lons, err := boxPoints(grid, box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := s.BoxSeries(0, 0, box, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ts := 0; ts < 8; ts++ {
+			f, err := r.ReadField(0, 0, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, wsum := 0.0, 0.0
+			for _, i := range rings {
+				for _, j := range lons {
+					sum += aw[i] * f.At(i, j)
+					wsum += aw[i]
+				}
+			}
+			want := sum / wsum
+			lo, hi := f.MinMax()
+			scale := math.Max(math.Abs(lo), math.Abs(hi))
+			if diff := math.Abs(series[ts] - want); diff > 1e-10*scale {
+				t.Fatalf("box %+v t=%d: spectral %g vs averaged %g", box, ts, series[ts], want)
+			}
+		}
+	}
+}
+
+// TestEnsembleStatsMatchesDirect checks mean/spread across members
+// against a direct two-pass computation on synthesized fields.
+func TestEnsembleStatsMatchesDirect(t *testing.T) {
+	s, r := testServer(t)
+	mean, spread, err := s.EnsembleStats(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Grid().Points()
+	wantMean := make([]float64, pts)
+	fields := make([]sphere.Field, fixMembers)
+	for m := 0; m < fixMembers; m++ {
+		f, err := r.ReadField(m, 1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields[m] = f
+		for p, v := range f.Data {
+			wantMean[p] += v / fixMembers
+		}
+	}
+	for p := 0; p < pts; p++ {
+		if math.Abs(mean[p]-wantMean[p]) > 1e-12*(1+math.Abs(wantMean[p])) {
+			t.Fatalf("pixel %d: mean %g, want %g", p, mean[p], wantMean[p])
+		}
+		var ss float64
+		for m := 0; m < fixMembers; m++ {
+			d := fields[m].Data[p] - wantMean[p]
+			ss += d * d
+		}
+		want := math.Sqrt(ss / (fixMembers - 1))
+		if math.Abs(spread[p]-want) > 1e-9*(1+want) {
+			t.Fatalf("pixel %d: spread %g, want %g", p, spread[p], want)
+		}
+	}
+}
+
+// TestQueryValidation covers the error surface of the query methods.
+func TestQueryValidation(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []func() error{
+		func() error { _, err := s.Field(-1, 0, 0); return err },
+		func() error { _, err := s.Field(0, fixScen, 0); return err }, // no live scenarios configured
+		func() error { _, err := s.Field(0, 0, fixSteps); return err },
+		func() error { _, err := s.PointSeries(0, 0, 95, 0, 0, 1); return err },
+		func() error { _, err := s.PointSeries(0, 0, 0, 0, 3, 3); return err },
+		func() error { _, err := s.BoxSeries(0, 0, Box{LatMin: 50, LatMax: 40}, 0, 1); return err },
+		func() error {
+			_, err := s.BoxSeries(0, 0, Box{LatMin: 1, LatMax: 2, LonMin: 3, LonMax: 4}, 0, 1)
+			return err
+		},
+		func() error { _, _, err := s.EnsembleStats(5, 0); return err },
+	}
+	for i, fn := range cases {
+		if fn() == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+}
+
+// trainLiveModel trains a tiny emulator whose grid doubles as the
+// archive grid for the live-scenario tests.
+var liveFixture struct {
+	once  sync.Once
+	model *emulator.Model
+	err   error
+}
+
+func liveModel(t testing.TB) *emulator.Model {
+	t.Helper()
+	liveFixture.once.Do(func() {
+		gen, err := era5.New(era5.Config{
+			Grid: sphere.GridForBandLimit(fixL), L: fixL, Seed: 11,
+			StartYear: 1990, StepsPerDay: 1,
+		})
+		if err != nil {
+			liveFixture.err = err
+			return
+		}
+		fields := gen.Run(2 * era5.DaysPerYear)
+		liveFixture.model, liveFixture.err = emulator.Train(
+			[][]sphere.Field{fields}, gen.AnnualRF(15, 3), 15, emulator.Config{
+				L: fixL, P: 2, Variant: tile.VariantDP,
+				Trend: trend.Options{
+					StepsPerYear: era5.DaysPerYear, K: 2,
+					RhoGrid: []float64{0.5, 0.85},
+				},
+			})
+	})
+	if liveFixture.err != nil {
+		t.Fatal(liveFixture.err)
+	}
+	return liveFixture.model
+}
+
+// TestLiveScenario exercises the on-demand emulation path: scenario
+// indices past the archive's are served from the model, byte-identical
+// to a direct Emulate call, with the steps generated on the way cached.
+func TestLiveScenario(t *testing.T) {
+	model := liveModel(t)
+	r := buildArchive(t, model.Grid, fixL)
+	const baseSeed = 77
+	s, err := New(r, model, Config{
+		CacheBytes: fixCacheCap, LiveScenarios: 1, LiveSteps: 12, BaseSeed: baseSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveScen := r.Header().Scenarios
+	if got, want := s.Scenarios(), fixScen+1; got != want {
+		t.Fatalf("Scenarios() = %d, want %d", got, want)
+	}
+
+	const member, ts = 1, 9
+	want, err := model.Emulate(emulator.MemberSeed(baseSeed, member, liveScen), 0, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Field(member, liveScen, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range want[ts].Data {
+		if got[p] != want[ts].Data[p] {
+			t.Fatalf("live field pixel %d: served %g, Emulate %g", p, got[p], want[ts].Data[p])
+		}
+	}
+	if st := s.Stats(); st.LiveLoads != 1 {
+		t.Fatalf("LiveLoads = %d, want 1", st.LiveLoads)
+	}
+	// Earlier steps were cached on the way: no new emulation run.
+	earlier, err := s.Field(member, liveScen, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range want[3].Data {
+		if earlier[p] != want[3].Data[p] {
+			t.Fatalf("cached step 3 pixel %d: %g, want %g", p, earlier[p], want[3].Data[p])
+		}
+	}
+	if st := s.Stats(); st.LiveLoads != 1 {
+		t.Fatalf("step 3 triggered a re-emulation (LiveLoads = %d)", st.LiveLoads)
+	}
+	// Point series on the live scenario: bilinear at a grid point equals
+	// the field value there.
+	grid := model.Grid
+	i, j := grid.NLat/2, 4
+	series, err := s.PointSeries(member, liveScen, grid.Latitude(i), grid.LongitudeDeg(j), 0, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt <= ts; tt++ {
+		if diff := math.Abs(series[tt] - want[tt].At(i, j)); diff > 1e-9*(1+math.Abs(want[tt].At(i, j))) {
+			t.Fatalf("live point series t=%d: %g, want %g", tt, series[tt], want[tt].At(i, j))
+		}
+	}
+	// Beyond the live horizon is a validation error.
+	if _, err := s.Field(member, liveScen, 12); err == nil {
+		t.Fatal("expected out-of-horizon error for live step 12")
+	}
+}
+
+// TestHTTPEndpoints round-trips every endpoint through a real HTTP
+// server and checks the bodies against the direct query methods.
+func TestHTTPEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getJSON := func(path string, out any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s -> %d: %s", path, resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	var info InfoResponse
+	getJSON("/v1/info", &info)
+	if info.L != fixL || info.Members != fixMembers || info.Steps != fixSteps {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.RawRatio <= 1 {
+		t.Errorf("raw ratio %g, want > 1 (the storage claim)", info.RawRatio)
+	}
+
+	var fr FieldResponse
+	getJSON("/v1/field?member=1&scenario=0&t=5", &fr)
+	want, err := s.Field(1, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.NLat*fr.NLon != len(fr.Data) {
+		t.Fatalf("field dims %dx%d vs %d values", fr.NLat, fr.NLon, len(fr.Data))
+	}
+	for p := range want {
+		if fr.Data[p] != want[p] {
+			t.Fatalf("field JSON pixel %d: %g != %g", p, fr.Data[p], want[p])
+		}
+	}
+
+	// Binary format: float32 row-major with dimension headers.
+	resp, err := http.Get(ts.URL + "/v1/field?member=1&scenario=0&t=5&format=f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(raw) != 4*len(want) {
+		t.Fatalf("f32 body %d bytes, want %d", len(raw), 4*len(want))
+	}
+	if resp.Header.Get("X-Exaclim-NLat") == "" {
+		t.Error("missing X-Exaclim-NLat header")
+	}
+	for p := range want {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*p:]))
+		if got != float32(want[p]) {
+			t.Fatalf("f32 pixel %d: %g != %g", p, got, float32(want[p]))
+		}
+	}
+
+	var sr SeriesResponse
+	getJSON("/v1/point?member=0&scenario=1&lat=30&lon=100&t0=2&t1=10", &sr)
+	wantSeries, err := s.PointSeries(0, 1, 30, 100, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Values) != len(wantSeries) {
+		t.Fatalf("point series length %d, want %d", len(sr.Values), len(wantSeries))
+	}
+	for i := range wantSeries {
+		if sr.Values[i] != wantSeries[i] {
+			t.Fatalf("point series[%d]: %g != %g", i, sr.Values[i], wantSeries[i])
+		}
+	}
+
+	getJSON("/v1/box?member=0&scenario=0&lat0=-20&lat1=40&lon0=30&lon1=200&t1=6", &sr)
+	wantBox, err := s.BoxSeries(0, 0, Box{LatMin: -20, LatMax: 40, LonMin: 30, LonMax: 200}, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantBox {
+		if sr.Values[i] != wantBox[i] {
+			t.Fatalf("box series[%d]: %g != %g", i, sr.Values[i], wantBox[i])
+		}
+	}
+
+	var stats StatsResponse
+	getJSON("/v1/stats?scenario=0&t=3", &stats)
+	if stats.Members != fixMembers || len(stats.Mean) != s.Grid().Points() {
+		t.Fatalf("stats = members %d, %d mean values", stats.Members, len(stats.Mean))
+	}
+	if stats.GlobalSpread < 0 {
+		t.Errorf("global spread %g", stats.GlobalSpread)
+	}
+
+	// Error surface: bad parameters are 400s.
+	for _, path := range []string{
+		"/v1/field?member=99",
+		"/v1/field?t=abc",
+		"/v1/point?lat=30", // missing lon
+		"/v1/point?lat=91&lon=0",
+		"/v1/box?lat0=5&lat1=4&lon0=0&lon1=10",
+		"/v1/stats?scenario=9",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", path, resp.StatusCode)
+		}
+	}
+
+	// Health endpoint.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz -> %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentSameField hammers one field URL from 32 HTTP clients
+// and checks the single-flight property end to end: exactly one decode,
+// every body byte-identical.
+func TestHTTPConcurrentSameField(t *testing.T) {
+	s, _ := testServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	const N = 32
+	bodies := make([][]byte, N)
+	errs := make([]error, N)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(srv.URL + "/v1/field?member=0&scenario=1&t=11")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	if st := s.Stats(); st.FieldLoads != 1 {
+		t.Fatalf("FieldLoads = %d after %d identical HTTP requests, want 1", st.FieldLoads, N)
+	}
+}
+
+// TestBoxFullCircle pins the full-circle longitude fix: spans covering
+// 360 degrees or more select every grid longitude instead of collapsing
+// to a single meridian under mod-360 normalization.
+func TestBoxFullCircle(t *testing.T) {
+	s, _ := testServer(t)
+	grid := s.Grid()
+	for _, box := range []Box{
+		{LatMin: -90, LatMax: 90, LonMin: 0, LonMax: 360},
+		{LatMin: -90, LatMax: 90, LonMin: -180, LonMax: 180},
+		{LatMin: 0, LatMax: 30, LonMin: -400, LonMax: 400},
+	} {
+		_, lons, err := boxPoints(grid, box)
+		if err != nil {
+			t.Fatalf("box %+v: %v", box, err)
+		}
+		if len(lons) != grid.NLon {
+			t.Fatalf("box %+v selected %d longitudes, want all %d", box, len(lons), grid.NLon)
+		}
+	}
+	// The global box mean must equal the field's area-weighted mean.
+	series, err := s.BoxSeries(0, 0, Box{LatMin: -90, LatMax: 90, LonMin: -180, LonMax: 180}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.r
+	for ts := 0; ts < 3; ts++ {
+		f, err := r.ReadField(0, 0, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := f.MinMax()
+		scale := math.Max(math.Abs(lo), math.Abs(hi))
+		if diff := math.Abs(series[ts] - f.Mean()); diff > 1e-10*scale {
+			t.Fatalf("global box t=%d: %g vs area mean %g", ts, series[ts], f.Mean())
+		}
+	}
+}
+
+// TestRequestsCountQueries pins that Stats.Requests counts client
+// queries, not the internal field fetches composite queries fan out to.
+func TestRequestsCountQueries(t *testing.T) {
+	s, _ := testServer(t)
+	if _, _, err := s.EnsembleStats(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Requests != 1 {
+		t.Fatalf("EnsembleStats over %d members counted %d requests, want 1", fixMembers, st.Requests)
+	}
+	if _, err := s.PointSeries(0, 0, 10, 20, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Requests != 2 {
+		t.Fatalf("Requests = %d after stats + point series, want 2", st.Requests)
+	}
+}
+
+// failingReaderAt serves reads normally until armed, then fails — the
+// I/O-failure fixture for the 500-vs-400 contract.
+type failingReaderAt struct {
+	r    *bytes.Reader
+	fail atomic.Bool
+}
+
+func (f *failingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if f.fail.Load() {
+		return 0, errors.New("injected I/O failure")
+	}
+	return f.r.ReadAt(p, off)
+}
+
+// TestHTTPErrorClassification pins the status-code contract: caller
+// mistakes are 400s, server-side read failures are 500s.
+func TestHTTPErrorClassification(t *testing.T) {
+	grid := sphere.GridForBandLimit(fixL)
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, archive.Header{
+		Grid: grid, L: fixL, Members: 1, Scenarios: 1, Steps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := make([]float64, sht.PackDim(fixL))
+	for ts := 0; ts < 4; ts++ {
+		if err := w.AddPacked(0, 0, ts, packed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fra := &failingReaderAt{r: bytes.NewReader(buf.Bytes())}
+	r, err := archive.NewReader(fra, int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(r, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/v1/field?member=5"); got != http.StatusBadRequest {
+		t.Errorf("out-of-range member -> %d, want 400", got)
+	}
+	fra.fail.Store(true)
+	if got := status("/v1/field?member=0&t=1"); got != http.StatusInternalServerError {
+		t.Errorf("injected read failure -> %d, want 500", got)
+	}
+	if got := status("/v1/point?lat=10&lon=20&t0=0&t1=2"); got != http.StatusInternalServerError {
+		t.Errorf("injected read failure on point -> %d, want 500", got)
+	}
+}
+
+// TestLiveSeriesSingleRun pins that a live point/box series costs one
+// emulation run, not one per step: the series prefetches its last step,
+// whose load caches everything before it.
+func TestLiveSeriesSingleRun(t *testing.T) {
+	model := liveModel(t)
+	r := buildArchive(t, model.Grid, fixL)
+	s, err := New(r, model, Config{
+		CacheBytes: fixCacheCap, LiveScenarios: 1, LiveSteps: 10, BaseSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveScen := r.Header().Scenarios
+	if _, err := s.PointSeries(0, liveScen, 10, 20, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.LiveLoads != 1 {
+		t.Fatalf("ascending live point series ran %d emulations, want 1", st.LiveLoads)
+	}
+	box := Box{LatMin: -45, LatMax: 45, LonMin: 0, LonMax: 90}
+	if _, err := s.BoxSeries(1, liveScen, box, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.LiveLoads != 2 {
+		t.Fatalf("live box series on a fresh member ran %d total emulations, want 2", st.LiveLoads)
+	}
+}
+
+// TestLiveT0Alignment pins that LiveT0 shifts live emulation to the
+// training-step offset the archived campaign was emulated at: live
+// step t is byte-identical to Model.Emulate(seed, LiveT0, t+1)[t].
+func TestLiveT0Alignment(t *testing.T) {
+	model := liveModel(t)
+	r := buildArchive(t, model.Grid, fixL)
+	const t0, baseSeed = 100, 9
+	s, err := New(r, model, Config{
+		CacheBytes: fixCacheCap, LiveScenarios: 1, LiveSteps: 6,
+		LiveT0: t0, BaseSeed: baseSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveScen := r.Header().Scenarios
+	want, err := model.Emulate(emulator.MemberSeed(baseSeed, 0, liveScen), t0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Field(0, liveScen, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range want[3].Data {
+		if got[p] != want[3].Data[p] {
+			t.Fatalf("live T0=%d field pixel %d: served %g, Emulate %g", t0, p, got[p], want[3].Data[p])
+		}
+	}
+}
