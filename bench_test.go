@@ -223,7 +223,7 @@ const (
 func replayBenchReader(b *testing.B) *exaclim.ArchiveReader {
 	replayBench.once.Do(func() {
 		model := ensembleBenchModel(b)
-		replayBench.rf = model.Trend.AnnualRF
+		replayBench.rf = model.Trend.AnnualRF()
 		replayBench.lead = model.Trend.Lead
 		var buf bytes.Buffer
 		w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
@@ -546,4 +546,170 @@ func BenchmarkServe_PointSeries(b *testing.B) {
 		b.ReportMetric(float64(pointBenchSteps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
 		_ = sink
 	})
+}
+
+// BenchmarkTrainFrom_ParallelTrend tracks the trend-pass fan-out:
+// `serial` trains with one worker (single accumulator, one cursor at a
+// time), `parallel` lets the trend pass fork per-realization-span
+// accumulators with span-ordered merges (and the residual pass fan out
+// alike). fields/s counts decoded fields across both passes. On >= 4
+// core hosts parallel should approach the core count; this container
+// may have fewer, so read the ratio there.
+func BenchmarkTrainFrom_ParallelTrend(b *testing.B) {
+	cfgFor := func(workers int) exaclim.Config {
+		return exaclim.Config{
+			L: 16, P: 2, Variant: exaclim.DPHP, SenderConvert: true,
+			Workers: workers,
+			Trend: exaclim.TrendOptions{
+				StepsPerYear: exaclim.DaysPerYear, K: 2,
+				RhoGrid: []float64{0.5, 0.85},
+			},
+		}
+	}
+	fields := float64(2 * replayBenchMembers * replayBenchSteps)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := replayBenchReader(b)
+			cfg := cfgFor(bc.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exaclim.TrainFromArchive(r, 0, replayBench.rf, replayBench.lead, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(fields*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
+		})
+	}
+}
+
+// multiScenBench caches a two-scenario archived campaign (training
+// forcing + a boosted pathway) plus the forcing set naming them, so the
+// multi-scenario training benchmark times the fit, not the fixture.
+var multiScenBench struct {
+	once sync.Once
+	data []byte
+	set  exaclim.PathwaySet
+	lead int
+	err  error
+}
+
+func multiScenBenchReader(b *testing.B) *exaclim.ArchiveReader {
+	multiScenBench.once.Do(func() {
+		model := ensembleBenchModel(b)
+		rf := model.Trend.AnnualRF()
+		boosted := make([]float64, len(rf))
+		for i, v := range rf {
+			boosted[i] = v + 2
+		}
+		set, err := exaclim.NewPathwaySet(
+			exaclim.Pathway{Name: "training", Annual: rf},
+			exaclim.Pathway{Name: "boosted", Annual: boosted},
+		)
+		if err != nil {
+			multiScenBench.err = err
+			return
+		}
+		multiScenBench.set = set
+		multiScenBench.lead = model.Trend.Lead
+		var buf bytes.Buffer
+		w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
+			Grid: model.Grid, L: model.Cfg.L,
+			Members: replayBenchMembers, Scenarios: 2, Steps: replayBenchSteps,
+			ChunkSteps: 16,
+		})
+		if err != nil {
+			multiScenBench.err = err
+			return
+		}
+		spec := exaclim.EnsembleSpec{
+			Members: replayBenchMembers, Steps: replayBenchSteps, BaseSeed: 7,
+			Scenarios: []exaclim.EnsembleScenario{
+				{Name: "training"},
+				{Name: "boosted", AnnualRF: boosted},
+			},
+		}
+		err = model.EmulateEnsemble(spec, func(member, scenario, t int, f exaclim.Field) {
+			if err := w.AddField(member, scenario, t, f); err != nil {
+				panic(err)
+			}
+		})
+		if err == nil {
+			err = w.Close()
+		}
+		if err != nil {
+			multiScenBench.err = err
+			return
+		}
+		multiScenBench.data = buf.Bytes()
+	})
+	if multiScenBench.err != nil {
+		b.Fatal(multiScenBench.err)
+	}
+	r, err := exaclim.NewArchiveReader(bytes.NewReader(multiScenBench.data), int64(len(multiScenBench.data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTrainFrom_MultiScenario times the scenario-aware fit: one
+// TrainFromArchiveAll spans every member of both archived scenarios,
+// each under its own forcing pathway. fields/s counts decoded fields
+// (two passes over 2 x members x steps).
+func BenchmarkTrainFrom_MultiScenario(b *testing.B) {
+	r := multiScenBenchReader(b)
+	cfg := exaclim.Config{
+		L: 16, P: 2, Variant: exaclim.DPHP, SenderConvert: true,
+		Trend: exaclim.TrendOptions{
+			StepsPerYear: exaclim.DaysPerYear, K: 2,
+			RhoGrid: []float64{0.5, 0.85},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := exaclim.TrainFromArchiveAll(r, multiScenBench.set, multiScenBench.lead, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*2*replayBenchMembers*replayBenchSteps)*float64(b.N)/b.Elapsed().Seconds(), "fields/s")
+}
+
+// BenchmarkServe_WhatIf times what-if serving: point time series on a
+// live scenario whose forcing pathway is absent from the archive. The
+// first query emulates and caches the series; steady state measures the
+// hot dashboard path (cached live fields + bilinear sampling + the
+// point-evaluator LRU for archived comparisons). req/s is the headline.
+func BenchmarkServe_WhatIf(b *testing.B) {
+	model := ensembleBenchModel(b)
+	r := replayBenchReader(b)
+	rf := model.Trend.AnnualRF()
+	whatIf := make([]float64, len(rf))
+	for i, v := range rf {
+		whatIf[i] = v + 2
+	}
+	s, err := exaclim.NewServer(r, model, exaclim.ServeConfig{
+		LivePathways: []exaclim.Pathway{{Name: "whatif", Annual: whatIf}},
+		LiveSteps:    replayBenchSteps,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	liveScen := r.Header().Scenarios
+	const lat, lon = 37.5, 142.0
+	// Warm: one emulation run fills the live series cache.
+	if _, err := s.PointSeries(0, liveScen, lat, lon, 0, replayBenchSteps); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		member := i % replayBenchMembers
+		if _, err := s.PointSeries(member, liveScen, lat, lon, 0, replayBenchSteps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	st := s.Stats()
+	b.ReportMetric(float64(st.LiveLoads), "emulations")
 }

@@ -25,14 +25,27 @@
 //	exaclim replay -archive campaign.exa -member 0 -t 42 -maps out
 //	exaclim retrain -archive campaign.exa -save refit.gob -emulate 90
 //
+// Forcing is scenario-aware end to end: archive writes its campaign's
+// named forcing pathways to a JSON sidecar (-rf-out), retrain
+// -scenarios all fits one model across every archived scenario (each
+// member under its own pathway, from -rf-file or reconstructed via
+// -stabilize), and serve -live-rf turns each pathway of a file into a
+// live "what-if" scenario emulated under forcing the archive never
+// held:
+//
+//	exaclim archive -members 4 -stabilize 2030:450:40 -out campaign.exa -rf-out rf.json
+//	exaclim retrain -archive campaign.exa -scenarios all -rf-file rf.json -save refit.gob
+//	exaclim serve -archive campaign.exa -load refit.gob -live-rf rf.json
+//
 // The info subcommand prints an archive's header, band policy, chunk
 // layout and measured compression without decoding any fields; serve
 // fronts an archive (plus an optional model for live scenarios) with
 // the concurrent HTTP query API — full fields, point/box time series
-// and ensemble statistics:
+// and ensemble statistics — hardened by -max-inflight (503 shedding)
+// and -timeout:
 //
 //	exaclim info campaign.exa
-//	exaclim serve -archive campaign.exa -addr :8080
+//	exaclim serve -archive campaign.exa -addr :8080 -max-inflight 64 -timeout 10s
 //	exaclim serve -archive campaign.exa -smoke "/v1/point?lat=30&lon=100" -smoke-n 32
 package main
 
@@ -222,9 +235,7 @@ func (c *campaignFlags) validate() {
 	}
 	parseVariant(*c.variant)
 	if *c.stabilize != "" {
-		if _, err := fmt.Sscanf(*c.stabilize, "%f:%f:%f", &c.stabStart, &c.stabPPM, &c.stabEfold); err != nil {
-			fatal(fmt.Errorf("bad -stabilize %q: %v", *c.stabilize, err))
-		}
+		c.stabStart, c.stabPPM, c.stabEfold = parseStabilize(*c.stabilize)
 		c.stabSet = true
 	}
 }
@@ -266,13 +277,33 @@ func (c *campaignFlags) buildScenarios(model *exaclim.Model) []exaclim.EnsembleS
 	if c.stabSet {
 		sc := exaclim.Stabilization(c.stabStart, c.stabPPM, c.stabEfold)
 		lead := model.Trend.Lead
-		nYears := len(model.Trend.AnnualRF)
+		nYears := len(model.Trend.AnnualRF())
 		scenarios = append(scenarios, exaclim.EnsembleScenario{
 			Name:     sc.Name,
 			AnnualRF: sc.Annual(*c.startYear-lead, nYears),
 		})
 	}
 	return scenarios
+}
+
+// pathwaySet converts the campaign scenario list into a named pathway
+// set (nil forcing resolves to the model's training record) — the
+// forcing sidecar `archive -rf-out` writes and `retrain -scenarios all`
+// / `serve -live-rf` read back.
+func pathwaySet(model *exaclim.Model, scenarios []exaclim.EnsembleScenario) exaclim.PathwaySet {
+	pathways := make([]exaclim.Pathway, len(scenarios))
+	for i, sc := range scenarios {
+		rf := sc.AnnualRF
+		if rf == nil {
+			rf = model.Trend.AnnualRF()
+		}
+		pathways[i] = exaclim.Pathway{Name: sc.Name, Annual: rf}
+	}
+	set, err := exaclim.NewPathwaySet(pathways...)
+	if err != nil {
+		fatal(err)
+	}
+	return set
 }
 
 // spec assembles the EnsembleSpec from the parsed flags.
@@ -331,6 +362,7 @@ func runArchive(args []string) {
 	cf := addCampaignFlags(fs)
 	var (
 		out    = fs.String("out", "campaign.exa", "archive file to write")
+		rfOut  = fs.String("rf-out", "", "write the campaign's forcing pathways to this JSON file (for retrain -scenarios all / serve -live-rf)")
 		budget = fs.Float64("budget", exaclim.DefaultArchivePolicy().MaxRelErr,
 			"relative L2 reconstruction-error budget for quantization")
 		safety = fs.Float64("safety", 0, "fraction of the budget the planner spends (0 = default 0.5)")
@@ -371,6 +403,13 @@ func runArchive(args []string) {
 	bands := policy.PlanBands(exaclim.MeanPowerSpectrum(plan, probeFields))
 
 	scenarios := cf.buildScenarios(model)
+	if *rfOut != "" {
+		set := pathwaySet(model, scenarios)
+		if err := set.Save(*rfOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d forcing pathways (%v) to %s\n", set.Len(), set.Names(), *rfOut)
+	}
 	header := exaclim.ArchiveHeader{
 		Grid: grid, L: la,
 		Members: *cf.members, Scenarios: len(scenarios), Steps: *cf.steps,
@@ -543,6 +582,9 @@ func runRetrain(args []string) {
 	var (
 		path      = fs.String("archive", "campaign.exa", "archive file to retrain from")
 		scenario  = fs.Int("scenario", 0, "archive scenario whose members form the training ensemble")
+		scenSel   = fs.String("scenarios", "", `"all" fits every archived scenario's members jointly, each under its own forcing pathway (default: just -scenario)`)
+		rfFile    = fs.String("rf-file", "", "JSON pathway file naming each archived scenario's forcing in order (pathway k drives scenario k; see archive -rf-out)")
+		stabilize = fs.String("stabilize", "", "with -scenarios all and no -rf-file: reconstruct scenario 1 as the stabilization pathway startYear:targetPPM:efold used at archive time")
 		l         = fs.Int("L", 0, "emulator band limit (0 = archive band limit)")
 		p         = fs.Int("P", 2, "VAR order")
 		variant   = fs.String("variant", "DP/HP", "Cholesky precision: DP|DP/SP|DP/SP/HP|DP/HP")
@@ -555,6 +597,9 @@ func runRetrain(args []string) {
 		seed      = fs.Int64("seed", 1, "RNG seed for -emulate")
 	)
 	fs.Parse(args)
+	if *scenSel != "" && *scenSel != "all" {
+		fatal(fmt.Errorf(`bad -scenarios %q: want "all" or empty`, *scenSel))
+	}
 	r, err := exaclim.OpenArchive(*path)
 	if err != nil {
 		fatal(err)
@@ -569,29 +614,40 @@ func runRetrain(args []string) {
 	var annualRF []float64
 	if *rfFrom != "" {
 		ref := loadModel(*rfFrom)
-		annualRF, *lead = ref.Trend.AnnualRF, ref.Trend.Lead
+		annualRF, *lead = ref.Trend.AnnualRF(), ref.Trend.Lead
 	} else {
 		annualRF = exaclim.Historical().Annual(*startYear-*lead, *lead+years+1)
 	}
 
-	fmt.Printf("retraining from %s: scenario %d, %d members x %d steps at L=%d (archive L=%d)\n",
-		*path, *scenario, h.Members, h.Steps, *l, h.L)
-	start := time.Now()
-	model, err := exaclim.TrainFromArchive(r, *scenario, annualRF, *lead, exaclim.Config{
+	cfg := exaclim.Config{
 		L: *l, P: *p, Variant: parseVariant(*variant), SenderConvert: true,
 		Workers: *workers,
 		Trend: exaclim.TrendOptions{
 			StepsPerYear: exaclim.DaysPerYear, K: 2,
 			RhoGrid: []float64{0.5, 0.85},
 		},
-	})
+	}
+	var model *exaclim.Model
+	trained := h.Members
+	start := time.Now()
+	if *scenSel == "all" {
+		set := retrainPathwaySet(h.Scenarios, *rfFile, *stabilize, annualRF, *startYear, *lead)
+		trained = h.Members * h.Scenarios
+		fmt.Printf("retraining from %s: all %d scenarios (%v), %d members each x %d steps at L=%d (archive L=%d)\n",
+			*path, h.Scenarios, set.Names(), h.Members, h.Steps, *l, h.L)
+		model, err = exaclim.TrainFromArchiveAll(r, set, *lead, cfg)
+	} else {
+		fmt.Printf("retraining from %s: scenario %d, %d members x %d steps at L=%d (archive L=%d)\n",
+			*path, *scenario, h.Members, h.Steps, *l, h.L)
+		model, err = exaclim.TrainFromArchive(r, *scenario, annualRF, *lead, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start).Seconds()
 	// Training streams the campaign twice: a trend pass and a residual
 	// pass, each decoding every (member, t) field from the archive.
-	decoded := 2 * h.Members * h.Steps
+	decoded := 2 * trained * h.Steps
 	d := model.Diag
 	fmt.Printf("retrained: covariance %dx%d, variant %s, factorization %.2fs\n",
 		d.CovDim, d.CovDim, d.Variant, d.FactorSeconds)
@@ -609,6 +665,51 @@ func runRetrain(args []string) {
 		fmt.Printf("emulated %d steps from the retrained model: %v\n",
 			*emulateN, stats.Summarize(emu))
 	}
+}
+
+// parseStabilize parses a startYear:targetPPM:efold stabilization spec,
+// exiting with a diagnostic on malformed input. Shared by the archive
+// and retrain subcommands so the spec format cannot drift between them.
+func parseStabilize(spec string) (start, ppm, efold float64) {
+	if _, err := fmt.Sscanf(spec, "%f:%f:%f", &start, &ppm, &efold); err != nil {
+		fatal(fmt.Errorf("bad -stabilize %q: %v", spec, err))
+	}
+	return start, ppm, efold
+}
+
+// retrainPathwaySet assembles the per-archived-scenario forcing set for
+// retrain -scenarios all: from the JSON pathway file when given
+// (pathway k drives archived scenario k), otherwise reconstructed the
+// way the archive subcommand built the campaign — the resolved training
+// forcing as scenario 0 plus the -stabilize pathway as scenario 1.
+func retrainPathwaySet(nScenarios int, rfFile, stabilize string, annualRF []float64, startYear, lead int) exaclim.PathwaySet {
+	if rfFile != "" {
+		set, err := exaclim.LoadPathwaySet(rfFile)
+		if err != nil {
+			fatal(err)
+		}
+		if set.Len() != nScenarios {
+			fatal(fmt.Errorf("%s holds %d pathways, archive holds %d scenarios", rfFile, set.Len(), nScenarios))
+		}
+		return set
+	}
+	pathways := []exaclim.Pathway{{Name: "training-forcing", Annual: annualRF}}
+	if stabilize != "" {
+		stabStart, stabPPM, stabEfold := parseStabilize(stabilize)
+		sc := exaclim.Stabilization(stabStart, stabPPM, stabEfold)
+		pathways = append(pathways, exaclim.Pathway{
+			Name: sc.Name, Annual: sc.Annual(startYear-lead, len(annualRF)),
+		})
+	}
+	if len(pathways) != nScenarios {
+		fatal(fmt.Errorf("have %d forcing pathways for %d archived scenarios; pass -rf-file (see archive -rf-out) or -stabilize",
+			len(pathways), nScenarios))
+	}
+	set, err := exaclim.NewPathwaySet(pathways...)
+	if err != nil {
+		fatal(err)
+	}
+	return set
 }
 
 // saveModel serializes a trained model to path, exiting on failure.

@@ -119,6 +119,53 @@ func TestCLIEndToEnd(t *testing.T) {
 	expect(t, "serve live", out, `"scenario":1`, "1 live")
 }
 
+// TestCLIMultiScenario drives the scenario-aware forcing workflow end
+// to end: archive a two-scenario campaign with its forcing sidecar,
+// retrain one model across both scenarios from the pathway file, and
+// serve a what-if live scenario under a pathway absent from the
+// archive.
+func TestCLIMultiScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the full CLI pipeline")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	arch := filepath.Join(dir, "campaign.exa")
+	rfFile := filepath.Join(dir, "rf.json")
+	refit := filepath.Join(dir, "refit.gob")
+
+	// Train once, then archive a two-scenario campaign (training forcing
+	// + a stabilization pathway) writing the forcing sidecar.
+	run(t, bin, "-gridL", "8", "-L", "6", "-years", "1", "-P", "1", "-emulate", "0", "-save", model)
+	out := run(t, bin, "archive", "-load", model, "-members", "2", "-steps", "12",
+		"-stabilize", "2030:450:40", "-out", arch, "-rf-out", rfFile)
+	expect(t, "archive", out, "archived 48 fields", "wrote 2 forcing pathways",
+		"training-forcing", "stabilization")
+
+	// Retrain across every archived scenario using the sidecar.
+	out = run(t, bin, "retrain", "-archive", arch, "-scenarios", "all", "-rf-file", rfFile,
+		"-L", "6", "-P", "1", "-save", refit, "-emulate", "5")
+	expect(t, "retrain all", out, "all 2 scenarios", "[training-forcing stabilization]",
+		"retrained: covariance 36x36", "emulated 5 steps")
+
+	// Reconstructing the pathways from flags (no sidecar) works too.
+	out = run(t, bin, "retrain", "-archive", arch, "-scenarios", "all",
+		"-stabilize", "2030:450:40", "-L", "6", "-P", "1")
+	expect(t, "retrain reconstructed", out, "all 2 scenarios", "retrained: covariance 36x36")
+
+	// Serve what-if scenarios: the sidecar's pathways become live
+	// scenarios 2 and 3 (after the archive's 0 and 1), emulated under
+	// per-scenario forcing, with hardening flags in force.
+	out = run(t, bin, "serve", "-archive", arch, "-load", refit, "-live-rf", rfFile,
+		"-max-inflight", "8", "-timeout", "30s",
+		"-smoke", "/v1/field?member=0&scenario=3&t=2")
+	expect(t, "serve what-if", out, "loaded 2 what-if pathways", "2 live", `"scenario":3`)
+	out = run(t, bin, "serve", "-archive", arch, "-load", refit, "-live-rf", rfFile,
+		"-smoke", "/v1/info")
+	expect(t, "serve what-if info", out, `"live_pathways":["training-forcing","stabilization"]`)
+}
+
 // TestCLIErrors pins the failure surface: bad inputs exit nonzero with
 // a diagnostic on stderr instead of succeeding vacuously.
 func TestCLIErrors(t *testing.T) {

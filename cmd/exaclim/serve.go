@@ -28,12 +28,15 @@ func runServe(args []string) {
 		path      = fs.String("archive", "campaign.exa", "archive file to serve")
 		addr      = fs.String("addr", ":8080", "listen address")
 		loadPath  = fs.String("load", "", "trained model serving live scenarios (optional)")
-		live      = fs.Int("live", -1, "live emulated scenarios appended after the archive's (requires -load; -1 = 1 when -load is given, else 0)")
+		live      = fs.Int("live", -1, "live emulated scenarios appended after the archive's (requires -load; -1 = 1 when -load is given (or len(-live-rf) pathways), else 0)")
+		liveRF    = fs.String("live-rf", "", "JSON pathway file of what-if forcings; live scenario i emulates under pathway i (requires -load)")
 		liveSteps = fs.Int("liveSteps", 0, "steps per live scenario (0 = archive steps)")
 		liveT0    = fs.Int("liveT0", 0, "training-step offset of live step 0 (match the archive's -t0)")
 		seed      = fs.Int64("seed", 1, "base seed for live member emulation")
 		cacheMB   = fs.Int("cacheMB", 256, "field cache capacity in MiB")
 		shards    = fs.Int("shards", 16, "field cache shards")
+		inflight  = fs.Int("max-inflight", 0, "cap on concurrently served requests; beyond it requests shed with 503 (0 = unlimited)")
+		timeout   = fs.Duration("timeout", 0, "per-request handling timeout, e.g. 5s (0 = none)")
 		smoke     = fs.String("smoke", "", "issue one-shot requests for this path (e.g. /v1/field?t=3), print, exit")
 		smokeN    = fs.Int("smoke-n", 1, "concurrent requests issued in -smoke mode")
 	)
@@ -48,22 +51,43 @@ func runServe(args []string) {
 	if *loadPath != "" {
 		model = loadModel(*loadPath)
 	}
-	// -1 means "unset": default to one live scenario when a model is
-	// loaded. An explicit -live 0 keeps serving archive-only.
+	var livePathways []exaclim.Pathway
+	if *liveRF != "" {
+		set, err := exaclim.LoadPathwaySet(*liveRF)
+		if err != nil {
+			fatal(err)
+		}
+		livePathways = set.Pathways
+		fmt.Printf("loaded %d what-if pathways from %s: %v\n", set.Len(), *liveRF, set.Names())
+	}
+	// -1 means "unset": default to the what-if pathway count, or one
+	// live scenario when a model is loaded. An explicit -live 0 keeps
+	// serving archive-only, which contradicts asking for what-if
+	// pathways — reject the combination rather than silently ignoring
+	// one flag.
+	if *live == 0 && len(livePathways) > 0 {
+		fatal(fmt.Errorf("-live 0 (archive-only) conflicts with -live-rf %s", *liveRF))
+	}
 	if *live < 0 {
-		if model != nil {
+		switch {
+		case len(livePathways) > 0:
+			*live = len(livePathways)
+		case model != nil:
 			*live = 1
-		} else {
+		default:
 			*live = 0
 		}
 	}
 	srv, err := exaclim.NewServer(r, model, exaclim.ServeConfig{
-		CacheBytes:    int64(*cacheMB) << 20,
-		CacheShards:   *shards,
-		LiveScenarios: *live,
-		LiveSteps:     *liveSteps,
-		LiveT0:        *liveT0,
-		BaseSeed:      *seed,
+		CacheBytes:     int64(*cacheMB) << 20,
+		CacheShards:    *shards,
+		LiveScenarios:  *live,
+		LiveSteps:      *liveSteps,
+		LiveT0:         *liveT0,
+		BaseSeed:       *seed,
+		LivePathways:   livePathways,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
 	})
 	if err != nil {
 		fatal(err)

@@ -113,8 +113,16 @@ type (
 	SyntheticConfig = era5.Config
 	// Synthetic generates ERA5-like global temperature series.
 	Synthetic = era5.Generator
-	// Scenario is a radiative-forcing pathway.
+	// Scenario is a radiative-forcing concentration pathway generator.
 	Scenario = forcing.Scenario
+	// Pathway is a named annual radiative-forcing series — the
+	// first-class forcing unit: training spans a set of them (one per
+	// scenario) and live serving answers "what-if" queries under them.
+	Pathway = forcing.Pathway
+	// PathwaySet is an ordered collection of uniquely named pathways,
+	// the forcing record of a multi-scenario campaign. Serializable to
+	// the JSON pathway-file format via Save/LoadPathwaySet.
+	PathwaySet = forcing.Set
 )
 
 // Spectral-archive types: the chunked, mixed-precision on-disk store
@@ -175,6 +183,10 @@ type (
 	ServeStats = serve.Stats
 	// ServeCacheStats is the field cache's counter snapshot.
 	ServeCacheStats = serve.CacheStats
+	// ServeEvalStats is the point-evaluator cache's counter snapshot:
+	// hits skip the O(L^2) Legendre setup of repeated dashboard point
+	// queries.
+	ServeEvalStats = serve.EvalCacheStats
 	// QueryBox is a geographic lat/lon box (degrees; longitudes wrap).
 	QueryBox = serve.Box
 	// FieldResponse, SeriesResponse, StatsResponse and InfoResponse are
@@ -238,6 +250,15 @@ func TrainFrom(src FieldSource, annualRF []float64, lead int, cfg Config) (*Mode
 	return emulator.TrainFrom(src, annualRF, lead, cfg)
 }
 
+// TrainFromSet fits an emulator from a streaming field source whose
+// realizations may be driven by different forcing scenarios: each
+// realization's scenario label keys it to a pathway of the set by name,
+// so one fit spans mixed historical + projection members. With a
+// single-pathway set it is byte-identical to TrainFrom.
+func TrainFromSet(src FieldSource, set PathwaySet, lead int, cfg Config) (*Model, error) {
+	return emulator.TrainFromSet(src, set, lead, cfg)
+}
+
 // TrainFromArchive re-fits an emulator directly from the members of one
 // scenario of a spectral archive — the emulate -> archive -> retrain
 // loop: campaigns consumed in spectral form are rehydrated one field at
@@ -250,6 +271,19 @@ func TrainFromArchive(r *ArchiveReader, scenario int, annualRF []float64, lead i
 	return emulator.TrainFrom(src, annualRF, lead, cfg)
 }
 
+// TrainFromArchiveAll re-fits an emulator from every scenario of a
+// spectral archive at once: pathway k of the set names and drives
+// archived scenario k, and all Members x Scenarios series train as one
+// ensemble with scenario-aware design matrices — the mixed historical +
+// projection fit of the CESM2-LENS2 setting.
+func TrainFromArchiveAll(r *ArchiveReader, set PathwaySet, lead int, cfg Config) (*Model, error) {
+	src, err := source.FromArchiveAll(r, set.Names())
+	if err != nil {
+		return nil, err
+	}
+	return emulator.TrainFromSet(src, set, lead, cfg)
+}
+
 // SourceFromSlices wraps an in-memory ensemble as a streaming field
 // source (all members equal length, one shared grid).
 func SourceFromSlices(ens [][]Field) (FieldSource, error) { return source.FromSlices(ens) }
@@ -258,6 +292,22 @@ func SourceFromSlices(ens [][]Field) (FieldSource, error) { return source.FromSl
 // opened archive as a streaming field source for TrainFrom.
 func SourceFromArchive(r *ArchiveReader, scenario int) (FieldSource, error) {
 	return source.FromArchive(r, scenario)
+}
+
+// SourceFromArchiveAll exposes every (member, scenario) series of an
+// opened archive as one streaming field source of Members x Scenarios
+// realizations for TrainFromSet; names optionally labels the archived
+// scenarios in index order (nil uses "scenario-<i>").
+func SourceFromArchiveAll(r *ArchiveReader, names []string) (FieldSource, error) {
+	return source.FromArchiveAll(r, names)
+}
+
+// SourceWithScenarios wraps a field source so realization r carries
+// scenario label labels[r] — the way an in-memory ensemble declares
+// which forcing pathway each member was simulated under before a
+// multi-scenario TrainFromSet fit.
+func SourceWithScenarios(src FieldSource, labels []string) (FieldSource, error) {
+	return source.WithScenarios(src, labels)
 }
 
 // SourceFromSynthetic wraps `members` synthetic-ERA5 generators derived
@@ -291,6 +341,22 @@ func Historical() Scenario { return forcing.Historical() }
 func Stabilization(startYear, targetPPM, efold float64) Scenario {
 	return forcing.Stabilization(startYear, targetPPM, efold)
 }
+
+// NewPathwaySet builds a validated pathway set (unique non-empty names,
+// non-empty annual series).
+func NewPathwaySet(pathways ...Pathway) (PathwaySet, error) { return forcing.NewSet(pathways...) }
+
+// SinglePathway wraps one annual series as a one-pathway set (empty
+// name defaults to "training").
+func SinglePathway(name string, annual []float64) PathwaySet { return forcing.Single(name, annual) }
+
+// LoadPathwaySet reads a JSON pathway file:
+//
+//	{"pathways": [{"name": "ssp585", "annual": [2.1, 2.2, ...]}, ...]}
+func LoadPathwaySet(path string) (PathwaySet, error) { return forcing.LoadSet(path) }
+
+// ParsePathwaySet decodes the JSON pathway-file format from memory.
+func ParsePathwaySet(data []byte) (PathwaySet, error) { return forcing.ParseSet(data) }
 
 // DefaultArchivePolicy returns the archive quantization default (0.01%
 // relative reconstruction error, planned at half budget).

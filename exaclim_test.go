@@ -117,7 +117,7 @@ func TestPublicEnsembleCampaign(t *testing.T) {
 		Members: 4, Steps: 10, BaseSeed: 42,
 		Scenarios: []exaclim.EnsembleScenario{
 			{Name: "training"},
-			{Name: "mitigation", AnnualRF: mitigation.Annual(1985, len(model.Trend.AnnualRF))},
+			{Name: "mitigation", AnnualRF: mitigation.Annual(1985, len(model.Trend.AnnualRF()))},
 		},
 	}
 	var mu sync.Mutex

@@ -51,8 +51,8 @@ func main() {
 	// forcing record (history included) by +2 W/m^2, which moves the
 	// current and lagged regressors coherently — the scenario shape the
 	// short training record identifies robustly.
-	highRF := make([]float64, len(model.Trend.AnnualRF))
-	for i, v := range model.Trend.AnnualRF {
+	highRF := make([]float64, len(model.Trend.AnnualRF()))
+	for i, v := range model.Trend.AnnualRF() {
 		highRF[i] = v + 2
 	}
 	scenarios := []exaclim.EnsembleScenario{

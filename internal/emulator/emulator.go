@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"exaclim/internal/forcing"
 	"exaclim/internal/linalg"
 	"exaclim/internal/mpchol"
 	"exaclim/internal/par"
@@ -65,6 +66,7 @@ type TrainDiagnostics struct {
 	Variant        string
 	Members        int
 	StepsPerMember int
+	Pathways       int // forcing pathways spanned by the trend fit
 	FactorSeconds  float64
 	Conversions    int64
 	MovedBytes     int64
@@ -124,19 +126,35 @@ func Train(ens [][]sphere.Field, annualRF []float64, lead int, cfg Config) (*Mod
 	return TrainFrom(src, annualRF, lead, cfg)
 }
 
-// TrainFrom fits the emulator from a streaming field source: residual
-// analysis consumes one field at a time per worker, so the campaign is
-// never materialized — only the packed spectral coefficients (R*T
-// vectors of length L^2, the same representation the archive stores) are
-// held for the temporal and covariance stages. This is what lets a
-// spectral archive be re-fit without rehydrating raw grids.
-//
-// The source is read twice: once to accumulate the trend statistics,
-// once for the residual analysis. For a fixed worker count the fit is
-// bit-deterministic, and two sources yielding bitwise-equal fields (for
-// example an archive and the slices decoded from it) produce
-// byte-identical models up to the timing field of Diag.
+// TrainFrom fits the emulator from a streaming field source sharing one
+// forcing record — the single-pathway adapter over TrainFromSet,
+// byte-identical to it on a one-pathway set.
 func TrainFrom(src source.Ensemble, annualRF []float64, lead int, cfg Config) (*Model, error) {
+	return TrainFromSet(src, forcing.Single("", annualRF), lead, cfg)
+}
+
+// TrainFromSet fits the emulator from a streaming field source whose
+// realizations may be driven by different forcing scenarios: each
+// realization's scenario label (source.Ensemble.Scenario) keys it to a
+// pathway of set by name, so one fit spans mixed historical +
+// projection members. With a single-pathway set every realization maps
+// to pathway 0 regardless of labels. Residual analysis consumes one
+// field at a time per worker, so the campaign is never materialized —
+// only the packed spectral coefficients (R*T vectors of length L^2, the
+// same representation the archive stores) are held for the temporal and
+// covariance stages. This is what lets a spectral archive be re-fit
+// without rehydrating raw grids.
+//
+// The source is read twice: once to accumulate the trend statistics
+// (fanned out across realization spans with span-ordered accumulator
+// merges), once for the residual analysis. For a fixed worker count the
+// fit is bit-deterministic, and two sources yielding bitwise-equal
+// fields (for example an archive and the slices decoded from it)
+// produce byte-identical models up to the timing field of Diag.
+func TrainFromSet(src source.Ensemble, set forcing.Set, lead int, cfg Config) (*Model, error) {
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
 	R, T := src.Realizations(), src.Steps()
 	if R < 1 || T < 1 {
 		return nil, fmt.Errorf("emulator: empty training source (%d realizations x %d steps)", R, T)
@@ -156,31 +174,92 @@ func TrainFrom(src source.Ensemble, annualRF []float64, lead int, cfg Config) (*
 	}
 	cfg.Trend.Workers = cfg.Workers
 
+	// Map each realization to its forcing pathway by scenario label. A
+	// single-pathway set pools every realization under pathway 0, which
+	// is the legacy Train/TrainFrom contract.
+	assign := make([]int, R)
+	if set.Len() > 1 {
+		for r := range assign {
+			label := src.Scenario(r)
+			k := set.Index(label)
+			if k < 0 {
+				return nil, fmt.Errorf("emulator: realization %d labeled %q, not a pathway of the forcing set %v",
+					r, label, set.Names())
+			}
+			assign[r] = k
+		}
+	}
+
 	// Step 1: deterministic component (eq. 2), streamed. Fields flow
 	// through the trend accumulator in realization-major, time-ascending
-	// order — the fixed order that pins the fit bit-for-bit — while the
-	// per-field pixel fold parallelizes internally.
-	acc, err := trend.NewAccumulator(grid, R, T, annualRF, lead, cfg.Trend)
+	// order; with more than one worker the realization loop fans out
+	// over static contiguous spans, each span folding into its own
+	// forked accumulator (per-span decode + per-field pixel fold run on
+	// that worker alone), and the span partials merge back in span
+	// order — so the fit is bit-deterministic for a fixed worker count,
+	// and identical across sources yielding bitwise-equal fields.
+	acc, err := trend.NewAccumulatorSet(grid, R, T, set, assign, lead, cfg.Trend)
 	if err != nil {
 		return nil, fmt.Errorf("emulator: trend fit: %w", err)
 	}
-	y := sphere.NewField(grid)
-	for r := 0; r < R; r++ {
-		cur, err := src.Series(r)
-		if err != nil {
-			return nil, fmt.Errorf("emulator: trend pass: %w", err)
-		}
-		for t := 0; t < T; t++ {
-			if err := cur.ReadInto(y, t); err != nil {
-				cur.Close()
+	if par.SpanWorkers(cfg.Workers, R) <= 1 {
+		y := sphere.NewField(grid)
+		for r := 0; r < R; r++ {
+			cur, err := src.Series(r)
+			if err != nil {
 				return nil, fmt.Errorf("emulator: trend pass: %w", err)
 			}
-			if err := acc.Add(r, t, y); err != nil {
+			for t := 0; t < T; t++ {
+				if err := cur.ReadInto(y, t); err != nil {
+					cur.Close()
+					return nil, fmt.Errorf("emulator: trend pass: %w", err)
+				}
+				if err := acc.Add(r, t, y); err != nil {
+					cur.Close()
+					return nil, fmt.Errorf("emulator: trend fit: %w", err)
+				}
+			}
+			cur.Close()
+		}
+	} else {
+		nTrend := par.SpanWorkers(cfg.Workers, R)
+		parts := make([]*trend.Accumulator, nTrend)
+		trendErrs := make([]error, nTrend)
+		par.ForSpans(cfg.Workers, R, func(g, lo, hi int) {
+			part := acc.Fork()
+			parts[g] = part
+			y := sphere.NewField(grid)
+			for r := lo; r < hi; r++ {
+				cur, err := src.Series(r)
+				if err != nil {
+					trendErrs[g] = err
+					return
+				}
+				for t := 0; t < T; t++ {
+					if err := cur.ReadInto(y, t); err != nil {
+						cur.Close()
+						trendErrs[g] = err
+						return
+					}
+					if err := part.Add(r, t, y); err != nil {
+						cur.Close()
+						trendErrs[g] = err
+						return
+					}
+				}
 				cur.Close()
+			}
+		})
+		for g := range trendErrs {
+			if trendErrs[g] != nil {
+				return nil, fmt.Errorf("emulator: trend pass: %w", trendErrs[g])
+			}
+		}
+		for _, part := range parts {
+			if err := acc.Merge(part); err != nil {
 				return nil, fmt.Errorf("emulator: trend fit: %w", err)
 			}
 		}
-		cur.Close()
 	}
 	fit, err := acc.Solve()
 	if err != nil {
@@ -245,7 +324,10 @@ func TrainFrom(src source.Ensemble, annualRF []float64, lead int, cfg Config) (*
 				spanErrs[g] = err
 				return
 			}
-			fit.StandardizeInto(z, z, t)
+			// Standardize against the realization's own pathway: mixed
+			// historical + projection members each subtract the mean
+			// trend of the forcing that drove them.
+			fit.PathwayStandardizeInto(assign[r], z, z, t)
 			coeffs := seqPlan.Analyze(z)
 			coeffs.PackReal(packed[r][t])
 			seqPlan.SynthesizeInto(recon, coeffs)
@@ -338,6 +420,7 @@ func TrainFrom(src source.Ensemble, annualRF []float64, lead int, cfg Config) (*
 			Variant:        cfg.Variant.String(),
 			Members:        R,
 			StepsPerMember: T,
+			Pathways:       set.Len(),
 			FactorSeconds:  elapsed,
 			Conversions:    res.Conversions,
 			MovedBytes:     res.MovedBytes,
@@ -446,6 +529,34 @@ func (m *Model) Emulate(seed int64, t0, T int) ([]sphere.Field, error) {
 	return out, err
 }
 
+// EmulateUnderForEach streams T emulated fields under an alternative
+// annual forcing pathway rf — a "what-if" scenario the model was never
+// trained on. rf must cover the trend fit's Lead years before step 0
+// plus every emulated year; nil keeps the training forcing, making the
+// call byte-identical to EmulateForEach. The deterministic component is
+// restored through Trend.WithAnnualRF(rf), so output is byte-identical
+// to emulating from a model whose Trend is that view — the contract the
+// serving subsystem's live what-if scenarios are pinned against.
+func (m *Model) EmulateUnderForEach(rf []float64, seed int64, t0, T int, fn func(t int, f sphere.Field)) error {
+	if err := m.EnsurePlan(); err != nil {
+		return err
+	}
+	fit := m.Trend
+	if rf != nil {
+		fit = m.Trend.WithAnnualRF(rf)
+	}
+	m.emulateStream(m.plan, fit, seed, t0, T, fn)
+	return nil
+}
+
+// EmulateUnder returns T fields emulated under the annual forcing rf
+// (nil keeps the training forcing) beginning at training step t0.
+func (m *Model) EmulateUnder(rf []float64, seed int64, t0, T int) ([]sphere.Field, error) {
+	out := make([]sphere.Field, T)
+	err := m.EmulateUnderForEach(rf, seed, t0, T, func(t int, f sphere.Field) { out[t] = f })
+	return out, err
+}
+
 // CheckConsistency compares a simulated series with a fresh emulation of
 // equal length, returning the Fig. 2/4 style metrics.
 func (m *Model) CheckConsistency(sim []sphere.Field, seed int64) (stats.Consistency, error) {
@@ -472,6 +583,13 @@ func Load(r io.Reader) (*Model, error) {
 	var m Model
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
 		return nil, err
+	}
+	// Models saved before forcing became pathway-keyed stored the trend
+	// forcing in a field gob now discards; decoding them "succeeds" with
+	// an empty pathway set and would panic on first evaluation. Fail
+	// loudly instead.
+	if m.Trend != nil && m.Trend.Set.Len() == 0 {
+		return nil, errors.New("emulator: model predates pathway-keyed forcing (no forcing pathways in its trend fit); retrain it")
 	}
 	return &m, nil
 }

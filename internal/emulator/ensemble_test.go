@@ -131,7 +131,7 @@ func TestEmulateEnsembleMatchesSerial(t *testing.T) {
 // while a uniformly boosted forcing produces a warmer ensemble.
 func TestEmulateEnsembleScenarios(t *testing.T) {
 	m := ensembleModel(t)
-	trainRF := append([]float64(nil), m.Trend.AnnualRF...)
+	trainRF := append([]float64(nil), m.Trend.AnnualRF()...)
 	boosted := make([]float64, len(trainRF))
 	for i, v := range trainRF {
 		boosted[i] = v + 5 // +5 W/m^2 everywhere, including the lead years

@@ -6,6 +6,7 @@ import (
 
 	"exaclim/internal/archive"
 	"exaclim/internal/era5"
+	"exaclim/internal/forcing"
 	"exaclim/internal/source"
 	"exaclim/internal/sphere"
 	"exaclim/internal/tile"
@@ -222,5 +223,261 @@ func TestTrainFromSyntheticSource(t *testing.T) {
 	}
 	if !bytes.Equal(gobBytes(t, m1), gobBytes(t, m2)) {
 		t.Fatal("synthetic-source model differs from slice-trained model")
+	}
+}
+
+// TestTrainFromSetSingleByteIdentical pins the adapter chain of the
+// pathway refactor: the legacy Train signature, TrainFrom with a
+// positional forcing record, and TrainFromSet on a one-pathway set must
+// produce byte-identical models.
+func TestTrainFromSetSingleByteIdentical(t *testing.T) {
+	ens, rf, lead := streamTestData(t, 120)
+	cfg := smallStreamCfg()
+	legacy, err := Train(ens, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.FromSlices(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSet, err := TrainFromSet(src, forcing.Single("historical", rf), lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stored pathway name differs between the two (adapters name
+	// theirs "training"), so compare with the set normalized.
+	viaSet.Trend.Set.Pathways[0].Name = legacy.Trend.Set.Pathways[0].Name
+	if !bytes.Equal(gobBytes(t, legacy), gobBytes(t, viaSet)) {
+		t.Fatal("TrainFromSet(single pathway) differs from legacy Train")
+	}
+	if legacy.Diag.Pathways != 1 {
+		t.Fatalf("Diag.Pathways = %d, want 1", legacy.Diag.Pathways)
+	}
+}
+
+// twoScenarioArchive archives a 2-member x 2-scenario campaign (distinct
+// synthetic data per series) and returns the reader plus the forcing
+// set whose pathway k names scenario k.
+func twoScenarioArchive(t *testing.T, steps int) (*archive.Reader, forcing.Set, int) {
+	t.Helper()
+	const lead = 15
+	grid := sphere.GridForBandLimit(16)
+	h := archive.Header{
+		Grid: grid, L: 16, Members: 2, Scenarios: 2, Steps: steps, ChunkSteps: 16,
+		Bands: []archive.Band{
+			{Lo: 0, Hi: 8, Prec: tile.FP64},
+			{Lo: 8, Hi: 16, Prec: tile.FP32},
+		},
+	}
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf []float64
+	for s := 0; s < h.Scenarios; s++ {
+		for m := 0; m < h.Members; m++ {
+			gen, err := era5.New(era5.Config{
+				Grid: grid, L: 16, Seed: 31, Member: s*h.Members + m,
+				StartYear: 1990, StepsPerDay: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf = gen.AnnualRF(lead, steps/era5.DaysPerYear+2)
+			for tt, f := range gen.Run(steps) {
+				if err := w.AddField(m, s, tt, f); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario 1 runs a genuinely different (boosted) pathway.
+	boosted := make([]float64, len(rf))
+	for i, v := range rf {
+		boosted[i] = v + 1.5
+	}
+	set, err := forcing.NewSet(
+		forcing.Pathway{Name: "historical", Annual: rf},
+		forcing.Pathway{Name: "boosted", Annual: boosted},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, set, lead
+}
+
+// TestTrainFromSetMixedScenarios is the multi-scenario acceptance test:
+// one TrainFromSet fit spans an archive holding two scenarios with
+// different forcing pathways. The fit must key every realization to its
+// scenario's pathway, be byte-identical between the archive source and
+// labeled in-memory slices of the same decoded data, and be
+// deterministic run to run.
+func TestTrainFromSetMixedScenarios(t *testing.T) {
+	const steps = 120
+	r, set, lead := twoScenarioArchive(t, steps)
+	cfg := smallStreamCfg()
+	h := r.Header()
+
+	src, err := source.FromArchiveAll(r, set.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := TrainFromSet(src, set, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Diag.Members != 4 || m1.Diag.Pathways != 2 {
+		t.Fatalf("Diag reports %d members / %d pathways, want 4 / 2", m1.Diag.Members, m1.Diag.Pathways)
+	}
+	if want := []int{0, 0, 1, 1}; len(m1.Trend.Assign) != 4 ||
+		m1.Trend.Assign[0] != want[0] || m1.Trend.Assign[1] != want[1] ||
+		m1.Trend.Assign[2] != want[2] || m1.Trend.Assign[3] != want[3] {
+		t.Fatalf("Assign = %v, want %v", m1.Trend.Assign, want)
+	}
+
+	// Byte-identity: the archive source vs labeled slices of the same
+	// decoded fields (the multi-scenario analogue of the PR 3 pin).
+	decoded := make([][]sphere.Field, 4)
+	labels := make([]string, 4)
+	for rr := range decoded {
+		decoded[rr] = make([]sphere.Field, steps)
+		labels[rr] = set.Pathways[rr/h.Members].Name
+		if err := r.EachField(rr%h.Members, rr/h.Members, func(tt int, f sphere.Field) error {
+			decoded[rr][tt] = f.Copy()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slices, err := source.FromSlices(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := source.WithScenarios(slices, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainFromSet(labeled, set, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, m1), gobBytes(t, m2)) {
+		t.Fatal("archive-sourced multi-scenario model differs from labeled-slice model")
+	}
+
+	// Determinism run to run.
+	m3, err := TrainFromSet(src, set, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, m1), gobBytes(t, m3)) {
+		t.Fatal("two identical multi-scenario fits differ")
+	}
+
+	// The two pathways give genuinely different deterministic means.
+	a := m1.Trend.PathwayMeanField(0, 10)
+	b := m1.Trend.PathwayMeanField(1, 10)
+	diff := 0.0
+	for pix := range a.Data {
+		if d := b.Data[pix] - a.Data[pix]; d > diff {
+			diff = d
+		}
+	}
+	if diff == 0 {
+		t.Fatal("pathway mean fields are identical; scenario forcing not threaded through")
+	}
+
+	// Unlabeled realizations cannot map into a multi-pathway set.
+	if _, err := TrainFromSet(slices, set, lead, cfg); err == nil {
+		t.Fatal("expected error for unlabeled realizations under a multi-pathway set")
+	}
+}
+
+// TestEmulateUnderMatchesTrendView pins the what-if contract: emulating
+// under an alternative forcing must be byte-identical to emulating from
+// a model whose trend fit is the WithAnnualRF view of that forcing, and
+// EmulateUnder(nil) must be byte-identical to Emulate.
+func TestEmulateUnderMatchesTrendView(t *testing.T) {
+	ens, rf, lead := streamTestData(t, 90)
+	cfg := smallStreamCfg()
+	model, err := Train(ens, rf, lead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whatIf := make([]float64, len(rf))
+	for i, v := range rf {
+		whatIf[i] = v + 2
+	}
+	const seed, steps = 99, 15
+	got, err := model.EmulateUnder(whatIf, seed, 0, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the model through gob (resetting lazy caches), swap in
+	// the trend view, and emulate the ordinary way.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded.Trend = loaded.Trend.WithAnnualRF(whatIf)
+	want, err := loaded.Emulate(seed, 0, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range want {
+		for pix := range want[tt].Data {
+			if got[tt].Data[pix] != want[tt].Data[pix] {
+				t.Fatalf("what-if emulation differs at step %d pixel %d", tt, pix)
+			}
+		}
+	}
+	// nil forcing = the training pathway.
+	plain, err := model.Emulate(seed, 0, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	underNil, err := model.EmulateUnder(nil, seed, 0, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range plain {
+		for pix := range plain[tt].Data {
+			if plain[tt].Data[pix] != underNil[tt].Data[pix] {
+				t.Fatalf("EmulateUnder(nil) differs from Emulate at step %d pixel %d", tt, pix)
+			}
+		}
+	}
+}
+
+// TestLoadRejectsPrePathwayModel pins the legacy-gob guard: a model
+// whose trend fit carries no forcing pathways (what decoding a
+// pre-pathway gob produces, since its AnnualRF field is discarded) must
+// fail to load with a diagnostic instead of panicking later.
+func TestLoadRejectsPrePathwayModel(t *testing.T) {
+	ens, rf, lead := streamTestData(t, 90)
+	model, err := Train(ens, rf, lead, smallStreamCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Trend.Set = forcing.Set{} // simulate the legacy decode result
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("expected Load to reject a model without forcing pathways")
 	}
 }

@@ -7,7 +7,12 @@
 // emissions scenario" use case (Section I).
 package forcing
 
-import "math"
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
 
 // PreindustrialPPM is the reference CO2 concentration for the logarithmic
 // forcing law.
@@ -75,6 +80,138 @@ func Constant(ppm float64) Scenario {
 		Name: "constant",
 		PPM:  func(year float64) float64 { return ppm },
 	}
+}
+
+// Pathway is a named annual radiative-forcing series — one scenario's
+// forcing record, the first-class unit the emulator trains on and
+// replays. Annual[0] is the earliest year covered; trend fits interpret
+// the first Lead entries as pre-window history for the distributed-lag
+// terms.
+type Pathway struct {
+	Name   string    `json:"name"`
+	Annual []float64 `json:"annual"`
+}
+
+// Pathway samples the scenario into a named annual pathway of n years
+// beginning at firstYear.
+func (s Scenario) Pathway(firstYear, n int) Pathway {
+	return Pathway{Name: s.Name, Annual: s.Annual(firstYear, n)}
+}
+
+// Set is an ordered collection of uniquely named pathways: the forcing
+// record of a multi-scenario training campaign (pathway k drives the
+// realizations assigned to it) or of a group of live "what-if"
+// scenarios. Index 0 is the default evaluation pathway.
+type Set struct {
+	Pathways []Pathway `json:"pathways"`
+}
+
+// NewSet builds a validated set from the given pathways.
+func NewSet(ps ...Pathway) (Set, error) {
+	s := Set{Pathways: ps}
+	if err := s.Validate(); err != nil {
+		return Set{}, err
+	}
+	return s, nil
+}
+
+// Single wraps one annual series as a one-pathway set — the adapter the
+// legacy positional-[]float64 training signatures go through. An empty
+// name defaults to "training".
+func Single(name string, annual []float64) Set {
+	if name == "" {
+		name = "training"
+	}
+	return Set{Pathways: []Pathway{{Name: name, Annual: annual}}}
+}
+
+// Len returns the number of pathways.
+func (s Set) Len() int { return len(s.Pathways) }
+
+// Names returns the pathway names in set order.
+func (s Set) Names() []string {
+	names := make([]string, len(s.Pathways))
+	for i, p := range s.Pathways {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Index returns the position of the named pathway, or -1 if absent.
+func (s Set) Index(name string) int {
+	for i, p := range s.Pathways {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the set holds at least one pathway, every pathway a
+// unique non-empty name and a non-empty annual series.
+func (s Set) Validate() error {
+	if len(s.Pathways) == 0 {
+		return fmt.Errorf("forcing: empty pathway set")
+	}
+	seen := make(map[string]bool, len(s.Pathways))
+	for i, p := range s.Pathways {
+		if p.Name == "" {
+			return fmt.Errorf("forcing: pathway %d has no name", i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("forcing: duplicate pathway name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Annual) == 0 {
+			return fmt.Errorf("forcing: pathway %q has no annual values", p.Name)
+		}
+		for j, v := range p.Annual {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("forcing: pathway %q year %d is %g", p.Name, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseSet decodes the JSON pathway-file format:
+//
+//	{"pathways": [{"name": "ssp585", "annual": [2.1, 2.2, ...]}, ...]}
+//
+// The annual series of pathway k must cover the lead years of history
+// before the data window plus every year being fitted or emulated under
+// it (alignment — lead and start year — travels out of band, e.g. as
+// CLI flags).
+func ParseSet(data []byte) (Set, error) {
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Set{}, fmt.Errorf("forcing: parsing pathway set: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Set{}, err
+	}
+	return s, nil
+}
+
+// LoadSet reads and parses a JSON pathway file.
+func LoadSet(path string) (Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Set{}, err
+	}
+	return ParseSet(data)
+}
+
+// Save writes the set to path in the ParseSet JSON format.
+func (s Set) Save(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // LaggedResponse applies the paper's infinite distributed lag filter to

@@ -108,3 +108,91 @@ func TestLaggedResponseStepDelay(t *testing.T) {
 		}
 	}
 }
+
+// TestPathwaySetValidation covers the named-pathway invariants.
+func TestPathwaySetValidation(t *testing.T) {
+	good, err := NewSet(
+		Pathway{Name: "hist", Annual: []float64{1, 2}},
+		Pathway{Name: "ssp", Annual: []float64{3, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", good.Len())
+	}
+	if got := good.Names(); got[0] != "hist" || got[1] != "ssp" {
+		t.Fatalf("Names = %v", got)
+	}
+	if good.Index("ssp") != 1 || good.Index("absent") != -1 {
+		t.Fatalf("Index lookups wrong: %d, %d", good.Index("ssp"), good.Index("absent"))
+	}
+	bad := []Set{
+		{},
+		{Pathways: []Pathway{{Name: "", Annual: []float64{1}}}},
+		{Pathways: []Pathway{{Name: "a", Annual: nil}}},
+		{Pathways: []Pathway{{Name: "a", Annual: []float64{1}}, {Name: "a", Annual: []float64{2}}}},
+		{Pathways: []Pathway{{Name: "a", Annual: []float64{math.NaN()}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestPathwaySingleDefaultsName pins the adapter used by the legacy
+// positional signatures.
+func TestPathwaySingleDefaultsName(t *testing.T) {
+	s := Single("", []float64{1, 2})
+	if s.Len() != 1 || s.Pathways[0].Name != "training" {
+		t.Fatalf("Single(\"\") = %+v", s)
+	}
+	if s := Single("x", nil); s.Pathways[0].Name != "x" {
+		t.Fatalf("Single name not kept: %+v", s)
+	}
+}
+
+// TestPathwaySetFileRoundTrip pins the JSON pathway-file format end to
+// end: Save -> LoadSet preserves names, order and values exactly, and
+// ParseSet rejects malformed or invalid documents.
+func TestPathwaySetFileRoundTrip(t *testing.T) {
+	want, err := NewSet(
+		Historical().Pathway(1975, 40),
+		Stabilization(2030, 450, 40).Pathway(1975, 40),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/rf.json"
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("round trip lost pathways: %d vs %d", got.Len(), want.Len())
+	}
+	for i := range want.Pathways {
+		if got.Pathways[i].Name != want.Pathways[i].Name {
+			t.Fatalf("pathway %d name %q, want %q", i, got.Pathways[i].Name, want.Pathways[i].Name)
+		}
+		for j := range want.Pathways[i].Annual {
+			if got.Pathways[i].Annual[j] != want.Pathways[i].Annual[j] {
+				t.Fatalf("pathway %d year %d: %g, want %g",
+					i, j, got.Pathways[i].Annual[j], want.Pathways[i].Annual[j])
+			}
+		}
+	}
+	if _, err := ParseSet([]byte("not json")); err == nil {
+		t.Error("expected parse error for malformed JSON")
+	}
+	if _, err := ParseSet([]byte(`{"pathways": []}`)); err == nil {
+		t.Error("expected validation error for an empty set")
+	}
+	if _, err := LoadSet(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("expected error for a missing file")
+	}
+}

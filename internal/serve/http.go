@@ -66,7 +66,10 @@ type InfoResponse struct {
 	Steps         int    `json:"steps"`
 	// LiveSteps is the valid t-range of live scenarios, which may
 	// differ from the archive's Steps.
-	LiveSteps    int      `json:"live_steps,omitempty"`
+	LiveSteps int `json:"live_steps,omitempty"`
+	// LivePathways names the what-if forcing pathways assigned to live
+	// scenarios, in live-scenario order.
+	LivePathways []string `json:"live_pathways,omitempty"`
 	ChunkSteps   int      `json:"chunk_steps"`
 	Bands        []string `json:"bands"`
 	StepBytes    int      `json:"step_bytes"`
@@ -75,18 +78,51 @@ type InfoResponse struct {
 	Stats        Stats    `json:"stats"`
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API. Query endpoints run behind the
+// hardening middleware: when Config.MaxInFlight requests are already
+// being served, further ones shed with 503 instead of queueing without
+// bound, and Config.RequestTimeout bounds each request's handling time.
+// The liveness probe bypasses both so monitors still see a loaded
+// server as alive.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/field", s.handleField)
 	mux.HandleFunc("GET /v1/point", s.handlePoint)
 	mux.HandleFunc("GET /v1/box", s.handleBox)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	guarded := s.limitInFlight(mux)
+	if s.cfg.RequestTimeout > 0 {
+		guarded = http.TimeoutHandler(guarded, s.cfg.RequestTimeout,
+			"serve: request exceeded the configured timeout\n")
+	}
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	outer.Handle("/", guarded)
+	return outer
+}
+
+// limitInFlight is the backpressure middleware: it admits at most
+// Config.MaxInFlight requests at a time and answers 503 (with
+// Retry-After) beyond that, keeping a loaded server's latency bounded
+// instead of letting a request pile-up exhaust memory.
+func (s *Server) limitInFlight(next http.Handler) http.Handler {
+	if s.inFlight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inFlight <- struct{}{}:
+			defer func() { <-s.inFlight }()
+			next.ServeHTTP(w, r)
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "serve: too many in-flight requests", http.StatusServiceUnavailable)
+		}
+	})
 }
 
 // httpError maps caller mistakes (QueryError: bad coordinates or
@@ -145,10 +181,15 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.LiveScenarios > 0 {
 		liveSteps = s.cfg.LiveSteps
 	}
+	var livePathways []string
+	for _, pw := range s.cfg.LivePathways {
+		livePathways = append(livePathways, pw.Name)
+	}
 	writeJSON(w, InfoResponse{
 		Grid: h.Grid.String(), NLat: h.Grid.NLat, NLon: h.Grid.NLon, L: h.L,
 		Members: h.Members, Scenarios: h.Scenarios, LiveScenarios: s.cfg.LiveScenarios,
 		Steps: h.Steps, ChunkSteps: h.ChunkSteps, Bands: bands, LiveSteps: liveSteps,
+		LivePathways: livePathways,
 		StepBytes:    h.StepBytes(),
 		RawRatio:     rawPerStep / float64(h.StepBytes()),
 		ArchiveBytes: s.r.Size(),

@@ -31,9 +31,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"exaclim/internal/archive"
 	"exaclim/internal/emulator"
+	"exaclim/internal/forcing"
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
 )
@@ -62,6 +64,25 @@ type Config struct {
 	// live series is reproducible and byte-identical to
 	// Model.Emulate(MemberSeed(BaseSeed, member, scenario), LiveT0, T).
 	BaseSeed int64
+	// LivePathways assigns an annual-RF pathway to live scenarios in
+	// order: live scenario i (overall index Scenarios()+i) emulates
+	// under LivePathways[i] — a "what-if" forcing the archive does not
+	// hold, byte-identical to Model.Emulate on Trend.WithAnnualRF of
+	// that pathway. Live scenarios beyond len(LivePathways) keep the
+	// training forcing. When LiveScenarios is zero it defaults to
+	// len(LivePathways).
+	LivePathways []forcing.Pathway
+	// EvalCacheEntries bounds the LRU of point evaluators keyed by
+	// quantized (lat, lon), which lets repeated dashboard point queries
+	// skip the O(L^2) Legendre setup (default 1024; < 0 disables).
+	EvalCacheEntries int
+	// MaxInFlight caps concurrently served HTTP requests; beyond it the
+	// handler sheds load with 503 instead of queueing without bound
+	// (0 = unlimited). Liveness (/healthz) is exempt.
+	MaxInFlight int
+	// RequestTimeout bounds each HTTP request's handling time
+	// (0 = none); requests over it answer 503.
+	RequestTimeout time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -72,8 +93,14 @@ func (c Config) withDefaults(h archive.Header) Config {
 	if c.CacheShards == 0 {
 		c.CacheShards = 16
 	}
+	if c.LiveScenarios == 0 {
+		c.LiveScenarios = len(c.LivePathways)
+	}
 	if c.LiveSteps == 0 {
 		c.LiveSteps = h.Steps
+	}
+	if c.EvalCacheEntries == 0 {
+		c.EvalCacheEntries = 1024
 	}
 	return c
 }
@@ -88,11 +115,15 @@ type Server struct {
 	cache *fieldCache
 	plan  *sht.Plan // shared read-only; synthesis runs sequentially per request
 
+	evals *evalCache // point evaluators keyed by quantized (lat, lon)
+
 	scratch sync.Pool // *serveScratch, decode buffers for field loads
 
 	fieldLoads atomic.Int64 // underlying archive decode+synthesis count
 	liveLoads  atomic.Int64 // underlying live emulation runs
 	requests   atomic.Int64 // queries answered (any kind)
+	rejected   atomic.Int64 // requests shed by the in-flight cap (503)
+	inFlight   chan struct{}
 }
 
 // serveScratch is the pooled per-load decode state.
@@ -105,6 +136,8 @@ type serveScratch struct {
 type Stats struct {
 	// Cache is the field cache's counter snapshot.
 	Cache CacheStats
+	// Evals is the point-evaluator cache's counter snapshot.
+	Evals EvalCacheStats
 	// FieldLoads counts underlying archive decode+synthesis runs — with
 	// single-flight coalescing this stays at one per distinct field no
 	// matter how many concurrent requests raced for it.
@@ -113,6 +146,8 @@ type Stats struct {
 	LiveLoads int64
 	// Requests counts answered queries of any kind.
 	Requests int64
+	// Rejected counts HTTP requests shed with 503 by the in-flight cap.
+	Rejected int64
 }
 
 // New builds a server over an opened archive. model may be nil (archive
@@ -132,6 +167,14 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 			return nil, fmt.Errorf("serve: model grid %v does not match archive grid %v", model.Grid, h.Grid)
 		}
 	}
+	if n := len(cfg.LivePathways); n > cfg.LiveScenarios {
+		return nil, fmt.Errorf("serve: %d live pathways but only %d live scenarios", n, cfg.LiveScenarios)
+	}
+	for i, pw := range cfg.LivePathways {
+		if pw.Name == "" || len(pw.Annual) == 0 {
+			return nil, fmt.Errorf("serve: live pathway %d needs a name and annual values", i)
+		}
+	}
 	plan, err := sht.NewPlan(h.Grid, h.L)
 	if err != nil {
 		return nil, err
@@ -142,10 +185,14 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 		h:     h,
 		cfg:   cfg,
 		cache: newFieldCache(cfg.CacheBytes, cfg.CacheShards),
+		evals: newEvalCache(cfg.EvalCacheEntries),
 		// Requests fan out across clients, so each synthesis runs on its
 		// own goroutine alone — the same one-level-of-parallelism rule
 		// archive.Series cursors follow.
 		plan: plan.Sequential(),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inFlight = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.scratch.New = func() any {
 		return &serveScratch{
@@ -180,10 +227,33 @@ func (s *Server) Steps(scenario int) int {
 func (s *Server) Stats() Stats {
 	return Stats{
 		Cache:      s.cache.stats(),
+		Evals:      s.evals.stats(),
 		FieldLoads: s.fieldLoads.Load(),
 		LiveLoads:  s.liveLoads.Load(),
 		Requests:   s.requests.Load(),
+		Rejected:   s.rejected.Load(),
 	}
+}
+
+// liveRF returns the annual forcing of a live scenario: its assigned
+// what-if pathway, or nil (the training forcing) when none is assigned.
+func (s *Server) liveRF(scenario int) []float64 {
+	li := scenario - s.h.Scenarios
+	if li < 0 || li >= len(s.cfg.LivePathways) {
+		return nil
+	}
+	return s.cfg.LivePathways[li].Annual
+}
+
+// LivePathwayName reports the forcing pathway name of live scenario
+// index `scenario` ("" when it runs the training forcing or is not
+// live).
+func (s *Server) LivePathwayName(scenario int) string {
+	li := scenario - s.h.Scenarios
+	if li < 0 || li >= len(s.cfg.LivePathways) {
+		return ""
+	}
+	return s.cfg.LivePathways[li].Name
 }
 
 // isLive reports whether scenario is served by on-demand emulation.
@@ -272,17 +342,19 @@ func (s *Server) loadArchiveField(member, scenario, t int) ([]float64, error) {
 	return out.Data, nil
 }
 
-// loadLiveField emulates (member, scenario) from step 0 through t —
-// VAR generation is sequential, so reaching step t costs O(t) — and
-// opportunistically caches every step generated on the way (earlier
-// steps become cache hits; series queries exploit this by fetching
-// their last step first, so a whole range costs one run). Coalescing
-// still holds: concurrent requests for one step share a single run.
+// loadLiveField emulates (member, scenario) from step 0 through t under
+// the scenario's forcing pathway (its what-if pathway when one is
+// assigned, else the training forcing) — VAR generation is sequential,
+// so reaching step t costs O(t) — and opportunistically caches every
+// step generated on the way (earlier steps become cache hits; series
+// queries exploit this by fetching their last step first, so a whole
+// range costs one run). Coalescing still holds: concurrent requests for
+// one step share a single run.
 func (s *Server) loadLiveField(member, scenario, t int) ([]float64, error) {
 	s.liveLoads.Add(1)
 	seed := emulator.MemberSeed(s.cfg.BaseSeed, member, scenario)
 	var want []float64
-	err := s.model.EmulateForEach(seed, s.cfg.LiveT0, t+1, func(tt int, f sphere.Field) {
+	err := s.model.EmulateUnderForEach(s.liveRF(scenario), seed, s.cfg.LiveT0, t+1, func(tt int, f sphere.Field) {
 		if tt == t {
 			want = f.Data
 			return
@@ -344,7 +416,7 @@ func (s *Server) PointSeries(member, scenario int, lat, lon float64, t0, t1 int)
 		}
 		return out, nil
 	}
-	ev := sht.NewPointEvaluator(s.h.L, theta, phi)
+	ev := s.evals.get(s.h.L, lat, lon, theta, phi)
 	cur, err := s.r.Series(member, scenario)
 	if err != nil {
 		return nil, err

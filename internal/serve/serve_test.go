@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -13,10 +14,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"exaclim/internal/archive"
 	"exaclim/internal/emulator"
 	"exaclim/internal/era5"
+	"exaclim/internal/forcing"
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
 	"exaclim/internal/tile"
@@ -754,5 +757,465 @@ func TestLiveT0Alignment(t *testing.T) {
 		if got[p] != want[3].Data[p] {
 			t.Fatalf("live T0=%d field pixel %d: served %g, Emulate %g", t0, p, got[p], want[3].Data[p])
 		}
+	}
+}
+
+// TestLiveWhatIfPathway is the what-if acceptance test: a live scenario
+// carrying a forcing pathway absent from the archive must serve fields
+// byte-identical to Model.Emulate under Fit.WithAnnualRF of that
+// pathway with the MemberSeed-derived seed — over the in-process query
+// API and over real HTTP.
+func TestLiveWhatIfPathway(t *testing.T) {
+	model := liveModel(t)
+	r := buildArchive(t, model.Grid, fixL)
+	rf := model.Trend.AnnualRF()
+	whatIf := make([]float64, len(rf))
+	for i, v := range rf {
+		whatIf[i] = v + 3
+	}
+	const baseSeed = 12345
+	s, err := New(r, model, Config{
+		CacheBytes: fixCacheCap, LiveSteps: 10, BaseSeed: baseSeed,
+		LivePathways: []forcing.Pathway{{Name: "whatif-high", Annual: whatIf}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LiveScenarios defaults to the pathway count.
+	liveScen := r.Header().Scenarios
+	if got, want := s.Scenarios(), fixScen+1; got != want {
+		t.Fatalf("Scenarios() = %d, want %d", got, want)
+	}
+	if got := s.LivePathwayName(liveScen); got != "whatif-high" {
+		t.Fatalf("LivePathwayName = %q, want %q", got, "whatif-high")
+	}
+	if got := s.LivePathwayName(0); got != "" {
+		t.Fatalf("archived scenario reports pathway %q", got)
+	}
+
+	const member, ts = 1, 7
+	// The reference: Model.Emulate from a gob round-trip whose trend is
+	// the WithAnnualRF view — literally "Emulate under Fit.WithAnnualRF".
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := emulator.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Trend = ref.Trend.WithAnnualRF(whatIf)
+	want, err := ref.Emulate(emulator.MemberSeed(baseSeed, member, liveScen), 0, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Field(member, liveScen, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range want[ts].Data {
+		if got[p] != want[ts].Data[p] {
+			t.Fatalf("what-if field pixel %d: served %g, Emulate-under-view %g", p, got[p], want[ts].Data[p])
+		}
+	}
+	// The what-if series must differ from the training-forcing live
+	// series (same seed stream, different deterministic component).
+	plain, err := model.Emulate(emulator.MemberSeed(baseSeed, member, liveScen), 0, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for p := range plain[ts].Data {
+		if got[p] != plain[ts].Data[p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("what-if pathway served fields identical to the training forcing")
+	}
+
+	// Over real HTTP, /v1/field and /v1/point answer the what-if
+	// scenario, and /v1/info names its pathway.
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	var fr FieldResponse
+	httpGetJSON(t, hs.URL+fmt.Sprintf("/v1/field?member=%d&scenario=%d&t=%d", member, liveScen, ts), &fr)
+	for p := range want[ts].Data {
+		if fr.Data[p] != want[ts].Data[p] {
+			t.Fatalf("HTTP what-if field pixel %d: %g, want %g", p, fr.Data[p], want[ts].Data[p])
+		}
+	}
+	grid := model.Grid
+	i, j := grid.NLat/2, 3
+	var sr SeriesResponse
+	httpGetJSON(t, hs.URL+fmt.Sprintf("/v1/point?member=%d&scenario=%d&lat=%g&lon=%g&t0=0&t1=%d",
+		member, liveScen, grid.Latitude(i), grid.LongitudeDeg(j), ts+1), &sr)
+	for tt := 0; tt <= ts; tt++ {
+		if diff := math.Abs(sr.Values[tt] - want[tt].At(i, j)); diff > 1e-9*(1+math.Abs(want[tt].At(i, j))) {
+			t.Fatalf("HTTP what-if point t=%d: %g, want %g", tt, sr.Values[tt], want[tt].At(i, j))
+		}
+	}
+	var info InfoResponse
+	httpGetJSON(t, hs.URL+"/v1/info", &info)
+	if len(info.LivePathways) != 1 || info.LivePathways[0] != "whatif-high" {
+		t.Fatalf("info live pathways %v, want [whatif-high]", info.LivePathways)
+	}
+}
+
+// httpGetJSON fetches a URL and decodes its JSON body.
+func httpGetJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLivePathwayValidation covers the live-pathway configuration error
+// paths.
+func TestLivePathwayValidation(t *testing.T) {
+	model := liveModel(t)
+	r := buildArchive(t, model.Grid, fixL)
+	if _, err := New(r, model, Config{
+		LiveScenarios: 1,
+		LivePathways:  []forcing.Pathway{{Name: "a", Annual: []float64{1}}, {Name: "b", Annual: []float64{1}}},
+	}); err == nil {
+		t.Error("expected error for more pathways than live scenarios")
+	}
+	if _, err := New(r, model, Config{
+		LivePathways: []forcing.Pathway{{Name: "", Annual: []float64{1}}},
+	}); err == nil {
+		t.Error("expected error for an unnamed pathway")
+	}
+	if _, err := New(r, nil, Config{
+		LivePathways: []forcing.Pathway{{Name: "a", Annual: []float64{1}}},
+	}); err == nil {
+		t.Error("expected error for live pathways without a model")
+	}
+}
+
+// TestEvalCacheReuse pins the point-evaluator LRU: repeated queries at
+// one location build the evaluator once, the cached path answers
+// byte-identically to the uncached one, and the capacity bound holds.
+func TestEvalCacheReuse(t *testing.T) {
+	s, _ := testServer(t)
+	grid := s.Grid()
+	lat, lon := grid.Latitude(3), grid.LongitudeDeg(5)
+	first, err := s.PointSeries(0, 0, lat, lon, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evals.Misses != 1 || st.Evals.Hits != 0 {
+		t.Fatalf("after first query: evals %+v, want 1 miss", st.Evals)
+	}
+	second, err := s.PointSeries(1, 1, lat, lon, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Evals.Hits != 1 || st.Evals.Misses != 1 {
+		t.Fatalf("after repeat query: evals %+v, want 1 hit / 1 miss", st.Evals)
+	}
+	// Same location on another series: values come from that series but
+	// through the shared evaluator; cross-check against a fresh server
+	// with caching disabled.
+	cold, err := New(s.r, nil, Config{CacheBytes: fixCacheCap, EvalCacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := cold.PointSeries(0, 0, lat, lon, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cold.PointSeries(1, 1, lat, lon, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1 {
+		if first[i] != w1[i] || second[i] != w2[i] {
+			t.Fatalf("cached point series differ from uncached at step %d", i)
+		}
+	}
+	if st := cold.Stats(); st.Evals.Hits != 0 || st.Evals.Entries != 0 {
+		t.Fatalf("disabled cache retained state: %+v", st.Evals)
+	}
+
+	// Distinct locations populate distinct entries, and the LRU bound
+	// caps the resident count.
+	small, err := New(s.r, nil, Config{CacheBytes: fixCacheCap, EvalCacheEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := small.PointSeries(0, 0, float64(10*i), 20, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := small.Stats(); st.Evals.Entries > 2 {
+		t.Fatalf("eval cache holds %d entries, cap 2", st.Evals.Entries)
+	}
+}
+
+// TestEvalCacheConcurrent hammers one location from many goroutines
+// under -race: every response must be identical, and the cache must end
+// up with exactly one resident evaluator for the location.
+func TestEvalCacheConcurrent(t *testing.T) {
+	s, _ := testServer(t)
+	grid := s.Grid()
+	lat, lon := grid.Latitude(2), grid.LongitudeDeg(4)
+	want, err := s.PointSeries(0, 0, lat, lon, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 24
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := s.PointSeries(i%fixMembers, i%fixScen, lat, lon, 0, 8)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if (i%fixMembers == 0) && (i%fixScen == 0) {
+				for k := range want {
+					if got[k] != want[k] {
+						errs[i] = fmt.Errorf("response diverged at step %d", k)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evals.Entries != 1 {
+		t.Fatalf("eval cache holds %d entries for one location", st.Evals.Entries)
+	}
+}
+
+// TestInFlightCapShedsLoad pins the backpressure middleware
+// deterministically: with MaxInFlight=2 and the two slots held by
+// blocked requests, further requests answer 503 and count as rejected,
+// while /healthz stays exempt; releasing the slots restores service.
+func TestInFlightCapShedsLoad(t *testing.T) {
+	s, _ := testServer(t)
+	s.cfg.MaxInFlight = 2
+	s.inFlight = make(chan struct{}, 2)
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	blocking := s.limitInFlight(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	hs := httptest.NewServer(blocking)
+	defer hs.Close()
+
+	// Fill both slots.
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Get(hs.URL + "/v1/field")
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	<-started
+	<-started
+
+	// Both slots held: the next request must shed immediately.
+	resp, err := http.Get(hs.URL + "/v1/field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap request got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+
+	// The liveness probe bypasses the limiter on the real handler.
+	full := httptest.NewServer(s.Handler())
+	defer full.Close()
+	hz, err := http.Get(full.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz got %d under load", hz.StatusCode)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("blocked request finished with %d", code)
+		}
+	}
+	// Slots free again: requests pass the limiter (404 from the test
+	// mux's unrouted path would still prove admission; use the real
+	// handler instead).
+	ok, err := http.Get(full.URL + "/v1/field?member=0&scenario=0&t=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("post-release request got %d, want 200", ok.StatusCode)
+	}
+}
+
+// TestInFlightCapUnderHammer drives a capped server with many
+// concurrent clients under -race: every response is either a correct
+// 200 (byte-identical to the direct query) or a clean 503, and the
+// counters reconcile.
+func TestInFlightCapUnderHammer(t *testing.T) {
+	grid := sphere.GridForBandLimit(fixL)
+	r := buildArchive(t, grid, fixL)
+	s, err := New(r, nil, Config{CacheBytes: fixCacheCap, MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	want, err := s.Field(0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 32
+	var ok200, ok503 atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(hs.URL + "/v1/field?member=0&scenario=0&t=3")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var fr FieldResponse
+				if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+					errs[i] = err
+					return
+				}
+				data, err := json.Marshal(fr.Data)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !bytes.Equal(data, wantBody) {
+					errs[i] = fmt.Errorf("200 body diverged from the direct query")
+					return
+				}
+				ok200.Add(1)
+			case http.StatusServiceUnavailable:
+				io.Copy(io.Discard, resp.Body)
+				ok503.Add(1)
+			default:
+				errs[i] = fmt.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok200.Load()+ok503.Load() != N {
+		t.Fatalf("responses %d + %d != %d", ok200.Load(), ok503.Load(), N)
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("every request shed; at least the first admissions must succeed")
+	}
+	if st := s.Stats(); st.Rejected != ok503.Load() {
+		t.Fatalf("Rejected = %d, clients saw %d", st.Rejected, ok503.Load())
+	}
+}
+
+// TestRequestTimeout pins the per-request deadline: a handler that
+// cannot finish within RequestTimeout answers 503, and the liveness
+// probe stays exempt.
+func TestRequestTimeout(t *testing.T) {
+	s, _ := testServer(t)
+	s.cfg.RequestTimeout = 5 * time.Millisecond
+	// Rebuild the handler with an inner route that stalls until the
+	// timeout middleware gives up on it.
+	stall := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	guarded := http.TimeoutHandler(stall, s.cfg.RequestTimeout, "timed out\n")
+	hs := httptest.NewServer(guarded)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stalled request got %d, want 503", resp.StatusCode)
+	}
+
+	// End to end through Server.Handler: normal queries finish well
+	// within a generous timeout, and healthz is never subject to it.
+	grid := sphere.GridForBandLimit(fixL)
+	r2 := buildArchive(t, grid, fixL)
+	srv, err := New(r2, nil, Config{CacheBytes: fixCacheCap, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := httptest.NewServer(srv.Handler())
+	defer full.Close()
+	okResp, err := http.Get(full.URL + "/v1/field?member=0&scenario=0&t=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	okResp.Body.Close()
+	if okResp.StatusCode != http.StatusOK {
+		t.Fatalf("query under generous timeout got %d", okResp.StatusCode)
+	}
+	hz, err := http.Get(full.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz got %d", hz.StatusCode)
 	}
 }

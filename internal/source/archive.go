@@ -28,9 +28,10 @@ func FromArchive(r *archive.Reader, scenario int) (Ensemble, error) {
 	return &archiveEnsemble{r: r, scenario: scenario}, nil
 }
 
-func (a *archiveEnsemble) Realizations() int { return a.r.Header().Members }
-func (a *archiveEnsemble) Steps() int        { return a.r.Header().Steps }
-func (a *archiveEnsemble) Grid() sphere.Grid { return a.r.Header().Grid }
+func (a *archiveEnsemble) Realizations() int     { return a.r.Header().Members }
+func (a *archiveEnsemble) Steps() int            { return a.r.Header().Steps }
+func (a *archiveEnsemble) Grid() sphere.Grid     { return a.r.Header().Grid }
+func (a *archiveEnsemble) Scenario(r int) string { return "" }
 
 func (a *archiveEnsemble) Series(r int) (Cursor, error) {
 	if err := checkRange(r, a.r.Header().Members); err != nil {
@@ -52,3 +53,63 @@ func (c archiveCursor) ReadInto(dst sphere.Field, t int) error {
 }
 
 func (c archiveCursor) Close() error { return nil }
+
+// ScenarioLabel is the canonical label of archived scenario index s when
+// no explicit name is supplied: "scenario-<s>".
+func ScenarioLabel(s int) string { return fmt.Sprintf("scenario-%d", s) }
+
+// multiArchiveEnsemble exposes every (member, scenario) series of an
+// archive as one training ensemble: realization r is member r%Members of
+// scenario r/Members (scenario-major, the archive's own series order),
+// labeled with the scenario's name so the trainer keys it to the right
+// forcing pathway.
+type multiArchiveEnsemble struct {
+	r     *archive.Reader
+	names []string
+}
+
+// FromArchiveAll wraps all Members x Scenarios series of an opened
+// archive as one streaming ensemble — the multi-scenario training
+// adapter: one fit spans every archived scenario's members, each under
+// its own forcing pathway. names optionally labels the archived
+// scenarios in index order (e.g. a forcing.Set's Names()); nil labels
+// scenario s with ScenarioLabel(s).
+func FromArchiveAll(r *archive.Reader, names []string) (Ensemble, error) {
+	h := r.Header()
+	if names == nil {
+		names = make([]string, h.Scenarios)
+		for s := range names {
+			names[s] = ScenarioLabel(s)
+		}
+	}
+	if len(names) != h.Scenarios {
+		return nil, fmt.Errorf("source: %d scenario names for an archive holding %d scenarios", len(names), h.Scenarios)
+	}
+	return &multiArchiveEnsemble{r: r, names: append([]string(nil), names...)}, nil
+}
+
+func (a *multiArchiveEnsemble) Realizations() int {
+	h := a.r.Header()
+	return h.Members * h.Scenarios
+}
+func (a *multiArchiveEnsemble) Steps() int        { return a.r.Header().Steps }
+func (a *multiArchiveEnsemble) Grid() sphere.Grid { return a.r.Header().Grid }
+
+func (a *multiArchiveEnsemble) Scenario(r int) string {
+	if r < 0 || r >= a.Realizations() {
+		return ""
+	}
+	return a.names[r/a.r.Header().Members]
+}
+
+func (a *multiArchiveEnsemble) Series(r int) (Cursor, error) {
+	if err := checkRange(r, a.Realizations()); err != nil {
+		return nil, err
+	}
+	m := a.r.Header().Members
+	s, err := a.r.Series(r%m, r/m)
+	if err != nil {
+		return nil, err
+	}
+	return archiveCursor{s: s}, nil
+}

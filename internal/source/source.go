@@ -28,6 +28,11 @@ type Ensemble interface {
 	Steps() int
 	// Grid is the spatial grid every field lives on.
 	Grid() sphere.Grid
+	// Scenario returns the forcing-scenario label of realization r.
+	// Sources whose realizations all share one (implicit) forcing
+	// return ""; multi-scenario sources label each realization so the
+	// trainer can key it to a pathway of a forcing.Set by name.
+	Scenario(r int) string
 	// Series opens an independent cursor over realization r.
 	Series(r int) (Cursor, error)
 }
@@ -83,9 +88,10 @@ func FromSlices(ens [][]sphere.Field) (Ensemble, error) {
 	return &sliceEnsemble{ens: ens, grid: grid, T: T}, nil
 }
 
-func (s *sliceEnsemble) Realizations() int { return len(s.ens) }
-func (s *sliceEnsemble) Steps() int        { return s.T }
-func (s *sliceEnsemble) Grid() sphere.Grid { return s.grid }
+func (s *sliceEnsemble) Realizations() int     { return len(s.ens) }
+func (s *sliceEnsemble) Steps() int            { return s.T }
+func (s *sliceEnsemble) Grid() sphere.Grid     { return s.grid }
+func (s *sliceEnsemble) Scenario(r int) string { return "" }
 
 func (s *sliceEnsemble) Series(r int) (Cursor, error) {
 	if err := checkRange(r, len(s.ens)); err != nil {
@@ -111,3 +117,28 @@ func (c sliceCursor) ReadInto(dst sphere.Field, t int) error {
 }
 
 func (c sliceCursor) Close() error { return nil }
+
+// labeledEnsemble decorates a source with explicit per-realization
+// scenario labels.
+type labeledEnsemble struct {
+	Ensemble
+	labels []string
+}
+
+// WithScenarios wraps a source so realization r carries scenario label
+// labels[r], overriding whatever the inner source reports — the way an
+// in-memory or synthetic ensemble declares which forcing pathway each
+// member was simulated under before a multi-scenario fit.
+func WithScenarios(src Ensemble, labels []string) (Ensemble, error) {
+	if len(labels) != src.Realizations() {
+		return nil, fmt.Errorf("source: %d scenario labels for %d realizations", len(labels), src.Realizations())
+	}
+	return &labeledEnsemble{Ensemble: src, labels: append([]string(nil), labels...)}, nil
+}
+
+func (l *labeledEnsemble) Scenario(r int) string {
+	if r < 0 || r >= len(l.labels) {
+		return ""
+	}
+	return l.labels[r]
+}

@@ -210,3 +210,141 @@ func TestFromArchiveMatchesReader(t *testing.T) {
 		t.Error("expected error for out-of-range scenario")
 	}
 }
+
+// buildTwoScenarioArchive writes a 2-member x 2-scenario archive and
+// returns the reader plus the raw member series in (scenario-major)
+// realization order.
+func buildTwoScenarioArchive(t *testing.T) (*archive.Reader, archive.Header, [][]sphere.Field) {
+	t.Helper()
+	grid := sphere.GridForBandLimit(8)
+	h := archive.Header{
+		Grid: grid, L: 8, Members: 2, Scenarios: 2, Steps: 7, ChunkSteps: 3,
+	}
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := makeEnsemble(grid, h.Members*h.Scenarios, h.Steps)
+	for s := 0; s < h.Scenarios; s++ {
+		for m := 0; m < h.Members; m++ {
+			for tt := 0; tt < h.Steps; tt++ {
+				if err := w.AddField(m, s, tt, ens[s*h.Members+m][tt]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, h, ens
+}
+
+// TestFromArchiveAll pins the multi-scenario adapter: all members of
+// every archived scenario appear as one ensemble in scenario-major
+// order, each realization labeled with its scenario's name, and every
+// cursor decodes the right (member, scenario) series.
+func TestFromArchiveAll(t *testing.T) {
+	r, h, _ := buildTwoScenarioArchive(t)
+	src, err := FromArchiveAll(r, []string{"hist", "ssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Realizations() != h.Members*h.Scenarios || src.Steps() != h.Steps {
+		t.Fatalf("shape %dx%d, want %dx%d", src.Realizations(), src.Steps(), h.Members*h.Scenarios, h.Steps)
+	}
+	wantLabels := []string{"hist", "hist", "ssp", "ssp"}
+	for rr, want := range wantLabels {
+		if got := src.Scenario(rr); got != want {
+			t.Fatalf("Scenario(%d) = %q, want %q", rr, got, want)
+		}
+	}
+	dst := sphere.NewField(h.Grid)
+	for rr := 0; rr < src.Realizations(); rr++ {
+		cur, err := src.Series(rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tt := range []int{0, 5, 2} {
+			if err := cur.ReadInto(dst, tt); err != nil {
+				t.Fatal(err)
+			}
+			want, err := r.ReadField(rr%h.Members, rr/h.Members, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pix := range dst.Data {
+				if dst.Data[pix] != want.Data[pix] {
+					t.Fatalf("realization %d step %d pixel %d: %g, want %g",
+						rr, tt, pix, dst.Data[pix], want.Data[pix])
+				}
+			}
+		}
+		cur.Close()
+	}
+	if _, err := src.Series(src.Realizations()); err == nil {
+		t.Error("expected error for out-of-range realization")
+	}
+	if src.Scenario(-1) != "" || src.Scenario(99) != "" {
+		t.Error("out-of-range Scenario should return \"\"")
+	}
+
+	// Default labels and name-count validation.
+	def, err := FromArchiveAll(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := def.Scenario(3); got != ScenarioLabel(1) {
+		t.Fatalf("default label %q, want %q", got, ScenarioLabel(1))
+	}
+	if _, err := FromArchiveAll(r, []string{"only-one"}); err == nil {
+		t.Error("expected error for wrong name count")
+	}
+}
+
+// TestWithScenarios pins the label decorator over an in-memory source.
+func TestWithScenarios(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	ens := makeEnsemble(grid, 3, 5)
+	src, err := FromSlices(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Scenario(0) != "" {
+		t.Fatalf("slice source label %q, want \"\"", src.Scenario(0))
+	}
+	labeled, err := WithScenarios(src, []string{"a", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rr, want := range []string{"a", "b", "a"} {
+		if got := labeled.Scenario(rr); got != want {
+			t.Fatalf("Scenario(%d) = %q, want %q", rr, got, want)
+		}
+	}
+	if labeled.Realizations() != 3 || labeled.Steps() != 5 || labeled.Grid() != grid {
+		t.Fatal("decorator must forward the inner shape")
+	}
+	dst := sphere.NewField(grid)
+	cur, err := labeled.Series(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.ReadInto(dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	for pix := range dst.Data {
+		if dst.Data[pix] != ens[1][2].Data[pix] {
+			t.Fatal("decorator must forward reads unchanged")
+		}
+	}
+	cur.Close()
+	if _, err := WithScenarios(src, []string{"a"}); err == nil {
+		t.Error("expected error for label count mismatch")
+	}
+}

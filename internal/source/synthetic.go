@@ -33,9 +33,10 @@ func FromSynthetic(cfg era5.Config, members, steps int) (Ensemble, error) {
 	return &syntheticEnsemble{cfg: cfg, members: members, steps: steps}, nil
 }
 
-func (s *syntheticEnsemble) Realizations() int { return s.members }
-func (s *syntheticEnsemble) Steps() int        { return s.steps }
-func (s *syntheticEnsemble) Grid() sphere.Grid { return s.cfg.Grid }
+func (s *syntheticEnsemble) Realizations() int     { return s.members }
+func (s *syntheticEnsemble) Steps() int            { return s.steps }
+func (s *syntheticEnsemble) Grid() sphere.Grid     { return s.cfg.Grid }
+func (s *syntheticEnsemble) Scenario(r int) string { return "" }
 
 func (s *syntheticEnsemble) Series(r int) (Cursor, error) {
 	if err := checkRange(r, s.members); err != nil {

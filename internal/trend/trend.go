@@ -11,6 +11,16 @@
 // matrix is factorized once per rho and reused by every location, and
 // locations are fit in parallel.
 //
+// Forcing is pathway-keyed: a fit spans a forcing.Set of named annual-RF
+// pathways with a realization→pathway assignment, so one fit pools
+// ensemble members driven by different scenarios (mixed historical +
+// projection campaigns, the CESM2-LENS2 setting). Each realization's
+// design rows use its own pathway's forcing columns; the per-pixel
+// coefficients and sigma are shared, and the pooled normal matrix is the
+// count-weighted sum of the per-pathway normal matrices. Single-pathway
+// fits through the legacy []float64 signatures are byte-identical to the
+// pre-pathway code path.
+//
 // The paper's tau = 8760 hourly configuration captures annual harmonics;
 // for hourly data this package additionally supports harmonics of the
 // diurnal period (KDiurnal terms at tau = steps per day), an extension
@@ -22,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"exaclim/internal/forcing"
 	"exaclim/internal/linalg"
 	"exaclim/internal/par"
 	"exaclim/internal/sphere"
@@ -71,10 +82,17 @@ func (o Options) Params() int { return 3 + 2*o.K + 2*o.KDiurnal }
 
 // Fit holds per-pixel estimates of eq. (2).
 type Fit struct {
-	Grid     sphere.Grid
-	Opt      Options
-	Lead     int       // years of RF history before the data window
-	AnnualRF []float64 // lead + ceil(T/tau) + spare years of forcing
+	Grid sphere.Grid
+	Opt  Options
+	Lead int // years of RF history before the data window
+	// Set holds the named annual-RF pathways the fit spans, each with
+	// lead + ceil(T/tau) + spare years of forcing. Index 0 is the
+	// default evaluation pathway (the training forcing of
+	// single-scenario fits).
+	Set forcing.Set
+	// Assign[r] is the pathway index realization r was fitted under
+	// (all zeros for single-pathway fits).
+	Assign []int
 
 	// Beta[pix] is the coefficient vector in design order:
 	// [beta0, beta1, beta2, a_1, b_1, ..., aK, bK, (diurnal a/b...)].
@@ -84,6 +102,14 @@ type Fit struct {
 	// Sigma[pix] is the residual standard error.
 	Sigma []float64
 }
+
+// NumPathways returns the number of forcing pathways the fit spans.
+func (f *Fit) NumPathways() int { return f.Set.Len() }
+
+// AnnualRF returns the default (index 0) pathway's annual series — the
+// single-pathway view legacy callers read. The slice is the fit's own;
+// do not mutate.
+func (f *Fit) AnnualRF() []float64 { return f.Set.Pathways[0].Annual }
 
 // design builds the T x p regressor matrix for a given rho. lagAnnual is
 // the precomputed lagged forcing series aligned with annualRF.
@@ -131,12 +157,22 @@ func lagSeries(annual []float64, rho float64) []float64 {
 // FitEnsemble estimates eq. (2) from R ensemble members sharing the same
 // forcing. annualRF must contain at least lead years of history before
 // the data window plus ceil(T/tau) years covering it. All members must
-// have equal length and grid.
+// have equal length and grid. It is the single-pathway adapter over
+// FitEnsembleSet, byte-identical to the pre-pathway signature.
+func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options) (*Fit, error) {
+	return FitEnsembleSet(ens, forcing.Single("", annualRF), nil, lead, opt)
+}
+
+// FitEnsembleSet estimates eq. (2) from R ensemble members whose forcing
+// records may differ: assign[r] names the pathway of set driving member
+// r (nil assigns every member to pathway 0). Every pathway must contain
+// at least lead years of history before the data window plus ceil(T/tau)
+// years covering it.
 //
 // It is a thin wrapper over the streaming Accumulator — the same code
 // path archive-backed training uses — so fits from materialized slices
 // and fits streamed from storage are byte-identical on equal inputs.
-func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options) (*Fit, error) {
+func FitEnsembleSet(ens [][]sphere.Field, set forcing.Set, assign []int, lead int, opt Options) (*Fit, error) {
 	if len(ens) == 0 || len(ens[0]) == 0 {
 		return nil, errors.New("trend: empty ensemble")
 	}
@@ -147,7 +183,7 @@ func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options
 			return nil, fmt.Errorf("trend: ensemble member %d has %d steps, want %d", r, len(ens[r]), T)
 		}
 	}
-	acc, err := NewAccumulator(grid, len(ens), T, annualRF, lead, opt)
+	acc, err := NewAccumulatorSet(grid, len(ens), T, set, assign, lead, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -165,8 +201,8 @@ func FitEnsemble(ens [][]sphere.Field, annualRF []float64, lead int, opt Options
 // never multiplied against the data again after accumulation, but its
 // normal matrix is needed for the exact RSS and the ridged solve.
 type rhoCtx struct {
-	xtx  *linalg.Matrix // p x p unridged R * X^T X (symmetric)
-	chol *linalg.Matrix // p x p lower factor of ridged R * X^T X
+	xtx  *linalg.Matrix // p x p unridged pooled X^T X (symmetric)
+	chol *linalg.Matrix // p x p lower factor of ridged pooled X^T X
 }
 
 // Accumulator streams the trend fit of eq. (2): instead of gathering a
@@ -176,22 +212,27 @@ type rhoCtx struct {
 // and one lagged-forcing correlation per rho candidate — of fixed size
 // O(nPix * (p + len(RhoGrid))) regardless of campaign length. Solve then
 // runs the same profiled OLS as before from the statistics alone.
+// Realizations assigned to different pathways contribute design rows
+// built from their own forcing; the pooled normal matrix is the
+// count-weighted sum over pathways.
 //
 // Add must be called exactly once per (r, t) pair. Accumulation order is
 // the floating-point summation order, so callers that need reproducible
 // fits must feed fields in a fixed order; FitEnsemble and the emulator's
-// streaming trainer use realization-major, time-ascending order, which
-// makes slice-fed and archive-fed fits byte-identical on equal inputs.
+// streaming trainer use realization-major, time-ascending order (with
+// span-ordered Merge when the trend pass fans out), which makes
+// slice-fed and archive-fed fits byte-identical on equal inputs.
 type Accumulator struct {
 	grid sphere.Grid
 	opt  Options
 	R, T int
 	lead int
 
-	annualRF []float64
-	ctxs     []rhoCtx
-	base     *linalg.Matrix // T x p design rows with the lag column zeroed
-	lagAt    [][]float64    // [rho][t] lagged forcing at step t
+	set    forcing.Set
+	assign []int
+	ctxs   []rhoCtx
+	base   []*linalg.Matrix // [pathway] T x p design rows with the lag column zeroed
+	lagAt  [][][]float64    // [pathway][rho][t] lagged forcing at step t
 
 	added int64
 	yty   []float64 // nPix
@@ -199,37 +240,98 @@ type Accumulator struct {
 	cLag  []float64 // nPix x len(RhoGrid)
 }
 
-// NewAccumulator prepares a streaming fit over an R x T campaign on
-// grid. annualRF and lead follow FitEnsemble's contract.
+// NewAccumulator prepares a streaming fit over an R x T campaign on grid
+// with one shared forcing record — the single-pathway adapter over
+// NewAccumulatorSet. annualRF and lead follow FitEnsemble's contract.
 func NewAccumulator(grid sphere.Grid, R, T int, annualRF []float64, lead int, opt Options) (*Accumulator, error) {
+	return NewAccumulatorSet(grid, R, T, forcing.Single("", annualRF), nil, lead, opt)
+}
+
+// copySet deep-copies a pathway set so the accumulator (and the fit it
+// produces) is detached from caller-owned slices.
+func copySet(set forcing.Set) forcing.Set {
+	out := forcing.Set{Pathways: make([]forcing.Pathway, len(set.Pathways))}
+	for i, p := range set.Pathways {
+		out.Pathways[i] = forcing.Pathway{Name: p.Name, Annual: append([]float64(nil), p.Annual...)}
+	}
+	return out
+}
+
+// NewAccumulatorSet prepares a streaming fit over an R x T campaign on
+// grid under a set of forcing pathways: assign[r] is the pathway index
+// of realization r (nil assigns every realization to pathway 0). Every
+// pathway must cover lead + ceil(T/tau) years.
+func NewAccumulatorSet(grid sphere.Grid, R, T int, set forcing.Set, assign []int, lead int, opt Options) (*Accumulator, error) {
 	if err := opt.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
 		return nil, err
 	}
 	if R < 1 || T < 1 {
 		return nil, fmt.Errorf("trend: campaign shape %dx%d needs R >= 1 and T >= 1", R, T)
 	}
-	needYears := lead + (T+opt.StepsPerYear-1)/opt.StepsPerYear
 	if lead < 0 {
 		return nil, fmt.Errorf("trend: lead %d must be >= 0", lead)
 	}
-	if len(annualRF) < needYears {
-		return nil, fmt.Errorf("trend: annualRF has %d years, need >= %d", len(annualRF), needYears)
+	if assign == nil {
+		assign = make([]int, R)
 	}
+	if len(assign) != R {
+		return nil, fmt.Errorf("trend: pathway assignment covers %d realizations, want %d", len(assign), R)
+	}
+	counts := make([]int, set.Len())
+	for r, k := range assign {
+		if k < 0 || k >= set.Len() {
+			return nil, fmt.Errorf("trend: realization %d assigned to pathway %d, set has %d", r, k, set.Len())
+		}
+		counts[k]++
+	}
+	needYears := lead + (T+opt.StepsPerYear-1)/opt.StepsPerYear
+	for _, pw := range set.Pathways {
+		if len(pw.Annual) < needYears {
+			return nil, fmt.Errorf("trend: pathway %q has %d years, need >= %d", pw.Name, len(pw.Annual), needYears)
+		}
+	}
+	set = copySet(set)
+	assign = append([]int(nil), assign...)
 	p := opt.Params()
 	nPix := grid.Points()
+	nPath := set.Len()
 
-	// Per-rho normal-matrix factorization. The solve uses a tiny ridge
-	// for safety against collinear regressors (smooth forcing paths make
-	// current and lagged RF nearly collinear), but the residual sum of
-	// squares is evaluated with the exact unridged quadratic form so
-	// sigma and the rho profile are unbiased.
+	// Per-rho normal-matrix factorization, pooled over pathways: X'X =
+	// sum_k count_k * X_k'X_k. The solve uses a tiny ridge for safety
+	// against collinear regressors (smooth forcing paths make current
+	// and lagged RF nearly collinear), but the residual sum of squares
+	// is evaluated with the exact unridged quadratic form so sigma and
+	// the rho profile are unbiased.
 	ctxs := make([]rhoCtx, len(opt.RhoGrid))
-	lagAt := make([][]float64, len(opt.RhoGrid))
+	lagAt := make([][][]float64, nPath)
+	for k := range lagAt {
+		lagAt[k] = make([][]float64, len(opt.RhoGrid))
+	}
 	for ri, rho := range opt.RhoGrid {
-		lag := lagSeries(annualRF, rho)
-		x := design(T, opt, annualRF, lag, lead)
 		xtx := linalg.NewMatrix(p, p)
-		linalg.Syrk(linalg.Transpose, p, T, float64(R), x.Data, p, 0.0, xtx.Data, p)
+		first := true
+		for k, pw := range set.Pathways {
+			lag := lagSeries(pw.Annual, rho)
+			lagAt[k][ri] = make([]float64, T)
+			for t := 0; t < T; t++ {
+				lagAt[k][ri][t] = lag[lead+t/opt.StepsPerYear]
+			}
+			if counts[k] == 0 {
+				continue // pathway present for evaluation only
+			}
+			x := design(T, opt, pw.Annual, lag, lead)
+			// beta 0 on the first contribution keeps single-pathway fits
+			// bit-identical to the pre-pathway single-Syrk code path.
+			beta := 1.0
+			if first {
+				beta = 0.0
+				first = false
+			}
+			linalg.Syrk(linalg.Transpose, p, T, float64(counts[k]), x.Data, p, beta, xtx.Data, p)
+		}
 		xtx.SymmetrizeFromLower()
 		ridged := xtx.Copy()
 		ridged.AddDiagonal(1e-9 * float64(R*T))
@@ -237,36 +339,37 @@ func NewAccumulator(grid sphere.Grid, R, T int, annualRF []float64, lead int, op
 			return nil, fmt.Errorf("trend: singular design for rho=%g: %w", rho, err)
 		}
 		ctxs[ri] = rhoCtx{xtx: xtx, chol: ridged}
-		lagAt[ri] = make([]float64, T)
-		for t := 0; t < T; t++ {
-			lagAt[ri][t] = lag[lead+t/opt.StepsPerYear]
-		}
 	}
 	// The design correlations shared by every rho: all columns except the
-	// lagged-forcing one, which accumulates per rho in cLag.
-	zeroLag := make([]float64, len(annualRF))
-	base := design(T, opt, annualRF, zeroLag, lead)
+	// lagged-forcing one, which accumulates per rho in cLag. One base per
+	// pathway, because the current-RF column is pathway-specific.
+	base := make([]*linalg.Matrix, nPath)
+	for k, pw := range set.Pathways {
+		zeroLag := make([]float64, len(pw.Annual))
+		base[k] = design(T, opt, pw.Annual, zeroLag, lead)
+	}
 
 	return &Accumulator{
-		grid:     grid,
-		opt:      opt,
-		R:        R,
-		T:        T,
-		lead:     lead,
-		annualRF: append([]float64(nil), annualRF...),
-		ctxs:     ctxs,
-		base:     base,
-		lagAt:    lagAt,
-		yty:      make([]float64, nPix),
-		cBase:    make([]float64, nPix*p),
-		cLag:     make([]float64, nPix*len(opt.RhoGrid)),
+		grid:   grid,
+		opt:    opt,
+		R:      R,
+		T:      T,
+		lead:   lead,
+		set:    set,
+		assign: assign,
+		ctxs:   ctxs,
+		base:   base,
+		lagAt:  lagAt,
+		yty:    make([]float64, nPix),
+		cBase:  make([]float64, nPix*p),
+		cLag:   make([]float64, nPix*len(opt.RhoGrid)),
 	}, nil
 }
 
-// Add folds the field of realization r at step t into the statistics.
-// Distinct pixels accumulate independently (the pixel sweep is
-// parallelized internally), so results do not depend on worker count —
-// only on the order of Add calls.
+// Add folds the field of realization r at step t into the statistics
+// using r's pathway's design rows. Distinct pixels accumulate
+// independently (the pixel sweep is parallelized internally), so results
+// do not depend on worker count — only on the order of Add calls.
 func (a *Accumulator) Add(r, t int, y sphere.Field) error {
 	if r < 0 || r >= a.R || t < 0 || t >= a.T {
 		return fmt.Errorf("trend: (realization %d, step %d) outside campaign %dx%d", r, t, a.R, a.T)
@@ -276,10 +379,11 @@ func (a *Accumulator) Add(r, t int, y sphere.Field) error {
 	}
 	p := a.opt.Params()
 	nR := len(a.opt.RhoGrid)
-	row := a.base.Row(t)
+	k := a.assign[r]
+	row := a.base[k].Row(t)
 	lag := make([]float64, nR)
 	for ri := range lag {
-		lag[ri] = a.lagAt[ri][t]
+		lag[ri] = a.lagAt[k][ri][t]
 	}
 	par.ForBlocks(a.opt.Workers, a.grid.Points(), 4096, func(lo, hi int) {
 		for pix := lo; pix < hi; pix++ {
@@ -299,6 +403,44 @@ func (a *Accumulator) Add(r, t int, y sphere.Field) error {
 	return nil
 }
 
+// Fork returns an accumulator sharing the receiver's immutable design
+// state (per-pathway design rows, per-rho factorizations) but with its
+// own zeroed statistics, so accumulation can fan out across realization
+// spans; fold the results back with Merge. A forked accumulator runs its
+// pixel fold sequentially — the caller owns the one level of fan-out.
+func (a *Accumulator) Fork() *Accumulator {
+	b := *a
+	b.opt.Workers = 1
+	b.added = 0
+	b.yty = make([]float64, len(a.yty))
+	b.cBase = make([]float64, len(a.cBase))
+	b.cLag = make([]float64, len(a.cLag))
+	return &b
+}
+
+// Merge folds a forked accumulator's statistics into the receiver.
+// Merge order is part of the floating-point summation order: callers
+// that need reproducible fits must merge in a fixed order (the
+// emulator's trend pass merges in span order, so the fit is
+// bit-deterministic for a fixed worker count).
+func (a *Accumulator) Merge(b *Accumulator) error {
+	if b.grid != a.grid || b.R != a.R || b.T != a.T ||
+		len(b.yty) != len(a.yty) || len(b.cBase) != len(a.cBase) || len(b.cLag) != len(a.cLag) {
+		return errors.New("trend: merging accumulators of different shape")
+	}
+	for i, v := range b.yty {
+		a.yty[i] += v
+	}
+	for i, v := range b.cBase {
+		a.cBase[i] += v
+	}
+	for i, v := range b.cLag {
+		a.cLag[i] += v
+	}
+	a.added += b.added
+	return nil
+}
+
 // Solve runs the profiled per-pixel OLS from the accumulated statistics
 // and returns the fit. Every (r, t) pair must have been added.
 func (a *Accumulator) Solve() (*Fit, error) {
@@ -309,13 +451,14 @@ func (a *Accumulator) Solve() (*Fit, error) {
 	nR := len(a.opt.RhoGrid)
 	nPix := a.grid.Points()
 	fit := &Fit{
-		Grid:     a.grid,
-		Opt:      a.opt,
-		Lead:     a.lead,
-		AnnualRF: append([]float64(nil), a.annualRF...),
-		Beta:     make([][]float64, nPix),
-		Rho:      make([]float64, nPix),
-		Sigma:    make([]float64, nPix),
+		Grid:   a.grid,
+		Opt:    a.opt,
+		Lead:   a.lead,
+		Set:    copySet(a.set),
+		Assign: append([]int(nil), a.assign...),
+		Beta:   make([][]float64, nPix),
+		Rho:    make([]float64, nPix),
+		Sigma:  make([]float64, nPix),
 	}
 	par.ForN(a.opt.Workers, nPix, func(pix int) {
 		yty := a.yty[pix]
@@ -327,7 +470,7 @@ func (a *Accumulator) Solve() (*Fit, error) {
 		xtxb := make([]float64, p)
 		for ri := range a.ctxs {
 			ctx := &a.ctxs[ri]
-			// c = sum_r X^T y_r: the shared columns plus this rho's
+			// c = sum_r X_r^T y_r: the shared columns plus this rho's
 			// lagged-forcing correlation.
 			copy(c, a.cBase[pix*p:(pix+1)*p])
 			c[2] = a.cLag[pix*nR+ri]
@@ -356,30 +499,31 @@ func (a *Accumulator) Solve() (*Fit, error) {
 	return fit, nil
 }
 
-// designRow evaluates the regressor vector at step t for the pixel's rho.
-// Allocation-free: writes into row.
-func (f *Fit) designRow(t int, rho float64, row []float64) {
+// designRow evaluates the regressor vector at step t under pathway k for
+// the pixel's rho. Allocation-free: writes into row.
+func (f *Fit) designRow(k, t int, rho float64, row []float64) {
 	opt := f.Opt
+	annual := f.Set.Pathways[k].Annual
 	year := f.Lead + t/opt.StepsPerYear
-	if year >= len(f.AnnualRF) {
-		year = len(f.AnnualRF) - 1 // hold forcing at the last known year
+	if year >= len(annual) {
+		year = len(annual) - 1 // hold forcing at the last known year
 	}
 	row[0] = 1
-	row[1] = f.AnnualRF[year]
+	row[1] = annual[year]
 	// Recompute the lag state up to `year`. Cached per rho below via
 	// lagCache when evaluating whole fields.
-	lag := lagSeries(f.AnnualRF[:year+1], rho)
+	lag := lagSeries(annual[:year+1], rho)
 	row[2] = lag[year]
 	c := 3
-	for k := 1; k <= opt.K; k++ {
-		ang := 2 * math.Pi * float64(t) * float64(k) / float64(opt.StepsPerYear)
+	for kk := 1; kk <= opt.K; kk++ {
+		ang := 2 * math.Pi * float64(t) * float64(kk) / float64(opt.StepsPerYear)
 		s, co := math.Sincos(ang)
 		row[c] = co
 		row[c+1] = s
 		c += 2
 	}
-	for k := 1; k <= opt.KDiurnal; k++ {
-		ang := 2 * math.Pi * float64(t) * float64(k) / float64(opt.StepsPerDay)
+	for kk := 1; kk <= opt.KDiurnal; kk++ {
+		ang := 2 * math.Pi * float64(t) * float64(kk) / float64(opt.StepsPerDay)
 		s, co := math.Sincos(ang)
 		row[c] = co
 		row[c+1] = s
@@ -387,8 +531,9 @@ func (f *Fit) designRow(t int, rho float64, row []float64) {
 	}
 }
 
-// MeanField evaluates the fitted deterministic mean m_t on the grid.
-func (f *Fit) MeanField(t int) sphere.Field {
+// PathwayMeanField evaluates the fitted deterministic mean m_t on the
+// grid under pathway k of the fit's set.
+func (f *Fit) PathwayMeanField(k, t int) sphere.Field {
 	out := sphere.NewField(f.Grid)
 	p := f.Opt.Params()
 	// Group pixels by rho so each lag series is computed once.
@@ -398,7 +543,7 @@ func (f *Fit) MeanField(t int) sphere.Field {
 		row, ok := rows[rho]
 		if !ok {
 			row = make([]float64, p)
-			f.designRow(t, rho, row)
+			f.designRow(k, t, rho, row)
 			rows[rho] = row
 		}
 		out.Data[pix] = linalg.Dot(row, f.Beta[pix])
@@ -406,9 +551,13 @@ func (f *Fit) MeanField(t int) sphere.Field {
 	return out
 }
 
+// MeanField evaluates the deterministic mean under the default (index 0)
+// pathway.
+func (f *Fit) MeanField(t int) sphere.Field { return f.PathwayMeanField(0, t) }
+
 // Standardize returns the standardized stochastic residual fields
-// z_t = (y_t - m_t) / sigma for one ensemble member, the input to the
-// spherical harmonic stage.
+// z_t = (y_t - m_t) / sigma for one ensemble member under the default
+// pathway, the input to the spherical harmonic stage.
 func (f *Fit) Standardize(fields []sphere.Field) []sphere.Field {
 	out := make([]sphere.Field, len(fields))
 	par.ForN(f.Opt.Workers, len(fields), func(t int) {
@@ -419,38 +568,65 @@ func (f *Fit) Standardize(fields []sphere.Field) []sphere.Field {
 	return out
 }
 
-// StandardizeInto writes the standardized residual of a single step into
-// dst: z = (y - m_t) / sigma. dst and y may alias. Callers that fan out
-// over (member, timestep) pairs use it with per-worker destination fields.
-func (f *Fit) StandardizeInto(dst, y sphere.Field, t int) {
-	m := f.MeanField(t)
+// PathwayStandardizeInto writes the standardized residual of a single
+// step under pathway k into dst: z = (y - m_{k,t}) / sigma. dst and y
+// may alias. Callers that fan out over (member, timestep) pairs use it
+// with per-worker destination fields; the emulator's residual pass keys
+// k by each realization's pathway assignment.
+func (f *Fit) PathwayStandardizeInto(k int, dst, y sphere.Field, t int) {
+	m := f.PathwayMeanField(k, t)
 	for pix := range dst.Data {
 		dst.Data[pix] = (y.Data[pix] - m.Data[pix]) / f.Sigma[pix]
 	}
 }
 
-// Unstandardize converts a standardized stochastic field back to
-// temperature in place: y = m_t + sigma * z.
-func (f *Fit) Unstandardize(z sphere.Field, t int) {
-	m := f.MeanField(t)
+// StandardizeInto standardizes one step under the default pathway.
+func (f *Fit) StandardizeInto(dst, y sphere.Field, t int) {
+	f.PathwayStandardizeInto(0, dst, y, t)
+}
+
+// PathwayUnstandardize converts a standardized stochastic field back to
+// temperature in place under pathway k: y = m_{k,t} + sigma * z.
+func (f *Fit) PathwayUnstandardize(k int, z sphere.Field, t int) {
+	m := f.PathwayMeanField(k, t)
 	for pix := range z.Data {
 		z.Data[pix] = m.Data[pix] + f.Sigma[pix]*z.Data[pix]
 	}
 }
 
-// ExtendRF appends future annual forcing values (e.g. a scenario) so the
-// fit can evaluate means beyond the training window.
+// Unstandardize converts back to temperature under the default pathway.
+func (f *Fit) Unstandardize(z sphere.Field, t int) { f.PathwayUnstandardize(0, z, t) }
+
+// ExtendRF appends future annual forcing values (e.g. a scenario) to the
+// default pathway so the fit can evaluate means beyond the training
+// window.
 func (f *Fit) ExtendRF(future []float64) {
-	f.AnnualRF = append(f.AnnualRF, future...)
+	f.Set.Pathways[0].Annual = append(f.Set.Pathways[0].Annual, future...)
 }
 
 // WithAnnualRF returns a view of the fit whose deterministic mean is
-// evaluated under a different annual forcing series (a scenario pathway).
-// rf must cover the fit's Lead years before step 0 plus every year being
+// evaluated under a different annual forcing series (a scenario
+// pathway): the view's set holds the single given pathway. rf must
+// cover the fit's Lead years before step 0 plus every year being
 // emulated. The coefficient tables are shared with the receiver, so the
 // view is cheap and safe to use concurrently with it.
 func (f *Fit) WithAnnualRF(rf []float64) *Fit {
 	q := *f
-	q.AnnualRF = append([]float64(nil), rf...)
+	q.Set = forcing.Single("scenario", append([]float64(nil), rf...))
+	q.Assign = nil
 	return &q
+}
+
+// WithPathway returns a view of the fit whose default pathway is the
+// named member of its set — the handle serving and emulation use to
+// evaluate one scenario of a multi-scenario fit.
+func (f *Fit) WithPathway(name string) (*Fit, error) {
+	k := f.Set.Index(name)
+	if k < 0 {
+		return nil, fmt.Errorf("trend: fit has no pathway %q (have %v)", name, f.Set.Names())
+	}
+	q := *f
+	q.Set = forcing.Set{Pathways: []forcing.Pathway{f.Set.Pathways[k]}}
+	q.Assign = nil
+	return &q, nil
 }

@@ -468,3 +468,293 @@ func TestAccumulatorMatchesFitEnsemble(t *testing.T) {
 		}
 	}
 }
+
+// fitsEqual reports bitwise equality of two fits' estimates.
+func fitsEqual(t *testing.T, got, want *Fit) {
+	t.Helper()
+	for pix := range want.Beta {
+		if got.Rho[pix] != want.Rho[pix] || got.Sigma[pix] != want.Sigma[pix] {
+			t.Fatalf("pixel %d: (rho, sigma) = (%g, %g), want (%g, %g)",
+				pix, got.Rho[pix], got.Sigma[pix], want.Rho[pix], want.Sigma[pix])
+		}
+		for j := range want.Beta[pix] {
+			if got.Beta[pix][j] != want.Beta[pix][j] {
+				t.Fatalf("pixel %d coef %d: %g, want %g", pix, j, got.Beta[pix][j], want.Beta[pix][j])
+			}
+		}
+	}
+}
+
+// TestFitEnsembleSetSingleMatchesLegacy pins the single-pathway adapter
+// contract: FitEnsemble (positional []float64 forcing) and
+// FitEnsembleSet on a one-pathway set must produce bit-identical
+// estimates, and the fit must expose the forcing through the pathway
+// surface.
+func TestFitEnsembleSetSingleMatchesLegacy(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	opt := smallOptions()
+	rng := rand.New(rand.NewSource(11))
+	years := 6
+	T := years * opt.StepsPerYear
+	annual := make([]float64, years+3)
+	for i := range annual {
+		annual[i] = 2 + math.Sin(float64(i)*1.3)
+	}
+	ens := make([][]sphere.Field, 2)
+	for r := range ens {
+		ens[r] = make([]sphere.Field, T)
+		for tt := range ens[r] {
+			f := sphere.NewField(grid)
+			for pix := range f.Data {
+				f.Data[pix] = 280 + rng.NormFloat64()
+			}
+			ens[r][tt] = f
+		}
+	}
+	want, err := FitEnsemble(ens, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FitEnsembleSet(ens, forcing.Single("hist", annual), nil, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitsEqual(t, got, want)
+	if got.NumPathways() != 1 || want.NumPathways() != 1 {
+		t.Fatalf("pathway counts %d/%d, want 1/1", got.NumPathways(), want.NumPathways())
+	}
+	rf := got.AnnualRF()
+	for i := range annual {
+		if rf[i] != annual[i] {
+			t.Fatalf("AnnualRF[%d] = %g, want %g", i, rf[i], annual[i])
+		}
+	}
+	for r, k := range want.Assign {
+		if k != 0 {
+			t.Fatalf("Assign[%d] = %d, want 0", r, k)
+		}
+	}
+}
+
+// TestMixedPathwayRecoversTrends is the multi-scenario property test:
+// two realizations driven by two different forcing pathways, data
+// generated noise-free from one shared coefficient field, fitted
+// jointly. The pooled fit must recover the per-pathway mean trends —
+// PathwayMeanField under each pathway reproduces that pathway's
+// generating mean — and the two means must genuinely differ (the
+// pathways diverge), so a positional single-forcing fit could not have
+// represented both.
+func TestMixedPathwayRecoversTrends(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	opt := Options{StepsPerYear: 73, K: 1, RhoGrid: []float64{0.4}}
+	rng := rand.New(rand.NewSource(17))
+	years := 8
+	T := years * opt.StepsPerYear
+	nPix := grid.Points()
+	p := opt.Params()
+
+	// Two pathways with clearly different trajectories (historical-ish
+	// wiggle vs steep ramp), both wiggly enough to identify beta1/beta2.
+	histA := make([]float64, years+3)
+	rampB := make([]float64, years+3)
+	for i := range histA {
+		histA[i] = 2 + 0.4*math.Sin(float64(i)*1.7) + 0.3*rng.NormFloat64()
+		rampB[i] = 2 + 0.9*float64(i) + 0.3*math.Cos(float64(i)*2.1)
+	}
+	set, err := forcing.NewSet(
+		forcing.Pathway{Name: "histA", Annual: histA},
+		forcing.Pathway{Name: "rampB", Annual: rampB},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	beta := make([][]float64, nPix)
+	rho := make([]float64, nPix)
+	sigma := make([]float64, nPix)
+	for pix := 0; pix < nPix; pix++ {
+		beta[pix] = make([]float64, p)
+		for j := range beta[pix] {
+			beta[pix][j] = rng.NormFloat64()
+		}
+		beta[pix][0] += 280
+		beta[pix][1] = 1 + rng.Float64() // forcing response matters
+		beta[pix][2] = 1 + rng.Float64()
+		rho[pix] = 0.4
+		sigma[pix] = 0
+	}
+	ens := [][]sphere.Field{
+		synthFields(rng, grid, T, opt, histA, 0, beta, rho, sigma),
+		synthFields(rng, grid, T, opt, rampB, 0, beta, rho, sigma),
+	}
+	fit, err := FitEnsembleSet(ens, set, []int{0, 1}, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-pathway mean fields must reproduce each pathway's generating
+	// mean (the noise-free data itself).
+	meanDiff := 0.0
+	for _, tt := range []int{0, T / 2, T - 1} {
+		for k, fields := range ens {
+			m := fit.PathwayMeanField(k, tt)
+			for pix := range m.Data {
+				want := fields[tt].Data[pix]
+				if diff := math.Abs(m.Data[pix] - want); diff > 1e-5*(1+math.Abs(want)) {
+					t.Fatalf("pathway %d t=%d pixel %d: mean %g, want %g", k, tt, pix, m.Data[pix], want)
+				}
+			}
+		}
+		a, b := fit.PathwayMeanField(0, tt), fit.PathwayMeanField(1, tt)
+		for pix := range a.Data {
+			if d := math.Abs(a.Data[pix] - b.Data[pix]); d > meanDiff {
+				meanDiff = d
+			}
+		}
+	}
+	if meanDiff < 1 {
+		t.Fatalf("pathway means differ by at most %g; the scenarios should diverge", meanDiff)
+	}
+
+	// Pathway-keyed standardization round-trips.
+	z := sphere.NewField(grid)
+	fit.PathwayStandardizeInto(1, z, ens[1][5], 5)
+	y := z.Copy()
+	fit.PathwayUnstandardize(1, y, 5)
+	for pix := range y.Data {
+		if diff := math.Abs(y.Data[pix] - ens[1][5].Data[pix]); diff > 1e-8 {
+			t.Fatalf("pathway unstandardize pixel %d: %g, want %g", pix, y.Data[pix], ens[1][5].Data[pix])
+		}
+	}
+
+	// WithPathway views key evaluation to a named pathway.
+	view, err := fit.WithPathway("rampB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, m1 := view.MeanField(10), fit.PathwayMeanField(1, 10)
+	for pix := range mv.Data {
+		if mv.Data[pix] != m1.Data[pix] {
+			t.Fatalf("WithPathway mean pixel %d: %g, want %g", pix, mv.Data[pix], m1.Data[pix])
+		}
+	}
+	if _, err := fit.WithPathway("no-such"); err == nil {
+		t.Fatal("expected error for unknown pathway name")
+	}
+}
+
+// TestAccumulatorForkMerge pins the fan-out primitive of the parallel
+// trend pass: splitting accumulation across forked accumulators and
+// merging in span order must (a) satisfy Solve's completeness check,
+// (b) be bit-deterministic run to run, and (c) agree with the
+// sequential accumulation to floating-point reassociation tolerance.
+func TestAccumulatorForkMerge(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	opt := smallOptions()
+	rng := rand.New(rand.NewSource(23))
+	years := 4
+	T := years * opt.StepsPerYear
+	annual := make([]float64, years+3)
+	for i := range annual {
+		annual[i] = 2 + math.Sin(float64(i)*1.3)
+	}
+	const R = 3
+	ens := make([][]sphere.Field, R)
+	for r := range ens {
+		ens[r] = make([]sphere.Field, T)
+		for tt := range ens[r] {
+			f := sphere.NewField(grid)
+			for pix := range f.Data {
+				f.Data[pix] = 280 + rng.NormFloat64()
+			}
+			ens[r][tt] = f
+		}
+	}
+	forked := func() *Fit {
+		acc, err := NewAccumulator(grid, R, T, annual, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := []*Accumulator{acc.Fork(), acc.Fork()}
+		spans := [][2]int{{0, 2}, {2, 3}}
+		for g, sp := range spans {
+			for r := sp[0]; r < sp[1]; r++ {
+				for tt := range ens[r] {
+					if err := parts[g].Add(r, tt, ens[r][tt]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		for _, part := range parts {
+			if err := acc.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fit, err := acc.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fit
+	}
+	f1, f2 := forked(), forked()
+	fitsEqual(t, f2, f1) // bit-deterministic run to run
+
+	seq, err := FitEnsemble(ens, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pix := range seq.Beta {
+		if f1.Rho[pix] != seq.Rho[pix] {
+			t.Fatalf("pixel %d: forked rho %g, sequential %g", pix, f1.Rho[pix], seq.Rho[pix])
+		}
+		if diff := math.Abs(f1.Sigma[pix] - seq.Sigma[pix]); diff > 1e-9*(1+seq.Sigma[pix]) {
+			t.Fatalf("pixel %d: forked sigma %g, sequential %g", pix, f1.Sigma[pix], seq.Sigma[pix])
+		}
+		for j := range seq.Beta[pix] {
+			if diff := math.Abs(f1.Beta[pix][j] - seq.Beta[pix][j]); diff > 1e-6*(1+math.Abs(seq.Beta[pix][j])) {
+				t.Fatalf("pixel %d coef %d: forked %g, sequential %g", pix, j, f1.Beta[pix][j], seq.Beta[pix][j])
+			}
+		}
+	}
+
+	// Merging mismatched shapes must fail.
+	other, err := NewAccumulator(sphere.NewGrid(5, 8), 1, T, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(grid, R, T, annual, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Merge(other); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+// TestAccumulatorSetValidation covers the pathway-specific error paths.
+func TestAccumulatorSetValidation(t *testing.T) {
+	grid := sphere.NewGrid(4, 6)
+	opt := smallOptions()
+	annual := []float64{1, 2, 3, 4}
+	set := forcing.Single("a", annual)
+	if _, err := NewAccumulatorSet(grid, 2, 73, set, []int{0}, 0, opt); err == nil {
+		t.Error("expected error for short assignment")
+	}
+	if _, err := NewAccumulatorSet(grid, 2, 73, set, []int{0, 1}, 0, opt); err == nil {
+		t.Error("expected error for out-of-range pathway index")
+	}
+	two, err := forcing.NewSet(
+		forcing.Pathway{Name: "a", Annual: annual},
+		forcing.Pathway{Name: "b", Annual: []float64{1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccumulatorSet(grid, 2, 2*73, two, []int{0, 1}, 0, opt); err == nil {
+		t.Error("expected error for a pathway too short for the window")
+	}
+	if _, err := NewAccumulatorSet(grid, 1, 73, forcing.Set{}, nil, 0, opt); err == nil {
+		t.Error("expected error for an empty set")
+	}
+}
