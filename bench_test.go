@@ -12,6 +12,7 @@ package exaclim_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -517,7 +518,7 @@ func BenchmarkServe_PointSeries(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := s.PointSeries(0, 0, lat, lon, 0, pointBenchSteps); err != nil {
+			if _, err := s.PointSeries(context.Background(), 0, 0, lat, lon, 0, pointBenchSteps); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -699,13 +700,13 @@ func BenchmarkServe_WhatIf(b *testing.B) {
 	liveScen := r.Header().Scenarios
 	const lat, lon = 37.5, 142.0
 	// Warm: one emulation run fills the live series cache.
-	if _, err := s.PointSeries(0, liveScen, lat, lon, 0, replayBenchSteps); err != nil {
+	if _, err := s.PointSeries(context.Background(), 0, liveScen, lat, lon, 0, replayBenchSteps); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		member := i % replayBenchMembers
-		if _, err := s.PointSeries(member, liveScen, lat, lon, 0, replayBenchSteps); err != nil {
+		if _, err := s.PointSeries(context.Background(), member, liveScen, lat, lon, 0, replayBenchSteps); err != nil {
 			b.Fatal(err)
 		}
 	}

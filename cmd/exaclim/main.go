@@ -672,7 +672,7 @@ func runRetrain(args []string) {
 // and retrain subcommands so the spec format cannot drift between them.
 func parseStabilize(spec string) (start, ppm, efold float64) {
 	if _, err := fmt.Sscanf(spec, "%f:%f:%f", &start, &ppm, &efold); err != nil {
-		fatal(fmt.Errorf("bad -stabilize %q: %v", spec, err))
+		fatal(fmt.Errorf("bad -stabilize %q: %w", spec, err))
 	}
 	return start, ppm, efold
 }

@@ -1,0 +1,36 @@
+// Command exaclimvet is the repository's custom static-analysis suite:
+// five analyzers that mechanically enforce the invariants the
+// storage-savings claim rests on — bit-reproducible emulation and
+// replay, intact error chains, scratch-pool hygiene, single-flight lock
+// discipline, and request-scoped contexts.
+//
+// It speaks go vet's unitchecker protocol, so it runs through the
+// toolchain with full build-cache integration:
+//
+//	go build -o /tmp/exaclimvet ./cmd/exaclimvet
+//	go vet -vettool=/tmp/exaclimvet ./...
+//
+// Individual analyzers can be selected the same way as vet's own
+// (e.g. `go vet -vettool=/tmp/exaclimvet -errwrap ./...`), and each
+// documents itself via `-help`.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"exaclim/internal/analysis/ctxflow"
+	"exaclim/internal/analysis/determinism"
+	"exaclim/internal/analysis/errwrap"
+	"exaclim/internal/analysis/lockedcall"
+	"exaclim/internal/analysis/pooldiscipline"
+)
+
+func main() {
+	unitchecker.Main(
+		determinism.Analyzer,
+		errwrap.Analyzer,
+		pooldiscipline.Analyzer,
+		lockedcall.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

@@ -2,6 +2,7 @@ package exaclim_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -303,7 +304,7 @@ func TestPublicServing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := srv.Field(1, 0, 7)
+	got, err := srv.Field(context.Background(), 1, 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestPublicServing(t *testing.T) {
 	// Point queries agree with the synthesized pixel and with the
 	// public point-evaluation primitives.
 	i, j := grid.NLat/2, 3
-	series, err := srv.PointSeries(1, 0, grid.Latitude(i), grid.LongitudeDeg(j), 0, steps)
+	series, err := srv.PointSeries(context.Background(), 1, 0, grid.Latitude(i), grid.LongitudeDeg(j), 0, steps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestPublicServing(t *testing.T) {
 	}
 
 	// Ensemble statistics and the HTTP handler respond.
-	mean, spread, err := srv.EnsembleStats(0, 3)
+	mean, spread, err := srv.EnsembleStats(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

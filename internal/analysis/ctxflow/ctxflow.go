@@ -1,0 +1,59 @@
+// Package ctxflow defines an analyzer guarding the request-scoping
+// invariant of the serving tier: every context used while answering a
+// request must derive from r.Context(). A context.Background() (or
+// TODO) manufactured inside the serve package detaches work from the
+// request that asked for it, so the timeout and load-shedding layer —
+// which cancels through the request context — silently stops governing
+// that work. Derivations that drop cancellation on purpose must say so
+// with context.WithoutCancel(r.Context()), which keeps request values
+// and stays visibly rooted in the request.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"exaclim/internal/analysis/internal/scope"
+)
+
+// DefaultPackages scopes the invariant to the serving tier.
+const DefaultPackages = "serve"
+
+var pkgs string
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO in the serving tier; request work must " +
+		"derive its context from r.Context() so timeouts and shedding govern it",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "ctxpkgs", DefaultPackages,
+		"comma-separated package basenames the request-context invariant binds")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scope.Match(pass, pkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if scope.InTestFile(pass, n.Pos()) {
+			return
+		}
+		call := n.(*ast.CallExpr)
+		for _, name := range [...]string{"Background", "TODO"} {
+			if scope.PkgCall(pass, call, "context", name) {
+				pass.Reportf(call.Pos(),
+					"context.%s in the serving tier detaches work from its request; derive from r.Context() (or context.WithoutCancel of it)",
+					name)
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"exaclim/internal/analysis/vettest"
+)
+
+// TestCtxflow drives the built vettool over the shared testdata module
+// and diffs its JSON diagnostics against the want annotations there.
+func TestCtxflowGolden(t *testing.T) {
+	vettest.Run(t, "ctxflow")
+}

@@ -1,0 +1,371 @@
+// Package determinism defines an analyzer enforcing the repository's
+// bit-reproducibility invariant: an archived campaign must replay and
+// retrain byte-identically (per-seed byte-identical EmulateEnsemble,
+// bit-deterministic TrainFrom merges). Inside the deterministic
+// packages it forbids the three ambient-nondeterminism entry points
+// that have historically broken such guarantees:
+//
+//   - the global math/rand top-level functions, whose shared state
+//     makes output depend on unrelated goroutines — randomness must
+//     flow through an explicitly seeded *rand.Rand;
+//   - time.Now outside elapsed-time measurement that lands in measured
+//     stats fields (a time.Since / Time.Sub pairing) — wall-clock reads
+//     must never influence emulated values;
+//   - ranging over a map while accumulating into state that outlives
+//     the loop — Go randomizes map iteration order, so reductions and
+//     output built this way differ run to run; iterate sorted keys.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"exaclim/internal/analysis/internal/scope"
+)
+
+// DefaultPackages names the packages whose outputs must be
+// bit-reproducible: everything between training input and emulated or
+// replayed bytes.
+const DefaultPackages = "emulator,varm,trend,sht,archive,source,forcing"
+
+var pkgs string
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid ambient nondeterminism (global math/rand, stray time.Now, " +
+		"map-order-dependent accumulation) in the deterministic packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "detpkgs", DefaultPackages,
+		"comma-separated package basenames the determinism invariant binds")
+}
+
+// globalRand lists the math/rand (and v2) top-level functions that draw
+// from the package-global source. Constructors (New, NewSource, NewZipf)
+// and pure helpers are fine.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Int32": true, "Int32N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint64N": true, "Uint32N": true,
+	"UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scope.Match(pass, pkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1 over each function: collect the objects that flow into
+	// elapsed-time measurement (time.Since(x), x.Sub(y)), which license
+	// a time.Now assignment.
+	measured := map[types.Object]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if scope.PkgCall(pass, call, "time", "Since") && len(call.Args) == 1 {
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					measured[obj] = true
+				}
+			}
+			return
+		}
+		// x.Sub(y) / y.Sub(x) on time.Time values.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" {
+			if isTimeTime(pass.TypesInfo.TypeOf(sel.X)) {
+				mark := func(e ast.Expr) {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							measured[obj] = true
+						}
+					}
+				}
+				mark(sel.X)
+				for _, a := range call.Args {
+					mark(a)
+				}
+			}
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		if scope.InTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, measured)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		}
+	})
+	return nil, nil
+}
+
+func isTimeTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, measured map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch scope.ImportedPkg(pass, sel.X) {
+	case "math/rand", "math/rand/v2":
+		if globalRand[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s draws from shared process state; use an explicitly seeded *rand.Rand",
+				sel.Sel.Name)
+		}
+	case "time":
+		if sel.Sel.Name != "Now" {
+			return
+		}
+		if timeNowMeasured(pass, call, measured) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"time.Now outside elapsed-time measurement in a deterministic package; wall-clock reads must not influence output")
+	}
+}
+
+// timeNowMeasured reports whether this time.Now call only feeds an
+// elapsed-time measurement: it is the direct argument of time.Since, or
+// its result is bound to a variable that later flows into time.Since or
+// Time.Sub.
+func timeNowMeasured(pass *analysis.Pass, call *ast.CallExpr, measured map[types.Object]bool) bool {
+	path := enclosing(pass, call.Pos())
+	for i := len(path) - 1; i >= 0; i-- {
+		switch parent := path[i].(type) {
+		case *ast.CallExpr:
+			if parent != call && scope.PkgCall(pass, parent, "time", "Since") {
+				return true
+			}
+			if sel, ok := parent.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" && parent != call {
+				return true
+			}
+		case *ast.AssignStmt:
+			for li, rhs := range parent.Rhs {
+				if rhs != call || li >= len(parent.Lhs) {
+					continue
+				}
+				if id, ok := parent.Lhs[li].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil && measured[obj] {
+						return true
+					}
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && measured[obj] {
+						return true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for li, rhs := range parent.Values {
+				if rhs != call || li >= len(parent.Names) {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[parent.Names[li]]; obj != nil && measured[obj] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// enclosing returns the AST path from the file root down to the node at
+// pos (innermost last).
+func enclosing(pass *analysis.Pass, pos token.Pos) []ast.Node {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos < f.End() {
+			// Only nodes containing pos are pushed, so the live stack is
+			// always the chain of enclosing nodes; keep the deepest state
+			// seen, since leaving the subtree pops it again.
+			var stack, best []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if n.Pos() <= pos && pos < n.End() {
+					stack = append(stack, n)
+					if len(stack) > len(best) {
+						best = append(best[:0:0], stack...)
+					}
+					return true
+				}
+				return false
+			})
+			return best
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags `for k, v := range m` over a map whose body
+// accumulates into state declared outside the loop: += and friends on
+// an outer variable, or append to an outer slice. Writes keyed by the
+// iteration variable (out[k] = ...) are order-independent and pass.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if _, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		id, ok := rootIdent(e)
+		if !ok {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil, false
+		}
+		// Outside means the variable does not live inside the range
+		// statement's extent.
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			return nil, false
+		}
+		return obj, true
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs later; not this loop's accumulation
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+			token.REM_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN,
+			token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+			for _, lhs := range as.Lhs {
+				// Indexed writes like out[k] += v are per-key and safe.
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					continue
+				}
+				if obj, outside := declaredOutside(lhs); outside {
+					pass.Reportf(as.Pos(),
+						"map iteration accumulates into %s in nondeterministic key order; iterate sorted keys",
+						obj.Name())
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			// x = append(x, ...) where x is declared outside the loop.
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(as.Lhs) {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if obj, outside := declaredOutside(as.Lhs[i]); outside {
+					// The canonical fix collects the keys and sorts them
+					// before use; don't flag the idiom itself.
+					if keyOnlyAppend(pass, rng, call) && sortedAfter(pass, rng, obj) {
+						continue
+					}
+					pass.Reportf(as.Pos(),
+						"map iteration appends to %s in nondeterministic key order; iterate sorted keys",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// keyOnlyAppend reports whether the append's added operands are all the
+// range statement's key variable — the shape of collecting a map's keys.
+func keyOnlyAppend(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyID]
+	}
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		id, ok := a.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether the enclosing function sorts obj (a call
+// into sort or slices taking it as an argument) after the range loop,
+// which restores a deterministic order before the keys are used.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	var fn ast.Node
+	for _, n := range enclosing(pass, rng.Pos()) {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fn = n // innermost wins
+		}
+	}
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch scope.ImportedPkg(pass, sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := rootIdent(a); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent unwraps selectors and parens down to the base identifier:
+// a.b.c -> a, (x) -> x.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v, true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"exaclim/internal/analysis/vettest"
+)
+
+// TestDeterminism drives the built vettool over the shared testdata module
+// and diffs its JSON diagnostics against the want annotations there.
+func TestDeterminismGolden(t *testing.T) {
+	vettest.Run(t, "determinism")
+}

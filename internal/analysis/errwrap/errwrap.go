@@ -1,0 +1,95 @@
+// Package errwrap defines an analyzer enforcing error-chain integrity:
+// every fmt.Errorf that formats an error operand must wrap it with %w.
+// The serving stack classifies failures by unwrapping (errors.As picks
+// *serve.QueryError out of whatever the archive layer returned, mapping
+// caller mistakes to 400 and data-plane faults to 500); a %v or %s
+// flattens the operand to text and silently breaks that classification
+// one layer up.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"exaclim/internal/analysis/internal/scope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "errwrap",
+	Doc:      "require %w for error operands of fmt.Errorf so chains survive errors.Is/As",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !scope.PkgCall(pass, call, "fmt", "Errorf") || len(call.Args) < 2 {
+			return
+		}
+		format, ok := constString(pass, call.Args[0])
+		if !ok {
+			return // dynamic format: nothing to prove
+		}
+		errOperands := 0
+		for _, arg := range call.Args[1:] {
+			t := pass.TypesInfo.TypeOf(arg)
+			if t != nil && types.Implements(t, errIface) {
+				errOperands++
+			}
+		}
+		if errOperands == 0 {
+			return
+		}
+		if wraps := countWrapVerbs(format); wraps < errOperands {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf wraps error operand without %%w (found %d error operand(s), %d %%w verb(s)); use %%w so the chain survives errors.Is/As",
+				errOperands, wraps)
+		}
+	})
+	return nil, nil
+}
+
+// constString evaluates e as a compile-time string constant (literal or
+// concatenation of literals and named constants).
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// countWrapVerbs counts %w verbs in a fmt format string, skipping %%
+// and scanning past flags, width and precision.
+func countWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision, argument indexes.
+		for i < len(format) {
+			c := format[i]
+			if c == '#' || c == '0' || c == '-' || c == '+' || c == ' ' ||
+				c == '.' || c == '*' || c == '[' || c == ']' ||
+				('0' <= c && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] == 'w' {
+			n++
+		}
+	}
+	return n
+}

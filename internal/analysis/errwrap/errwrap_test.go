@@ -1,0 +1,13 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"exaclim/internal/analysis/vettest"
+)
+
+// TestErrwrap drives the built vettool over the shared testdata module
+// and diffs its JSON diagnostics against the want annotations there.
+func TestErrwrapGolden(t *testing.T) {
+	vettest.Run(t, "errwrap")
+}

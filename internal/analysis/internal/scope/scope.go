@@ -1,0 +1,67 @@
+// Package scope holds the tiny helpers the exaclimvet analyzers share:
+// deciding which packages an invariant applies to and which files are
+// test files. Analyzers see one package at a time, so scoping is by
+// package path; the defaults name this repository's packages, and each
+// analyzer exposes a flag so the golden-test packages (and future
+// sub-repos) can opt in under their own paths.
+package scope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Match reports whether the analyzed package falls under one of the
+// comma-separated names: each entry matches the last path element of
+// the package import path ("emulator" matches exaclim/internal/emulator
+// and any golden-test package named emulator). The "_test" suffix of
+// external test packages is ignored, so scoping decisions hold for a
+// package and its tests alike.
+func Match(pass *analysis.Pass, csv string) bool {
+	p := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	base := path.Base(p)
+	for _, want := range strings.Split(csv, ",") {
+		if want = strings.TrimSpace(want); want != "" && want == base {
+			return true
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Invariants
+// about production determinism and lock discipline do not bind test
+// code, which deliberately provokes edge cases.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ImportedPkg resolves expr to the import path of the package it
+// qualifies, when expr is the X of a selector like rand.Float64 or
+// time.Now. It returns "" when expr is not a package qualifier.
+func ImportedPkg(pass *analysis.Pass, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// PkgCall reports whether call invokes pkgPath.name (a package-level
+// function, matched through the type info so aliases and shadowing do
+// not fool it).
+func PkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return ImportedPkg(pass, sel.X) == pkgPath
+}

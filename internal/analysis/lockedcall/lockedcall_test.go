@@ -1,0 +1,13 @@
+package lockedcall_test
+
+import (
+	"testing"
+
+	"exaclim/internal/analysis/vettest"
+)
+
+// TestLockedcall drives the built vettool over the shared testdata module
+// and diffs its JSON diagnostics against the want annotations there.
+func TestLockedcallGolden(t *testing.T) {
+	vettest.Run(t, "lockedcall")
+}

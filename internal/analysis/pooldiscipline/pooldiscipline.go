@@ -1,0 +1,321 @@
+// Package pooldiscipline defines an analyzer enforcing the scratch-pool
+// protocol of the hot paths (serve field loads, archive writer packing,
+// parallel workers): a value taken from a sync.Pool must be returned by
+// Put on every path out of the function. A leaked Get costs a fresh
+// allocation per request forever after — the pool silently degrades to
+// make(), which is exactly the regression the pools exist to prevent,
+// and -race tests cannot see it because nothing races.
+//
+// The analysis is deliberately conservative: a Get value that escapes
+// the function (returned, stored, captured by a closure, or passed to
+// anything but Put) transfers ownership and is not tracked. What
+// remains — the dominant idiom `x := pool.Get().(*T); ...; pool.Put(x)`
+// — is checked path-sensitively on the control-flow graph, so an early
+// `return err` between Get and Put is caught.
+package pooldiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "pooldiscipline",
+	Doc:      "require sync.Pool.Get values to reach Put on every return path",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		checkFunc(pass, fd, cfgs.FuncDecl(fd))
+	})
+	return nil, nil
+}
+
+// getBinding is one `x := pool.Get()` (possibly type-asserted) in a
+// function body.
+type getBinding struct {
+	assign *ast.AssignStmt
+	ident  *ast.Ident
+	obj    types.Object
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, g *cfg.CFG) {
+	var gets []getBinding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate function; Get there is its own story
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A bare pool.Get() drops the value on the floor.
+			if call, ok := n.X.(*ast.CallExpr); ok && isPoolCall(pass, call, "Get") {
+				pass.Reportf(call.Pos(), "sync.Pool.Get result discarded; the value can never be Put back")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			rhs := n.Rhs[0]
+			if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+				rhs = ta.X
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isPoolCall(pass, call, "Get") {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(call.Pos(), "sync.Pool.Get result discarded; the value can never be Put back")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				gets = append(gets, getBinding{assign: n, ident: id, obj: obj})
+			}
+		}
+		return true
+	})
+	if len(gets) == 0 || g == nil {
+		return
+	}
+	parents := parentMap(fd.Body)
+	for _, get := range gets {
+		checkBinding(pass, fd, g, parents, get)
+	}
+}
+
+func checkBinding(pass *analysis.Pass, fd *ast.FuncDecl, g *cfg.CFG, parents map[ast.Node]ast.Node, get getBinding) {
+	var putCalls []*ast.CallExpr
+	deferredPut := false
+	escaped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] != get.obj && pass.TypesInfo.Defs[id] != get.obj {
+			return true
+		}
+		// Inside a closure the value's lifetime is unknowable here.
+		for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
+			if _, ok := p.(*ast.FuncLit); ok {
+				escaped = true
+				return false
+			}
+		}
+		switch p := parents[ast.Node(id)].(type) {
+		case *ast.AssignStmt:
+			if p == get.assign {
+				return true // its own binding
+			}
+			for _, l := range p.Lhs {
+				if l == ast.Expr(id) {
+					escaped = true // rebound; tracking ends
+					return false
+				}
+			}
+			escaped = true // appears on an RHS: stored somewhere
+			return false
+		case *ast.SelectorExpr:
+			if p.X == ast.Expr(id) {
+				return true // field access x.f: reads/writes into the value
+			}
+			return true
+		case *ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr:
+			return true // dereference/index of the value
+		case *ast.CallExpr:
+			// Allowed only as the argument of a Put on a sync.Pool.
+			if isPoolCall(pass, p, "Put") && len(p.Args) == 1 && p.Args[0] == ast.Expr(id) {
+				putCalls = append(putCalls, p)
+				for q := parents[ast.Node(p)]; q != nil; q = parents[q] {
+					if _, ok := q.(*ast.DeferStmt); ok {
+						if p.Pos() > get.assign.Pos() {
+							deferredPut = true
+						}
+						break
+					}
+				}
+				return true
+			}
+			escaped = true // handed to some other function
+			return false
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.UnaryExpr,
+			*ast.SendStmt, *ast.KeyValueExpr:
+			escaped = true
+			return false
+		}
+		return true
+	})
+	if escaped || deferredPut {
+		return
+	}
+	// Path-sensitive check: from the Get, every path to a return must
+	// pass a Put.
+	putPos := make([]interval, 0, len(putCalls))
+	for _, p := range putCalls {
+		putPos = append(putPos, interval{p.Pos(), p.End()})
+	}
+	getBlock, getIdx := locate(g, get.assign)
+	if getBlock == nil {
+		return
+	}
+	seen := map[*cfg.Block]bool{}
+	var leak ast.Node
+	var walk func(b *cfg.Block, from int) bool // true when a leaking path exists
+	walk = func(b *cfg.Block, from int) bool {
+		for i := from; i < len(b.Nodes); i++ {
+			for _, iv := range putPos {
+				if b.Nodes[i].Pos() <= iv.pos && iv.end <= b.Nodes[i].End() {
+					return false // Put reached on this path
+				}
+			}
+		}
+		if len(b.Succs) == 0 {
+			if exitNeedsPut(b) {
+				leak = exitNode(b)
+				return true
+			}
+			return false
+		}
+		for _, s := range b.Succs {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(getBlock, getIdx+1) && leak != nil {
+		pass.Reportf(get.assign.Pos(),
+			"sync.Pool.Get value %s is not returned to the pool on every path (leaks at the return around line %d)",
+			get.ident.Name, pass.Fset.Position(leak.Pos()).Line)
+	}
+}
+
+type interval struct{ pos, end token.Pos }
+
+// locate finds the block and node index holding stmt.
+func locate(g *cfg.CFG, stmt ast.Stmt) (*cfg.Block, int) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(stmt) {
+				return b, i
+			}
+			if n.Pos() <= stmt.Pos() && stmt.End() <= n.End() {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// exitNeedsPut decides whether a no-successor block ends a path the
+// pool value must be returned on: an explicit return, or falling off
+// the end of the function. Paths that die in panic or a fatal-style
+// call are exempt — the process (or test) is going down anyway.
+func exitNeedsPut(b *cfg.Block) bool {
+	if !b.Live {
+		return false
+	}
+	if len(b.Nodes) == 0 {
+		return b.Kind == cfg.KindBody || b.Kind == cfg.KindIfDone ||
+			b.Kind == cfg.KindForDone || b.Kind == cfg.KindRangeDone ||
+			b.Kind == cfg.KindSwitchDone || b.Kind == cfg.KindSelectDone
+	}
+	last := b.Nodes[len(b.Nodes)-1]
+	if _, ok := last.(*ast.ReturnStmt); ok {
+		return true
+	}
+	if es, ok := last.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok && isNoReturnCall(call) {
+			return false
+		}
+	}
+	return true
+}
+
+func exitNode(b *cfg.Block) ast.Node {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[len(b.Nodes)-1]
+	}
+	return nil
+}
+
+// isNoReturnCall matches panic and the conventional fatal helpers.
+func isNoReturnCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" || fun.Name == "fatal"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// isPoolCall reports whether call is sync.Pool method name on a Pool or
+// *Pool receiver.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// parentMap records each node's syntactic parent.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,13 @@
+package pooldiscipline_test
+
+import (
+	"testing"
+
+	"exaclim/internal/analysis/vettest"
+)
+
+// TestPooldiscipline drives the built vettool over the shared testdata module
+// and diffs its JSON diagnostics against the want annotations there.
+func TestPooldisciplineGolden(t *testing.T) {
+	vettest.Run(t, "pooldiscipline")
+}

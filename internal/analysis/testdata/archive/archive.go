@@ -1,0 +1,56 @@
+// Package archive is golden-test input for the lockedcall analyzer's
+// chunk-decode detection, mirroring the real Reader's shard shape.
+package archive
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	chunk int
+	buf   []byte
+}
+
+// Reader mirrors the real sharded chunk reader.
+type Reader struct {
+	shards []shard
+}
+
+func (r *Reader) readChunk(k int) ([]byte, error) {
+	return make([]byte, 8), nil
+}
+
+func decodeStep(rec []byte, dst []float64) error {
+	return nil
+}
+
+// Decoding while the shard lock is held blocks every reader of the
+// shard for the duration.
+func (r *Reader) badRead(dst []float64) error {
+	sh := &r.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return decodeStep(sh.buf, dst) // want:lockedcall "decodeStep"
+}
+
+// The claim-fill-publish shape: every branch releases the lock before
+// the decode, so the fall-through decode is lock-free and must not be
+// flagged.
+func (r *Reader) goodRead(k int, dst []float64) error {
+	sh := &r.shards[0]
+	rec := make([]byte, 8)
+	sh.mu.Lock()
+	if sh.chunk == k {
+		copy(rec, sh.buf)
+		sh.mu.Unlock()
+	} else {
+		sh.mu.Unlock()
+		raw, err := r.readChunk(k)
+		if err != nil {
+			return err
+		}
+		sh.mu.Lock()
+		sh.buf, sh.chunk = raw, k
+		sh.mu.Unlock()
+	}
+	return decodeStep(rec, dst)
+}

@@ -1,0 +1,76 @@
+// Package emulator is golden-test input for the determinism analyzer:
+// its package name puts it inside the deterministic scope, and each
+// function pins one positive or negative case via want annotations.
+package emulator
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func work() {}
+
+// Global math/rand draws from shared process state.
+func jitter() float64 {
+	return rand.Float64() // want:determinism "global math/rand.Float64"
+}
+
+// An explicitly seeded source is the sanctioned form.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// A wall-clock read that does not feed elapsed-time measurement.
+func stamp() int64 {
+	return time.Now().UnixNano() // want:determinism "time.Now outside elapsed-time measurement"
+}
+
+// The measured pairing: time.Now licensed by a time.Since on the same
+// variable.
+func measured() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Scalar accumulation in map order differs run to run.
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want:determinism "accumulates into sum"
+	}
+	return sum
+}
+
+// Per-key writes are order-independent.
+func scale(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v * 2
+	}
+}
+
+// Appending values in map order is nondeterministic output.
+func values(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v) // want:determinism "appends to vs"
+	}
+	return vs
+}
+
+// The canonical fix — collect the keys, sort, iterate — must not be
+// flagged.
+func sorted(m map[string]float64) []float64 {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, m[k])
+	}
+	return out
+}

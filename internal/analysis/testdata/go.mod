@@ -1,0 +1,3 @@
+module vetdata
+
+go 1.22

@@ -1,0 +1,57 @@
+// Package pooldata is golden-test input for the pooldiscipline
+// analyzer.
+package pooldata
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { b := make([]byte, 1024); return &b }}
+
+// An early return between Get and Put leaks the buffer.
+func leaky(fail bool) int {
+	b := bufs.Get().(*[]byte) // want:pooldiscipline "not returned to the pool on every path"
+	if fail {
+		return 0
+	}
+	bufs.Put(b)
+	return len(*b)
+}
+
+// A discarded Get can never be Put back.
+func discard() {
+	bufs.Get() // want:pooldiscipline "result discarded"
+}
+
+// defer Put covers every return path.
+func deferred() int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b)
+}
+
+// Explicit Put on each path also passes.
+func allPaths(fail bool) int {
+	b := bufs.Get().(*[]byte)
+	if fail {
+		bufs.Put(b)
+		return 0
+	}
+	n := len(*b)
+	bufs.Put(b)
+	return n
+}
+
+// A value that escapes (returned to the caller) leaves the pool's
+// custody deliberately; ownership transfer is not a leak.
+func escapes() *[]byte {
+	b := bufs.Get().(*[]byte)
+	return b
+}
+
+// Paths that end in panic are exempt — the process is going down.
+func panics(fail bool) {
+	b := bufs.Get().(*[]byte)
+	if fail {
+		panic("corrupt state")
+	}
+	bufs.Put(b)
+}

@@ -1,0 +1,60 @@
+// Package serve is golden-test input for the ctxflow and lockedcall
+// analyzers: its package name puts it inside both scopes.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"vetdata/sht"
+)
+
+type handler struct {
+	mu   sync.Mutex
+	plan *sht.Plan
+	data []float64
+}
+
+// A detached context escapes the request's timeout/shedding layer.
+func (h *handler) bad(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want:ctxflow "context.Background in the serving tier"
+	h.serveWith(ctx, w)
+}
+
+// TODO contexts are just as detached.
+func (h *handler) stub(w http.ResponseWriter, r *http.Request) {
+	h.serveWith(context.TODO(), w) // want:ctxflow "context.TODO in the serving tier"
+}
+
+// Deriving from the request is the sanctioned form.
+func (h *handler) good(w http.ResponseWriter, r *http.Request) {
+	h.serveWith(r.Context(), w)
+}
+
+func (h *handler) serveWith(ctx context.Context, w http.ResponseWriter) {
+	_ = ctx
+	w.Write(nil)
+}
+
+// Synthesis under the shard lock serializes every other request.
+func (h *handler) badSynthesize() {
+	h.mu.Lock()
+	h.plan.Synthesize(h.data) // want:lockedcall "while holding h.mu"
+	h.mu.Unlock()
+}
+
+// A response write under the lock couples client I/O to the cache.
+func (h *handler) badWrite(w http.ResponseWriter) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w.Write(nil) // want:lockedcall "while holding h.mu"
+}
+
+// The single-flight shape: copy under the lock, work outside it.
+func (h *handler) goodFlight() {
+	h.mu.Lock()
+	data := h.data
+	h.mu.Unlock()
+	h.plan.Synthesize(data)
+}

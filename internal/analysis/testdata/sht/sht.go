@@ -1,0 +1,10 @@
+// Package sht mirrors the shape of the real spherical-harmonic package
+// so lockedcall's synthesis detection (keyed on the package path
+// suffix) has something to resolve against.
+package sht
+
+// Plan stands in for the real transform plan.
+type Plan struct{ L int }
+
+// Synthesize stands in for the heavy spectral-to-grid transform.
+func (p *Plan) Synthesize(data []float64) {}

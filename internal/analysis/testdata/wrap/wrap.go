@@ -1,0 +1,34 @@
+// Package wrap is golden-test input for the errwrap analyzer.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// %v on an error operand severs the chain.
+func bad(name string) error {
+	return fmt.Errorf("open %s: %v", name, errBase) // want:errwrap "without %w"
+}
+
+// %w keeps errors.Is/As working.
+func good(name string) error {
+	return fmt.Errorf("open %s: %w", name, errBase)
+}
+
+// No error operand, nothing to wrap.
+func plain(name string) error {
+	return fmt.Errorf("open %s failed", name)
+}
+
+// Two error operands but only one %w still loses a chain.
+func mixed(e1, e2 error) error {
+	return fmt.Errorf("join: %v; %w", e1, e2) // want:errwrap "without %w"
+}
+
+// Wrapping both is fine (multi-%w is valid since Go 1.20).
+func both(e1, e2 error) error {
+	return fmt.Errorf("join: %w; %w", e1, e2)
+}

@@ -1,0 +1,222 @@
+// Package vettest is the golden-test harness for cmd/exaclimvet. The
+// module cache holds no analysistest, so instead of simulating the
+// driver it exercises the real one: it builds the vettool binary and
+// runs `go vet -vettool -json` over the testdata module, then diffs the
+// JSON diagnostics against `// want:<analyzer> "regex"` annotations in
+// the testdata sources. That makes every run an end-to-end check of the
+// unitchecker packaging (flag registration, per-package facts, JSON
+// output) as well as of the analyzer logic itself.
+//
+// Annotation form, one per expected diagnostic on that line:
+//
+//	rand.Float64() // want:determinism "global math/rand.Float64"
+//
+// The quoted part is a regular expression matched against the
+// diagnostic message. Several annotations may share a line. A test
+// fails on any unmatched diagnostic and on any unsatisfied annotation.
+package vettest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	toolPath  string
+	buildErr  error
+)
+
+// Run vets the testdata module with only the named analyzer enabled and
+// compares its diagnostics against the module's want annotations.
+func Run(t *testing.T, analyzer string) {
+	t.Helper()
+	root := repoRoot(t)
+	bin := buildTool(t, root)
+	td := filepath.Join(root, "internal", "analysis", "testdata")
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-json", "-"+analyzer, "./...")
+	cmd.Dir = td
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -%s: %v\n%s", analyzer, err, out)
+	}
+	got := parseDiagnostics(t, string(out), analyzer, td)
+	wants := parseWants(t, td, analyzer)
+
+	for _, d := range got {
+		k := wantKey{d.file, d.line}
+		matched := false
+		for i, w := range wants[k] {
+			if w.MatchString(d.message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", d.file, d.line, analyzer, d.message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no %s diagnostic matched want %q", k.file, k.line, analyzer, w)
+		}
+	}
+}
+
+// repoRoot resolves the enclosing module's directory, where the vettool
+// builds from.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// buildTool compiles cmd/exaclimvet once per test binary.
+func buildTool(t *testing.T, root string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "exaclimvet")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		toolPath = filepath.Join(dir, "exaclimvet")
+		cmd := exec.Command("go", "build", "-o", toolPath, "exaclim/cmd/exaclimvet")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building exaclimvet: %w\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return toolPath
+}
+
+type diagnostic struct {
+	file    string // relative to the testdata module root
+	line    int
+	message string
+}
+
+// parseDiagnostics decodes `go vet -json` output: `# pkg` comment lines
+// interleaved with one JSON object per package, shaped
+// {"pkg": {"analyzer": [{"posn": "file:line:col", "message": ...}]}}.
+func parseDiagnostics(t *testing.T, out, analyzer, td string) []diagnostic {
+	t.Helper()
+	var jsonText strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteByte('\n')
+	}
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var diags []diagnostic
+	dec := json.NewDecoder(strings.NewReader(jsonText.String()))
+	for dec.More() {
+		var pkgs map[string]map[string][]jsonDiag
+		if err := dec.Decode(&pkgs); err != nil {
+			t.Fatalf("decoding vet JSON: %v\noutput:\n%s", err, out)
+		}
+		for _, byAnalyzer := range pkgs {
+			for name, ds := range byAnalyzer {
+				if name != analyzer {
+					t.Fatalf("diagnostic from analyzer %q leaked into a -%s run", name, analyzer)
+				}
+				for _, d := range ds {
+					file, line := splitPosn(t, d.Posn)
+					if rel, err := filepath.Rel(td, file); err == nil {
+						file = rel
+					}
+					diags = append(diags, diagnostic{file: file, line: line, message: d.Message})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// splitPosn breaks "path:line:col" (path may itself contain colons on
+// some systems, so split from the right).
+func splitPosn(t *testing.T, posn string) (string, int) {
+	t.Helper()
+	parts := strings.Split(posn, ":")
+	if len(parts) < 3 {
+		t.Fatalf("malformed position %q", posn)
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		t.Fatalf("malformed position %q: %v", posn, err)
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), line
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`//\s*want:([a-zA-Z0-9_]+)((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants collects the testdata module's annotations for one
+// analyzer, keyed by (relative file, line).
+func parseWants(t *testing.T, td, analyzer string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	err := filepath.WalkDir(td, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(td, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				if m[1] != analyzer {
+					continue
+				}
+				k := wantKey{file: rel, line: i + 1}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[2], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", rel, i+1, arg[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning testdata: %v", err)
+	}
+	return wants
+}

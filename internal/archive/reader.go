@@ -39,11 +39,16 @@ type Reader struct {
 	plan     *sht.Plan
 	planErr  error
 
-	// shards[sid] caches the most recently decoded chunk of series sid.
-	// Decoding always happens under the shard lock and only ever escapes
-	// through caller-owned destination slices, so data handed out by
+	// shards[sid] caches the most recently read chunk of series sid. The
+	// shard lock protects only the cached bytes and a short record
+	// memcpy: chunk I/O and coefficient decode — the heavy work — always
+	// run outside it (the lockedcall invariant). Data handed out by
 	// ReadPacked never aliases cache state (pinned by regression test).
 	shards []readerShard
+
+	// recPool recycles the per-call record copies ReadPacked decodes
+	// from once the shard lock is released.
+	recPool sync.Pool
 }
 
 // readerShard is the per-series chunk cache.
@@ -144,7 +149,7 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 	for sid := range shards {
 		shards[sid].chunk = -1
 	}
-	return &Reader{
+	rd := &Reader{
 		h:      h,
 		r:      r,
 		size:   size,
@@ -152,7 +157,12 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 		dim:    h.Dim(),
 		stepB:  stepB,
 		shards: shards,
-	}, nil
+	}
+	rd.recPool.New = func() any {
+		b := make([]byte, stepB)
+		return &b
+	}
+	return rd, nil
 }
 
 // Header returns the archive header (bands shared; treat as read-only).
@@ -220,22 +230,40 @@ func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, 
 	sid := r.h.seriesID(member, scenario)
 	k := t / r.h.ChunkSteps
 	sh := &r.shards[sid]
+
+	// The shard lock covers only cache bookkeeping and one record-sized
+	// memcpy; the chunk read and the coefficient decode run outside it,
+	// so a slow disk or an expensive dequantization never serializes a
+	// whole series (the single-flight shape the analyzers enforce).
+	recp := r.recPool.Get().(*[]byte)
+	rec := (*recp)[:r.stepB]
+
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.chunk != k {
-		// Invalidate before reading: readChunk reuses the buffer in
-		// place, so a failed read (I/O error, CRC mismatch) leaves it
-		// holding bytes that no longer match the old cache key.
-		sh.chunk = -1
-		raw, _, t0, err := r.readChunk(sid, k, sh.buf)
+	if sh.chunk == k {
+		off := chunkHeaderLen + (t-sh.t0)*r.stepB
+		copy(rec, sh.buf[off:off+r.stepB])
+		sh.mu.Unlock()
+	} else {
+		// Miss: claim the shard's buffer (marking the cache empty so no
+		// reader sees it mid-fill) and read the chunk unlocked. Racing
+		// misses read independently; the last to publish wins.
+		buf := sh.buf
+		sh.buf, sh.chunk = nil, -1
+		sh.mu.Unlock()
+		raw, payload, t0, err := r.readChunk(sid, k, buf)
 		if err != nil {
+			r.recPool.Put(recp)
 			return nil, err
 		}
+		copy(rec, payload[(t-t0)*r.stepB:(t-t0+1)*r.stepB])
+		sh.mu.Lock()
 		sh.buf, sh.t0, sh.chunk = raw, t0, k
+		sh.mu.Unlock()
 	}
-	payload := sh.buf[chunkHeaderLen : len(sh.buf)-4]
-	rec := payload[(t-sh.t0)*r.stepB : (t-sh.t0+1)*r.stepB]
-	if err := decodeStep(rec, r.h.Bands, dst); err != nil {
+
+	err := decodeStep(rec, r.h.Bands, dst)
+	r.recPool.Put(recp)
+	if err != nil {
 		return nil, err
 	}
 	return dst, nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -137,7 +138,14 @@ func (sh *cacheShard) insert(c *fieldCache, key cacheKey, val []float64) {
 // getOrLoad returns the cached value for key, or runs load exactly once
 // across all concurrent callers and caches its result. The returned
 // slice is shared and read-only.
-func (c *fieldCache) getOrLoad(key cacheKey, load func() ([]float64, error)) ([]float64, error) {
+//
+// ctx bounds only this caller's wait on someone else's flight: a
+// cancelled waiter leaves immediately with ctx.Err() while the flight —
+// shared work whose result every other waiter and the cache keep —
+// always runs to completion. (The loading caller itself does not watch
+// ctx mid-load for the same reason: aborting would fail the waiters it
+// coalesced.)
+func (c *fieldCache) getOrLoad(ctx context.Context, key cacheKey, load func() ([]float64, error)) ([]float64, error) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
@@ -150,8 +158,12 @@ func (c *fieldCache) getOrLoad(key cacheKey, load func() ([]float64, error)) ([]
 	if f, ok := sh.flights[key]; ok {
 		sh.mu.Unlock()
 		c.coalesced.Add(1)
-		<-f.done
-		return f.val, f.err
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	sh.flights[key] = f

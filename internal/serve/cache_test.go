@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -26,7 +28,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.getOrLoad(key, func() ([]float64, error) {
+			v, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) {
 				loads.Add(1)
 				<-release // hold the flight open so everyone piles up
 				return []float64{1, 2, 3}, nil
@@ -63,14 +65,14 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := newFieldCache(1<<20, 1)
 	key := cacheKey{t: 1}
 	calls := 0
-	_, err := c.getOrLoad(key, func() ([]float64, error) {
+	_, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) {
 		calls++
 		return nil, fmt.Errorf("boom")
 	})
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	v, err := c.getOrLoad(key, func() ([]float64, error) {
+	v, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) {
 		calls++
 		return []float64{9}, nil
 	})
@@ -99,15 +101,15 @@ func TestCacheEviction(t *testing.T) {
 	}
 	k := func(id int) cacheKey { return cacheKey{t: id} }
 	for id := 0; id < 2; id++ {
-		if _, err := c.getOrLoad(k(id), load(id)); err != nil {
+		if _, err := c.getOrLoad(context.Background(), k(id), load(id)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch 0 so 1 is the LRU victim when 2 arrives.
-	if _, err := c.getOrLoad(k(0), load(0)); err != nil {
+	if _, err := c.getOrLoad(context.Background(), k(0), load(0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.getOrLoad(k(2), load(2)); err != nil {
+	if _, err := c.getOrLoad(context.Background(), k(2), load(2)); err != nil {
 		t.Fatal(err)
 	}
 	s := c.stats()
@@ -119,7 +121,7 @@ func TestCacheEviction(t *testing.T) {
 	}
 	// The evicted key must reload (a fresh miss), the survivors must hit.
 	misses := s.Misses
-	if _, err := c.getOrLoad(k(1), load(1)); err != nil {
+	if _, err := c.getOrLoad(context.Background(), k(1), load(1)); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.stats().Misses; got != misses+1 {
@@ -137,7 +139,7 @@ func TestCacheAddSkipsInFlight(t *testing.T) {
 	release := make(chan struct{})
 	done := make(chan []float64)
 	go func() {
-		v, _ := c.getOrLoad(key, func() ([]float64, error) {
+		v, _ := c.getOrLoad(context.Background(), key, func() ([]float64, error) {
 			close(inLoad)
 			<-release
 			return []float64{1}, nil
@@ -150,7 +152,7 @@ func TestCacheAddSkipsInFlight(t *testing.T) {
 	if v := <-done; v[0] != 1 {
 		t.Fatalf("flight result %v, want [1]", v)
 	}
-	v, err := c.getOrLoad(key, func() ([]float64, error) { return nil, fmt.Errorf("should hit") })
+	v, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) { return nil, fmt.Errorf("should hit") })
 	if err != nil || v[0] != 1 {
 		t.Fatalf("cached value %v, %v; want the flight's [1]", v, err)
 	}
@@ -179,7 +181,7 @@ func TestCacheConcurrentMixed(t *testing.T) {
 					c.add(key, v)
 					continue
 				}
-				v, err := c.getOrLoad(key, func() ([]float64, error) {
+				v, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) {
 					out := make([]float64, 8)
 					out[0] = want
 					return out, nil
@@ -210,7 +212,7 @@ func TestCachePanickingLoader(t *testing.T) {
 	panicked := make(chan any, 1)
 	go func() {
 		defer func() { panicked <- recover() }()
-		c.getOrLoad(key, func() ([]float64, error) {
+		c.getOrLoad(context.Background(), key, func() ([]float64, error) {
 			close(inLoad)
 			<-release
 			panic("loader exploded")
@@ -219,7 +221,7 @@ func TestCachePanickingLoader(t *testing.T) {
 	<-inLoad
 	waitErr := make(chan error, 1)
 	go func() {
-		_, err := c.getOrLoad(key, func() ([]float64, error) { return []float64{1}, nil })
+		_, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) { return []float64{1}, nil })
 		waitErr <- err
 	}()
 	// Give the waiter time to register on the flight, then let the
@@ -236,8 +238,62 @@ func TestCachePanickingLoader(t *testing.T) {
 		t.Fatalf("waiter error = %v, want a load-panicked error", err)
 	}
 	// The key must be recoverable: a fresh load succeeds.
-	v, err := c.getOrLoad(key, func() ([]float64, error) { return []float64{5}, nil })
+	v, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) { return []float64{5}, nil })
 	if err != nil || v[0] != 5 {
 		t.Fatalf("post-panic reload got %v, %v", v, err)
+	}
+}
+
+// TestGetOrLoadWaiterCancel pins the wait-vs-work split of the
+// single-flight contract: a coalesced waiter whose context is cancelled
+// leaves immediately with ctx.Err(), while the flight it was waiting on
+// runs to completion and still populates the cache for everyone else.
+func TestGetOrLoadWaiterCancel(t *testing.T) {
+	c := newFieldCache(1<<20, 1)
+	key := cacheKey{member: 1, scenario: 2, t: 3}
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	var loads atomic.Int64
+	go func() {
+		c.getOrLoad(context.Background(), key, func() ([]float64, error) {
+			loads.Add(1)
+			close(inLoad)
+			<-release
+			return []float64{42}, nil
+		})
+	}()
+	<-inLoad
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.getOrLoad(ctx, key, func() ([]float64, error) {
+			t.Error("waiter must coalesce, not load")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	// The waiter is parked on the flight (or about to be); cancelling
+	// must release it even though the flight is still running.
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return while the flight was in progress")
+	}
+
+	close(release)
+	v, err := c.getOrLoad(context.Background(), key, func() ([]float64, error) {
+		t.Error("flight result must be cached; no second load")
+		return nil, nil
+	})
+	if err != nil || len(v) != 1 || v[0] != 42 {
+		t.Fatalf("post-flight read = %v, %v; want [42]", v, err)
+	}
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loads = %d, want 1", n)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -126,13 +127,17 @@ func (s *Server) limitInFlight(next http.Handler) http.Handler {
 }
 
 // httpError maps caller mistakes (QueryError: bad coordinates or
-// parameters) to 400 and everything else — I/O failures, corrupt
-// chunks — to 500, so monitors can tell data-plane failures from bad
-// requests.
+// parameters) to 400, cancelled or timed-out request contexts to 503
+// (load shedding, not a data-plane fault), and everything else — I/O
+// failures, corrupt chunks — to 500, so monitors can tell them apart.
 func httpError(w http.ResponseWriter, err error) {
 	var qe *QueryError
 	if errors.As(err, &qe) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -213,7 +218,7 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	data, err := s.Field(member, scenario, t)
+	data, err := s.Field(r.Context(), member, scenario, t)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -269,7 +274,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	values, err := s.PointSeries(member, scenario, lat, lon, t0, t1)
+	values, err := s.PointSeries(r.Context(), member, scenario, lat, lon, t0, t1)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -300,7 +305,7 @@ func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	values, err := s.BoxSeries(member, scenario, box, t0, t1)
+	values, err := s.BoxSeries(r.Context(), member, scenario, box, t0, t1)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -319,7 +324,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	mean, spread, err := s.EnsembleStats(scenario, t)
+	mean, spread, err := s.EnsembleStats(r.Context(), scenario, t)
 	if err != nil {
 		httpError(w, err)
 		return

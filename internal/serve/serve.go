@@ -27,6 +27,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -303,25 +304,33 @@ func (s *Server) checkRange(member, scenario, t0, t1 int) error {
 // read-only slice in sphere.Field row-major layout. Concurrent requests
 // for one field coalesce into a single decode+synthesis; subsequent
 // requests hit the cache.
-func (s *Server) Field(member, scenario, t int) ([]float64, error) {
+//
+// ctx bounds this caller's wait, not the shared work: a request that is
+// cancelled (client gone, http.TimeoutHandler fired) stops waiting on a
+// coalesced flight immediately, while the flight itself runs to
+// completion so the other waiters — and the cache — still get the field.
+func (s *Server) Field(ctx context.Context, member, scenario, t int) ([]float64, error) {
 	if err := s.check(member, scenario, t); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.requests.Add(1)
-	return s.field(member, scenario, t)
+	return s.field(ctx, member, scenario, t)
 }
 
 // field is Field without the request accounting — the internal path
 // composite queries (statistics, live series) fetch through, so one
 // client query counts once no matter how many fields it touches.
-func (s *Server) field(member, scenario, t int) ([]float64, error) {
+func (s *Server) field(ctx context.Context, member, scenario, t int) ([]float64, error) {
 	key := cacheKey{live: s.isLive(scenario), member: member, scenario: scenario, t: t}
 	if key.live {
-		return s.cache.getOrLoad(key, func() ([]float64, error) {
+		return s.cache.getOrLoad(ctx, key, func() ([]float64, error) {
 			return s.loadLiveField(member, scenario, t)
 		})
 	}
-	return s.cache.getOrLoad(key, func() ([]float64, error) {
+	return s.cache.getOrLoad(ctx, key, func() ([]float64, error) {
 		return s.loadArchiveField(member, scenario, t)
 	})
 }
@@ -390,7 +399,9 @@ func angles(lat, lon float64) (theta, phi float64, err error) {
 // product. For live scenarios the emulated fields (which carry
 // pixel-space nugget noise, so they are not band-limited) are sampled by
 // bilinear interpolation on the grid instead.
-func (s *Server) PointSeries(member, scenario int, lat, lon float64, t0, t1 int) ([]float64, error) {
+// ctx cancellation is observed between steps, so an abandoned long
+// series stops promptly instead of decoding to the end.
+func (s *Server) PointSeries(ctx context.Context, member, scenario int, lat, lon float64, t0, t1 int) ([]float64, error) {
 	if err := s.checkRange(member, scenario, t0, t1); err != nil {
 		return nil, err
 	}
@@ -404,11 +415,14 @@ func (s *Server) PointSeries(member, scenario int, lat, lon float64, t0, t1 int)
 		// Fetch the last step first: its miss emulates [0, t1) in one
 		// run and caches every earlier step, so the ascending loop below
 		// is all cache hits instead of one re-emulation per step.
-		if _, err := s.field(member, scenario, t1-1); err != nil {
+		if _, err := s.field(ctx, member, scenario, t1-1); err != nil {
 			return nil, err
 		}
 		for t := t0; t < t1; t++ {
-			data, err := s.field(member, scenario, t)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			data, err := s.field(ctx, member, scenario, t)
 			if err != nil {
 				return nil, err
 			}
@@ -423,6 +437,9 @@ func (s *Server) PointSeries(member, scenario int, lat, lon float64, t0, t1 int)
 	}
 	var packed []float64
 	for t := t0; t < t1; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		packed, err = cur.ReadPacked(t, packed)
 		if err != nil {
 			return nil, err
@@ -480,7 +497,7 @@ func boxPoints(g sphere.Grid, b Box) (rings, lons []int, err error) {
 // scenarios evaluate only the box's rings and longitudes via per-ring
 // spectral evaluation (O(L^2) per ring plus O(L) per point), never the
 // full grid; live scenarios average the emulated fields directly.
-func (s *Server) BoxSeries(member, scenario int, box Box, t0, t1 int) ([]float64, error) {
+func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t0, t1 int) ([]float64, error) {
 	if err := s.checkRange(member, scenario, t0, t1); err != nil {
 		return nil, err
 	}
@@ -499,11 +516,14 @@ func (s *Server) BoxSeries(member, scenario int, box Box, t0, t1 int) ([]float64
 
 	if s.isLive(scenario) {
 		// As in PointSeries: warm the series with one emulation run.
-		if _, err := s.field(member, scenario, t1-1); err != nil {
+		if _, err := s.field(ctx, member, scenario, t1-1); err != nil {
 			return nil, err
 		}
 		for t := t0; t < t1; t++ {
-			data, err := s.field(member, scenario, t)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			data, err := s.field(ctx, member, scenario, t)
 			if err != nil {
 				return nil, err
 			}
@@ -533,6 +553,9 @@ func (s *Server) BoxSeries(member, scenario int, box Box, t0, t1 int) ([]float64
 	}
 	var packed []float64
 	for t := t0; t < t1; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		packed, err = cur.ReadPacked(t, packed)
 		if err != nil {
 			return nil, err
@@ -554,7 +577,7 @@ func (s *Server) BoxSeries(member, scenario int, box Box, t0, t1 int) ([]float64
 // EnsembleStats returns the per-pixel ensemble mean and spread (sample
 // standard deviation across members) of scenario at step t, served
 // through the field cache so repeated statistics queries share decodes.
-func (s *Server) EnsembleStats(scenario, t int) (mean, spread []float64, err error) {
+func (s *Server) EnsembleStats(ctx context.Context, scenario, t int) (mean, spread []float64, err error) {
 	if err := s.check(0, scenario, t); err != nil {
 		return nil, nil, err
 	}
@@ -564,7 +587,10 @@ func (s *Server) EnsembleStats(scenario, t int) (mean, spread []float64, err err
 	mean = make([]float64, pts)
 	m2 := make([]float64, pts)
 	for m := 0; m < n; m++ {
-		data, err := s.field(m, scenario, t)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		data, err := s.field(ctx, m, scenario, t)
 		if err != nil {
 			return nil, nil, err
 		}

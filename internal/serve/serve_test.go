@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -98,11 +99,11 @@ func TestFieldMatchesUncachedRead(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		first, err := s.Field(q[0], q[1], q[2])
+		first, err := s.Field(context.Background(), q[0], q[1], q[2])
 		if err != nil {
 			t.Fatal(err)
 		}
-		second, err := s.Field(q[0], q[1], q[2])
+		second, err := s.Field(context.Background(), q[0], q[1], q[2])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +145,7 @@ func TestSingleFlightUnderLoad(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			got[i], errs[i] = s.Field(1, 1, 7)
+			got[i], errs[i] = s.Field(context.Background(), 1, 1, 7)
 		}(i)
 	}
 	close(start)
@@ -179,7 +180,7 @@ func TestPointSeriesMatchesSynthesis(t *testing.T) {
 	for _, mc := range coords {
 		i, j := mc[0], mc[1]
 		lat, lon := grid.Latitude(i), grid.LongitudeDeg(j)
-		series, err := s.PointSeries(2, 1, lat, lon, 0, fixSteps)
+		series, err := s.PointSeries(context.Background(), 2, 1, lat, lon, 0, fixSteps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestBoxSeriesMatchesFieldAverage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		series, err := s.BoxSeries(0, 0, box, 0, 8)
+		series, err := s.BoxSeries(context.Background(), 0, 0, box, 0, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func TestBoxSeriesMatchesFieldAverage(t *testing.T) {
 // against a direct two-pass computation on synthesized fields.
 func TestEnsembleStatsMatchesDirect(t *testing.T) {
 	s, r := testServer(t)
-	mean, spread, err := s.EnsembleStats(1, 9)
+	mean, spread, err := s.EnsembleStats(context.Background(), 1, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,17 +286,20 @@ func TestEnsembleStatsMatchesDirect(t *testing.T) {
 func TestQueryValidation(t *testing.T) {
 	s, _ := testServer(t)
 	cases := []func() error{
-		func() error { _, err := s.Field(-1, 0, 0); return err },
-		func() error { _, err := s.Field(0, fixScen, 0); return err }, // no live scenarios configured
-		func() error { _, err := s.Field(0, 0, fixSteps); return err },
-		func() error { _, err := s.PointSeries(0, 0, 95, 0, 0, 1); return err },
-		func() error { _, err := s.PointSeries(0, 0, 0, 0, 3, 3); return err },
-		func() error { _, err := s.BoxSeries(0, 0, Box{LatMin: 50, LatMax: 40}, 0, 1); return err },
+		func() error { _, err := s.Field(context.Background(), -1, 0, 0); return err },
+		func() error { _, err := s.Field(context.Background(), 0, fixScen, 0); return err }, // no live scenarios configured
+		func() error { _, err := s.Field(context.Background(), 0, 0, fixSteps); return err },
+		func() error { _, err := s.PointSeries(context.Background(), 0, 0, 95, 0, 0, 1); return err },
+		func() error { _, err := s.PointSeries(context.Background(), 0, 0, 0, 0, 3, 3); return err },
 		func() error {
-			_, err := s.BoxSeries(0, 0, Box{LatMin: 1, LatMax: 2, LonMin: 3, LonMax: 4}, 0, 1)
+			_, err := s.BoxSeries(context.Background(), 0, 0, Box{LatMin: 50, LatMax: 40}, 0, 1)
 			return err
 		},
-		func() error { _, _, err := s.EnsembleStats(5, 0); return err },
+		func() error {
+			_, err := s.BoxSeries(context.Background(), 0, 0, Box{LatMin: 1, LatMax: 2, LonMin: 3, LonMax: 4}, 0, 1)
+			return err
+		},
+		func() error { _, _, err := s.EnsembleStats(context.Background(), 5, 0); return err },
 	}
 	for i, fn := range cases {
 		if fn() == nil {
@@ -362,7 +366,7 @@ func TestLiveScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Field(member, liveScen, ts)
+	got, err := s.Field(context.Background(), member, liveScen, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +379,7 @@ func TestLiveScenario(t *testing.T) {
 		t.Fatalf("LiveLoads = %d, want 1", st.LiveLoads)
 	}
 	// Earlier steps were cached on the way: no new emulation run.
-	earlier, err := s.Field(member, liveScen, 3)
+	earlier, err := s.Field(context.Background(), member, liveScen, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +395,7 @@ func TestLiveScenario(t *testing.T) {
 	// the field value there.
 	grid := model.Grid
 	i, j := grid.NLat/2, 4
-	series, err := s.PointSeries(member, liveScen, grid.Latitude(i), grid.LongitudeDeg(j), 0, ts+1)
+	series, err := s.PointSeries(context.Background(), member, liveScen, grid.Latitude(i), grid.LongitudeDeg(j), 0, ts+1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +405,7 @@ func TestLiveScenario(t *testing.T) {
 		}
 	}
 	// Beyond the live horizon is a validation error.
-	if _, err := s.Field(member, liveScen, 12); err == nil {
+	if _, err := s.Field(context.Background(), member, liveScen, 12); err == nil {
 		t.Fatal("expected out-of-horizon error for live step 12")
 	}
 }
@@ -440,7 +444,7 @@ func TestHTTPEndpoints(t *testing.T) {
 
 	var fr FieldResponse
 	getJSON("/v1/field?member=1&scenario=0&t=5", &fr)
-	want, err := s.Field(1, 0, 5)
+	want, err := s.Field(context.Background(), 1, 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,7 +479,7 @@ func TestHTTPEndpoints(t *testing.T) {
 
 	var sr SeriesResponse
 	getJSON("/v1/point?member=0&scenario=1&lat=30&lon=100&t0=2&t1=10", &sr)
-	wantSeries, err := s.PointSeries(0, 1, 30, 100, 2, 10)
+	wantSeries, err := s.PointSeries(context.Background(), 0, 1, 30, 100, 2, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +493,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	getJSON("/v1/box?member=0&scenario=0&lat0=-20&lat1=40&lon0=30&lon1=200&t1=6", &sr)
-	wantBox, err := s.BoxSeries(0, 0, Box{LatMin: -20, LatMax: 40, LonMin: 30, LonMax: 200}, 0, 6)
+	wantBox, err := s.BoxSeries(context.Background(), 0, 0, Box{LatMin: -20, LatMax: 40, LonMin: 30, LonMax: 200}, 0, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -599,7 +603,7 @@ func TestBoxFullCircle(t *testing.T) {
 		}
 	}
 	// The global box mean must equal the field's area-weighted mean.
-	series, err := s.BoxSeries(0, 0, Box{LatMin: -90, LatMax: 90, LonMin: -180, LonMax: 180}, 0, 3)
+	series, err := s.BoxSeries(context.Background(), 0, 0, Box{LatMin: -90, LatMax: 90, LonMin: -180, LonMax: 180}, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -621,13 +625,13 @@ func TestBoxFullCircle(t *testing.T) {
 // queries, not the internal field fetches composite queries fan out to.
 func TestRequestsCountQueries(t *testing.T) {
 	s, _ := testServer(t)
-	if _, _, err := s.EnsembleStats(0, 2); err != nil {
+	if _, _, err := s.EnsembleStats(context.Background(), 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Requests != 1 {
 		t.Fatalf("EnsembleStats over %d members counted %d requests, want 1", fixMembers, st.Requests)
 	}
-	if _, err := s.PointSeries(0, 0, 10, 20, 0, 5); err != nil {
+	if _, err := s.PointSeries(context.Background(), 0, 0, 10, 20, 0, 5); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Requests != 2 {
@@ -715,14 +719,14 @@ func TestLiveSeriesSingleRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	liveScen := r.Header().Scenarios
-	if _, err := s.PointSeries(0, liveScen, 10, 20, 0, 10); err != nil {
+	if _, err := s.PointSeries(context.Background(), 0, liveScen, 10, 20, 0, 10); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.LiveLoads != 1 {
 		t.Fatalf("ascending live point series ran %d emulations, want 1", st.LiveLoads)
 	}
 	box := Box{LatMin: -45, LatMax: 45, LonMin: 0, LonMax: 90}
-	if _, err := s.BoxSeries(1, liveScen, box, 0, 10); err != nil {
+	if _, err := s.BoxSeries(context.Background(), 1, liveScen, box, 0, 10); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.LiveLoads != 2 {
@@ -749,7 +753,7 @@ func TestLiveT0Alignment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Field(0, liveScen, 3)
+	got, err := s.Field(context.Background(), 0, liveScen, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -809,7 +813,7 @@ func TestLiveWhatIfPathway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Field(member, liveScen, ts)
+	got, err := s.Field(context.Background(), member, liveScen, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -910,7 +914,7 @@ func TestEvalCacheReuse(t *testing.T) {
 	s, _ := testServer(t)
 	grid := s.Grid()
 	lat, lon := grid.Latitude(3), grid.LongitudeDeg(5)
-	first, err := s.PointSeries(0, 0, lat, lon, 0, 8)
+	first, err := s.PointSeries(context.Background(), 0, 0, lat, lon, 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -918,7 +922,7 @@ func TestEvalCacheReuse(t *testing.T) {
 	if st.Evals.Misses != 1 || st.Evals.Hits != 0 {
 		t.Fatalf("after first query: evals %+v, want 1 miss", st.Evals)
 	}
-	second, err := s.PointSeries(1, 1, lat, lon, 0, 8)
+	second, err := s.PointSeries(context.Background(), 1, 1, lat, lon, 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -933,11 +937,11 @@ func TestEvalCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w1, err := cold.PointSeries(0, 0, lat, lon, 0, 8)
+	w1, err := cold.PointSeries(context.Background(), 0, 0, lat, lon, 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, err := cold.PointSeries(1, 1, lat, lon, 0, 8)
+	w2, err := cold.PointSeries(context.Background(), 1, 1, lat, lon, 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -957,7 +961,7 @@ func TestEvalCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := small.PointSeries(0, 0, float64(10*i), 20, 0, 2); err != nil {
+		if _, err := small.PointSeries(context.Background(), 0, 0, float64(10*i), 20, 0, 2); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -973,7 +977,7 @@ func TestEvalCacheConcurrent(t *testing.T) {
 	s, _ := testServer(t)
 	grid := s.Grid()
 	lat, lon := grid.Latitude(2), grid.LongitudeDeg(4)
-	want, err := s.PointSeries(0, 0, lat, lon, 0, 8)
+	want, err := s.PointSeries(context.Background(), 0, 0, lat, lon, 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -984,7 +988,7 @@ func TestEvalCacheConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := s.PointSeries(i%fixMembers, i%fixScen, lat, lon, 0, 8)
+			got, err := s.PointSeries(context.Background(), i%fixMembers, i%fixScen, lat, lon, 0, 8)
 			if err != nil {
 				errs[i] = err
 				return
@@ -1105,7 +1109,7 @@ func TestInFlightCapUnderHammer(t *testing.T) {
 	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
-	want, err := s.Field(0, 0, 3)
+	want, err := s.Field(context.Background(), 0, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1217,5 +1221,28 @@ func TestRequestTimeout(t *testing.T) {
 	hz.Body.Close()
 	if hz.StatusCode != http.StatusOK {
 		t.Fatalf("healthz got %d", hz.StatusCode)
+	}
+}
+
+// TestQueryContextCancelled pins the request-scoping contract: every
+// query method observes an already-cancelled context and returns its
+// error instead of doing work, so the HTTP timeout/shedding layer
+// governs all request work.
+func TestQueryContextCancelled(t *testing.T) {
+	s, _ := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Field(ctx, 0, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Field under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.PointSeries(ctx, 0, 0, 10, 20, 0, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("PointSeries under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	box := Box{LatMin: -20, LatMax: 20, LonMin: 0, LonMax: 90}
+	if _, err := s.BoxSeries(ctx, 0, 0, box, 0, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("BoxSeries under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := s.EnsembleStats(ctx, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("EnsembleStats under cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }
