@@ -386,9 +386,9 @@ func BenchmarkAblation_Extremes(b *testing.B) {
 // serveBenchServer fronts the cached replay archive with a query server
 // and an HTTP listener — the load-generator fixture for the serving
 // benchmarks.
-func serveBenchServer(b *testing.B) (*exaclim.Server, *httptest.Server) {
+func serveBenchServer(b *testing.B, cfg exaclim.ServeConfig) (*exaclim.Server, *httptest.Server) {
 	r := replayBenchReader(b)
-	s, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{})
+	s, err := exaclim.NewServer(r, nil, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func BenchmarkServe_Concurrent(b *testing.B) {
 			base, i%replayBenchMembers, (i/replayBenchMembers)%replayBenchSteps)
 	}
 	b.Run("serial", func(b *testing.B) {
-		_, hs := serveBenchServer(b)
+		_, hs := serveBenchServer(b, exaclim.ServeConfig{})
 		client := hs.Client()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -433,7 +433,7 @@ func BenchmarkServe_Concurrent(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 	})
 	b.Run("parallel", func(b *testing.B) {
-		s, hs := serveBenchServer(b)
+		s, hs := serveBenchServer(b, exaclim.ServeConfig{})
 		var next atomic.Int64
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
@@ -449,6 +449,26 @@ func BenchmarkServe_Concurrent(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 		st := s.Stats()
 		b.ReportMetric(float64(st.FieldLoads), "decodes")
+	})
+	// The observability overhead A/B: identical load with metrics and
+	// the instrument middleware disabled. Comparing ns/op against
+	// "parallel" bounds what per-request recording costs (the acceptance
+	// bar is < 5% regression with metrics enabled).
+	b.Run("parallel-bare", func(b *testing.B) {
+		_, hs := serveBenchServer(b, exaclim.ServeConfig{DisableMetrics: true})
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := hs.Client()
+			for pb.Next() {
+				i := int(next.Add(1))
+				if err := get(client, urlFor(hs.URL, i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 	})
 }
 

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"exaclim"
+	"exaclim/internal/obs"
 )
 
 // runServe fronts an archive (and optionally a trained model for live
@@ -37,6 +40,9 @@ func runServe(args []string) {
 		shards    = fs.Int("shards", 16, "field cache shards")
 		inflight  = fs.Int("max-inflight", 0, "cap on concurrently served requests; beyond it requests shed with 503 (0 = unlimited)")
 		timeout   = fs.Duration("timeout", 0, "per-request handling timeout, e.g. 5s (0 = none)")
+		metrics   = fs.Bool("metrics", true, "expose Prometheus text metrics on /metrics")
+		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin surface; keep off public listeners)")
+		logReq    = fs.String("log-requests", "", "write one JSON line per request to this file ('-' = stdout)")
 		smoke     = fs.String("smoke", "", "issue one-shot requests for this path (e.g. /v1/field?t=3), print, exit")
 		smokeN    = fs.Int("smoke-n", 1, "concurrent requests issued in -smoke mode")
 	)
@@ -78,6 +84,17 @@ func runServe(args []string) {
 			*live = 0
 		}
 	}
+	var reqLog io.Writer
+	if *logReq == "-" {
+		reqLog = os.Stdout
+	} else if *logReq != "" {
+		f, err := os.OpenFile(*logReq, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		reqLog = f
+	}
 	srv, err := exaclim.NewServer(r, model, exaclim.ServeConfig{
 		CacheBytes:     int64(*cacheMB) << 20,
 		CacheShards:    *shards,
@@ -88,6 +105,9 @@ func runServe(args []string) {
 		LivePathways:   livePathways,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
+		RequestLog:     reqLog,
+		EnablePprof:    *pprofFlag,
+		DisableMetrics: !*metrics,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,7 +120,14 @@ func runServe(args []string) {
 		runServeSmoke(srv, *smoke, *smokeN)
 		return
 	}
-	fmt.Printf("listening on %s (endpoints: /v1/info /v1/field /v1/point /v1/box /v1/stats)\n", *addr)
+	endpoints := "/v1/info /v1/field /v1/point /v1/box /v1/stats /healthz /readyz"
+	if *metrics {
+		endpoints += " /metrics"
+	}
+	if *pprofFlag {
+		endpoints += " /debug/pprof/"
+	}
+	fmt.Printf("listening on %s (endpoints: %s)\n", *addr, endpoints)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
@@ -162,4 +189,52 @@ func runServeSmoke(srv *exaclim.Server, path string, n int) {
 	fmt.Printf("cache: %d loads, %d hits, %d coalesced, %d misses, %d entries (%.1f KB)\n",
 		st.FieldLoads+st.LiveLoads, st.Cache.Hits, st.Cache.Coalesced, st.Cache.Misses,
 		st.Cache.Entries, float64(st.Cache.Bytes)/1e3)
+
+	// One-shot operator visibility: the full stats snapshot, then a
+	// real scrape of /readyz and /metrics through the listener — the
+	// same surfaces Prometheus and an orchestrator would hit — with the
+	// exposition parsed and verified, not just fetched.
+	stJSON, err := json.Marshal(st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stats: %s\n", stJSON)
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		fatal(err)
+	}
+	ready, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("readyz: %d %s", resp.StatusCode, ready)
+	if srv.Metrics() == nil {
+		fmt.Println("metrics: disabled")
+		return
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("smoke: /metrics exposition invalid: %w", err))
+	}
+	for _, name := range []string{
+		"exaclim_http_requests_total", "exaclim_http_request_duration_seconds",
+		"exaclim_requests_total", "exaclim_cache_hits_total",
+		"exaclim_field_loads_total", "exaclim_goroutines",
+	} {
+		if fams[name] == nil {
+			fatal(fmt.Errorf("smoke: /metrics missing family %s", name))
+		}
+	}
+	if err := obs.CheckHistogram(fams["exaclim_http_request_duration_seconds"]); err != nil {
+		fatal(fmt.Errorf("smoke: %w", err))
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("metrics: %d families, %d samples, exposition verified\n", len(fams), samples)
 }

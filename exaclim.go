@@ -50,6 +50,7 @@ import (
 	"exaclim/internal/emulator"
 	"exaclim/internal/era5"
 	"exaclim/internal/forcing"
+	"exaclim/internal/obs"
 	"exaclim/internal/serve"
 	"exaclim/internal/sht"
 	"exaclim/internal/source"
@@ -187,6 +188,14 @@ type (
 	// hits skip the O(L^2) Legendre setup of repeated dashboard point
 	// queries.
 	ServeEvalStats = serve.EvalCacheStats
+	// ServeArchiveStats is the archive reader's counter snapshot (step
+	// decodes, chunk-cache hits/misses, bytes read) as observed through
+	// the server's metric sink.
+	ServeArchiveStats = serve.ArchiveStats
+	// MetricsRegistry is the dependency-free metrics registry behind the
+	// server's /metrics endpoint; Server.Metrics returns the server's,
+	// and NewMetricsRegistry builds a standalone one.
+	MetricsRegistry = obs.Registry
 	// QueryBox is a geographic lat/lon box (degrees; longitudes wrap).
 	QueryBox = serve.Box
 	// FieldResponse, SeriesResponse, StatsResponse and InfoResponse are
@@ -391,6 +400,13 @@ func NewArchiveReader(r io.ReaderAt, size int64) (*ArchiveReader, error) {
 // byte-identical to Model.Emulate under MemberSeed(cfg.BaseSeed, ...).
 func NewServer(r *ArchiveReader, model *Model, cfg ServeConfig) (*Server, error) {
 	return serve.New(r, model, cfg)
+}
+
+// NewMetricsRegistry builds an empty metrics registry — counters,
+// gauges and fixed-bucket histograms with Prometheus text exposition —
+// for callers instrumenting their own pipelines alongside the server's.
+func NewMetricsRegistry() *MetricsRegistry {
+	return obs.NewRegistry()
 }
 
 // NewPointEvaluator builds an O(L^2) point evaluator at colatitude

@@ -9,11 +9,16 @@
 //   - chunk I/O and coefficient decode (readChunk / decodeStep and the
 //     Read* entry points built on them);
 //   - writing to an http.ResponseWriter (response I/O stalls on slow
-//     clients, so a locked write lets one client block a shard).
+//     clients, so a locked write lets one client block a shard);
+//   - metric observation and request logging (obs-package calls, sink
+//     observe, logRequest, noteCacheOutcome): recording takes label-map
+//     locks and log writes serialize on the log mutex, so doing either
+//     under a shard lock couples every request on that shard to the
+//     observability path's latency.
 //
 // The fieldCache's getOrLoad documents the intended shape: register a
 // flight under the lock, run the load with the lock released, publish
-// under the lock again.
+// under the lock again — and count or annotate it after the unlock.
 package lockedcall
 
 import (
@@ -37,8 +42,9 @@ var pkgs string
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockedcall",
-	Doc: "forbid SHT synthesis, chunk decode, and ResponseWriter writes while " +
-		"holding a mutex (the single-flight invariant: heavy work runs outside the lock)",
+	Doc: "forbid SHT synthesis, chunk decode, ResponseWriter writes, metric observation, " +
+		"and request logging while holding a mutex (the single-flight invariant: heavy " +
+		"work runs outside the lock)",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -60,6 +66,13 @@ var heavyNames = map[string]bool{
 // shtHeavy lists the sht transform entry points.
 var shtHeavy = map[string]bool{
 	"Synthesize": true, "SynthesizeInto": true, "Analyze": true, "AnalyzeInto": true,
+}
+
+// obsNames lists the observability helpers forbidden under a lock
+// regardless of receiver: the archive reader's sink reporter and the
+// serve tier's request-trace writers.
+var obsNames = map[string]bool{
+	"observe": true, "logRequest": true, "noteCacheOutcome": true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -281,14 +294,25 @@ func heavyCall(pass *analysis.Pass, call *ast.CallExpr, rw *types.Interface) (na
 		// SHT transforms: methods of the sht package's types, or its
 		// package-level functions.
 		if shtHeavy[sel] {
-			if fromShtPackage(pass, fun) {
+			if fromPackage(pass, fun, "sht") {
 				return exprString(pass, fun), "SHT transform"
 			}
+		}
+		// Metric recording: any call into the obs package (Counter.Inc,
+		// Histogram.Observe, Sink.Add, registration, exposition).
+		if fromPackage(pass, fun, "obs") {
+			return exprString(pass, fun), "metric observation"
+		}
+		if obsNames[sel] {
+			return exprString(pass, fun), "metric observation or request logging"
 		}
 		if heavyNames[sel] {
 			return exprString(pass, fun), "chunk I/O or decode"
 		}
 	case *ast.Ident:
+		if obsNames[fun.Name] {
+			return fun.Name, "metric observation or request logging"
+		}
 		if heavyNames[fun.Name] {
 			return fun.Name, "chunk I/O or decode"
 		}
@@ -305,13 +329,16 @@ func heavyCall(pass *analysis.Pass, call *ast.CallExpr, rw *types.Interface) (na
 	return "", ""
 }
 
-// fromShtPackage reports whether the selector resolves into a package
-// whose import path ends in "sht" — a method on one of its types or one
-// of its package-level functions.
-func fromShtPackage(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
-	if scope.ImportedPkg(pass, sel.X) != "" {
-		p := scope.ImportedPkg(pass, sel.X)
-		return p == "sht" || len(p) > 4 && p[len(p)-4:] == "/sht"
+// fromPackage reports whether the selector resolves into a package
+// whose import path is base or ends in "/"+base — a method on one of
+// its types (possibly through an interface it declares) or one of its
+// package-level functions.
+func fromPackage(pass *analysis.Pass, sel *ast.SelectorExpr, base string) bool {
+	match := func(p string) bool {
+		return p == base || len(p) > len(base)+1 && p[len(p)-len(base)-1:] == "/"+base
+	}
+	if p := scope.ImportedPkg(pass, sel.X); p != "" {
+		return match(p)
 	}
 	t := pass.TypesInfo.TypeOf(sel.X)
 	for {
@@ -325,8 +352,7 @@ func fromShtPackage(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	p := named.Obj().Pkg().Path()
-	return p == "sht" || len(p) > 4 && p[len(p)-4:] == "/sht"
+	return match(named.Obj().Pkg().Path())
 }
 
 const (

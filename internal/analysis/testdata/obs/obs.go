@@ -1,0 +1,24 @@
+// Package obs is a golden-test stub of the metrics core: just enough
+// surface for the lockedcall analyzer to resolve receiver types into an
+// "obs"-suffixed package path.
+package obs
+
+// Counter is a stub monotone counter.
+type Counter struct{ n int64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Histogram is a stub latency histogram.
+type Histogram struct{ sum float64 }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+// Sink is the stub of the pluggable instrumentation interface.
+type Sink interface {
+	Add(metric string, delta int64)
+}

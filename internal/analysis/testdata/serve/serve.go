@@ -7,13 +7,17 @@ import (
 	"net/http"
 	"sync"
 
+	"vetdata/obs"
 	"vetdata/sht"
 )
 
 type handler struct {
-	mu   sync.Mutex
-	plan *sht.Plan
-	data []float64
+	mu      sync.Mutex
+	plan    *sht.Plan
+	data    []float64
+	hits    *obs.Counter
+	latency *obs.Histogram
+	sink    obs.Sink
 }
 
 // A detached context escapes the request's timeout/shedding layer.
@@ -57,4 +61,45 @@ func (h *handler) goodFlight() {
 	data := h.data
 	h.mu.Unlock()
 	h.plan.Synthesize(data)
+}
+
+// Metric observation under the shard lock couples every request on the
+// shard to the recording path's latency.
+func (h *handler) badCountUnderLock() {
+	h.mu.Lock()
+	h.hits.Inc() // want:lockedcall "metric observation"
+	h.mu.Unlock()
+}
+
+// Histogram recording under a deferred unlock is held to function end.
+func (h *handler) badObserveUnderLock(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.latency.Observe(v) // want:lockedcall "metric observation"
+}
+
+// Reporting through the pluggable sink interface is recording too.
+func (h *handler) badSinkUnderLock() {
+	h.mu.Lock()
+	h.sink.Add("hits", 1) // want:lockedcall "metric observation"
+	h.mu.Unlock()
+}
+
+func (h *handler) logRequest() {}
+
+// Request logging serializes on the log mutex; not under a shard lock.
+func (h *handler) badLogUnderLock() {
+	h.mu.Lock()
+	h.logRequest() // want:lockedcall "request logging"
+	h.mu.Unlock()
+}
+
+// Counting after the unlock is the sanctioned shape.
+func (h *handler) goodCountAfterUnlock() {
+	h.mu.Lock()
+	data := h.data
+	h.mu.Unlock()
+	h.hits.Inc()
+	h.latency.Observe(float64(len(data)))
+	h.logRequest()
 }

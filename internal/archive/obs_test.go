@@ -1,0 +1,87 @@
+package archive
+
+import (
+	"sync"
+	"testing"
+
+	"exaclim/internal/tile"
+)
+
+// countingSink is a minimal obs.Sink collecting deltas per metric name.
+type countingSink struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (s *countingSink) Add(metric string, delta int64) {
+	s.mu.Lock()
+	s.m[metric] += delta
+	s.mu.Unlock()
+}
+
+func (s *countingSink) get(metric string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[metric]
+}
+
+// TestReaderSinkCounts pins the reader's metric events for a known
+// access pattern: the test header has 7 steps in chunks of 3, so one
+// sequential pass over a series crosses three chunks.
+func TestReaderSinkCounts(t *testing.T) {
+	r, h, _ := openTestArchive(t, 8, UniformBands(8, tile.FP64))
+	sink := &countingSink{m: map[string]int64{}}
+	r.SetObserver(sink)
+
+	for tt := 0; tt < h.Steps; tt++ {
+		if _, err := r.ReadPacked(0, 0, tt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Steps 0..6 with ChunkSteps=3: misses at t=0,3,6, hits elsewhere.
+	if got := sink.get(MetricChunkMisses); got != 3 {
+		t.Errorf("chunk misses = %d, want 3", got)
+	}
+	if got := sink.get(MetricChunkHits); got != 4 {
+		t.Errorf("chunk hits = %d, want 4", got)
+	}
+	if got := sink.get(MetricStepDecodes); got != int64(h.Steps) {
+		t.Errorf("step decodes = %d, want %d", got, h.Steps)
+	}
+	if got := sink.get(MetricReadBytes); got <= 0 {
+		t.Errorf("read bytes = %d, want > 0", got)
+	}
+
+	// The Series cursor reports through the parent reader's sink and
+	// shows the same pattern for the same pass.
+	cursor := &countingSink{m: map[string]int64{}}
+	r.SetObserver(cursor)
+	s, err := r.Series(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < h.Steps; tt++ {
+		if _, err := s.ReadPacked(tt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cursor.get(MetricChunkMisses); got != 3 {
+		t.Errorf("cursor chunk misses = %d, want 3", got)
+	}
+	if got := cursor.get(MetricChunkHits); got != 4 {
+		t.Errorf("cursor chunk hits = %d, want 4", got)
+	}
+	if got := cursor.get(MetricStepDecodes); got != int64(h.Steps) {
+		t.Errorf("cursor step decodes = %d, want %d", got, h.Steps)
+	}
+
+	// Removing the observer stops reporting without breaking reads.
+	r.SetObserver(nil)
+	before := cursor.get(MetricStepDecodes)
+	if _, err := r.ReadPacked(0, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := cursor.get(MetricStepDecodes); got != before {
+		t.Errorf("sink still reporting after SetObserver(nil): %d != %d", got, before)
+	}
+}

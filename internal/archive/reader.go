@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
@@ -49,6 +50,10 @@ type Reader struct {
 	// recPool recycles the per-call record copies ReadPacked decodes
 	// from once the shard lock is released.
 	recPool sync.Pool
+
+	// sink receives metric events (see obs.go); nil until SetObserver.
+	// Events are reported outside shard locks, never under them.
+	sink atomic.Pointer[sinkBox]
 }
 
 // readerShard is the per-series chunk cache.
@@ -197,6 +202,7 @@ func (r *Reader) readChunk(sid, k int, buf []byte) (raw, payload []byte, t0 int,
 	if _, err := r.r.ReadAt(buf, ref.off); err != nil {
 		return nil, nil, 0, fmt.Errorf("archive: reading chunk: %w", err)
 	}
+	r.observe(MetricReadBytes, int64(len(buf)))
 	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if got := crc32.ChecksumIEEE(buf[:len(buf)-4]); got != want {
 		return nil, nil, 0, fmt.Errorf("archive: series %d chunk %d checksum mismatch (corrupt or truncated chunk)", sid, k)
@@ -243,6 +249,7 @@ func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, 
 		off := chunkHeaderLen + (t-sh.t0)*r.stepB
 		copy(rec, sh.buf[off:off+r.stepB])
 		sh.mu.Unlock()
+		r.observe(MetricChunkHits, 1)
 	} else {
 		// Miss: claim the shard's buffer (marking the cache empty so no
 		// reader sees it mid-fill) and read the chunk unlocked. Racing
@@ -250,6 +257,7 @@ func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, 
 		buf := sh.buf
 		sh.buf, sh.chunk = nil, -1
 		sh.mu.Unlock()
+		r.observe(MetricChunkMisses, 1)
 		raw, payload, t0, err := r.readChunk(sid, k, buf)
 		if err != nil {
 			r.recPool.Put(recp)
@@ -266,6 +274,7 @@ func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, 
 	if err != nil {
 		return nil, err
 	}
+	r.observe(MetricStepDecodes, 1)
 	return dst, nil
 }
 
@@ -375,17 +384,21 @@ func (s *Series) ReadPacked(t int, dst []float64) ([]float64, error) {
 		// Invalidate before reading: a failed readChunk clobbers the
 		// reused buffer, so the old cache key must not survive it.
 		s.chunk = -1
+		s.r.observe(MetricChunkMisses, 1)
 		raw, _, t0, err := s.r.readChunk(s.sid, k, s.buf)
 		if err != nil {
 			return nil, err
 		}
 		s.buf, s.t0, s.chunk = raw, t0, k
+	} else {
+		s.r.observe(MetricChunkHits, 1)
 	}
 	payload := s.buf[chunkHeaderLen : len(s.buf)-4]
 	rec := payload[(t-s.t0)*s.r.stepB : (t-s.t0+1)*s.r.stepB]
 	if err := decodeStep(rec, s.r.h.Bands, dst); err != nil {
 		return nil, err
 	}
+	s.r.observe(MetricStepDecodes, 1)
 	return dst, nil
 }
 

@@ -1,0 +1,27 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime registers the process/runtime collector under the
+// given metric prefix (e.g. "exaclim_"): goroutine count, heap usage,
+// and garbage-collection totals, each sampled at scrape time. Scrapes
+// are rare (seconds apart) next to request traffic, so the
+// runtime.ReadMemStats stop-the-world cost stays off the serving path.
+func RegisterRuntime(r *Registry, prefix string) {
+	r.GaugeFunc(prefix+"goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(prefix+"heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	r.GaugeFunc(prefix+"heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapObjects) })
+	r.CounterFunc(prefix+"gc_cycles_total", "Completed garbage-collection cycles.",
+		func() float64 { return float64(readMemStats().NumGC) })
+	r.CounterFunc(prefix+"gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+}
+
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckHistogram verifies the cumulative-bucket invariants of one
+// parsed histogram family: per series, ascending le bounds, monotone
+// non-decreasing cumulative counts, a +Inf bucket, and _count equal to
+// the +Inf bucket. Golden tests and smoke probes use it as the
+// structural half of exposition verification (ParseText being the
+// grammatical half).
+func CheckHistogram(f *ParsedFamily) error {
+	if f == nil {
+		return fmt.Errorf("obs: nil histogram family")
+	}
+	if f.Type != typeHistogram {
+		return fmt.Errorf("obs: family %q has type %q, want histogram", f.Name, f.Type)
+	}
+	type series struct {
+		lastLe   float64
+		lastCum  float64
+		infCount float64
+		count    float64
+		hasInf   bool
+	}
+	byLabels := map[string]*series{}
+	for _, s := range f.Samples {
+		k := labelKey(s.Labels)
+		sr := byLabels[k]
+		if sr == nil {
+			sr = &series{lastLe: math.Inf(-1)}
+			byLabels[k] = sr
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Labels["le"]
+			if le == "" {
+				return fmt.Errorf("obs: %s: bucket sample without le label", f.Name)
+			}
+			bound := math.Inf(+1)
+			if le == "+Inf" {
+				sr.hasInf = true
+				sr.infCount = s.Value
+			} else {
+				var err error
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("obs: %s: bad le %q", f.Name, le)
+				}
+			}
+			if bound <= sr.lastLe {
+				return fmt.Errorf("obs: %s{%s}: le %q not ascending", f.Name, k, le)
+			}
+			if s.Value < sr.lastCum {
+				return fmt.Errorf("obs: %s{%s}: cumulative count %g < previous %g at le=%s",
+					f.Name, k, s.Value, sr.lastCum, le)
+			}
+			sr.lastLe, sr.lastCum = bound, s.Value
+		case f.Name + "_count":
+			sr.count = s.Value
+		}
+	}
+	if len(byLabels) == 0 {
+		return fmt.Errorf("obs: %s: histogram family has no series", f.Name)
+	}
+	for k, sr := range byLabels {
+		if !sr.hasInf {
+			return fmt.Errorf("obs: %s{%s}: missing +Inf bucket", f.Name, k)
+		}
+		if sr.count != sr.infCount {
+			return fmt.Errorf("obs: %s{%s}: _count %g != +Inf bucket %g",
+				f.Name, k, sr.count, sr.infCount)
+		}
+	}
+	return nil
+}
+
+// labelKey canonicalizes a sample's labels (minus le) into a series key.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			keys = append(keys, k+"="+v)
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}

@@ -152,12 +152,16 @@ func (c *fieldCache) getOrLoad(ctx context.Context, key cacheKey, load func() ([
 		e.unlink()
 		sh.pushFront(e)
 		sh.mu.Unlock()
+		// Counter and trace annotation run after the unlock — metric
+		// observation under a shard lock is a lockedcall violation.
 		c.hits.Add(1)
+		noteCacheOutcome(ctx, "hit")
 		return e.val, nil
 	}
 	if f, ok := sh.flights[key]; ok {
 		sh.mu.Unlock()
 		c.coalesced.Add(1)
+		noteCacheOutcome(ctx, "coalesced")
 		select {
 		case <-f.done:
 			return f.val, f.err
@@ -169,6 +173,7 @@ func (c *fieldCache) getOrLoad(ctx context.Context, key cacheKey, load func() ([
 	sh.flights[key] = f
 	sh.mu.Unlock()
 	c.misses.Add(1)
+	noteCacheOutcome(ctx, "miss")
 
 	// If the loader panics, release the flight with an error before
 	// re-panicking: otherwise every waiter (and all future requests for

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"exaclim/internal/sphere"
@@ -14,7 +15,10 @@ import (
 
 // HTTP API. All endpoints are GET and return JSON unless noted:
 //
-//	/healthz                              liveness probe
+//	/healthz                              liveness probe ("am I up")
+//	/readyz                               readiness probe ("send me traffic")
+//	/metrics                              Prometheus text exposition
+//	/debug/pprof/                         profiling (Config.EnablePprof only)
 //	/v1/info                              archive + server metadata, cache stats
 //	/v1/field?member=&scenario=&t=        full field; &format=f32 streams raw
 //	                                      little-endian float32 (row-major)
@@ -83,8 +87,12 @@ type InfoResponse struct {
 // hardening middleware: when Config.MaxInFlight requests are already
 // being served, further ones shed with 503 instead of queueing without
 // bound, and Config.RequestTimeout bounds each request's handling time.
-// The liveness probe bypasses both so monitors still see a loaded
-// server as alive.
+// The instrument middleware (tracing, per-endpoint metrics, request
+// log) wraps that stack from the outside, so shed and timed-out
+// requests are observed too. The probes (/healthz, /readyz), /metrics
+// and pprof bypass limiter and instrumentation alike: monitors must
+// still see a fully loaded server, and probe traffic must not pollute
+// endpoint metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
@@ -97,12 +105,52 @@ func (s *Server) Handler() http.Handler {
 		guarded = http.TimeoutHandler(guarded, s.cfg.RequestTimeout,
 			"serve: request exceeded the configured timeout\n")
 	}
+	guarded = s.instrument(guarded)
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	outer.HandleFunc("GET /readyz", s.handleReady)
+	if s.metrics != nil {
+		outer.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
+	if s.cfg.EnablePprof {
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	outer.Handle("/", guarded)
 	return outer
+}
+
+// handleReady is the readiness probe: liveness (/healthz) answers "the
+// process is up", readiness answers "send me traffic". A server that is
+// saturated at its in-flight cap, or misconfigured for the scenarios it
+// advertises, reports 503 so orchestrated deployments route around it
+// until it drains.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if reason := s.readyReason(); reason != "" {
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+// readyReason returns "" when the server should receive traffic, else
+// why not.
+func (s *Server) readyReason() string {
+	if s.r == nil {
+		return "no archive open"
+	}
+	if s.cfg.LiveScenarios > 0 && s.model == nil {
+		return "live scenarios configured without a model"
+	}
+	if s.inFlight != nil && len(s.inFlight) >= cap(s.inFlight) {
+		return "at the in-flight request cap"
+	}
+	return ""
 }
 
 // limitInFlight is the backpressure middleware: it admits at most

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader carries the request ID: inbound values are honored
+// (so gateway-assigned IDs propagate through shard fan-out), otherwise
+// the server assigns one, and either way the response echoes it.
+const RequestIDHeader = "X-Request-ID"
+
+// requestInfo is the per-request annotation slot the middleware installs
+// in the request context. Handlers deeper in the stack (the field cache)
+// write into it; the middleware reads it when emitting the request log.
+// The cache outcome is an atomic.Value because http.TimeoutHandler runs
+// the inner handler on its own goroutine — a timed-out request's load
+// can still be annotating while the middleware writes the log line.
+type requestInfo struct {
+	cache atomic.Value // string: outcome of the last field-cache access
+}
+
+// requestInfoKey is the context key for *requestInfo.
+type requestInfoKey struct{}
+
+// noteCacheOutcome records the field-cache outcome ("hit", "miss",
+// "coalesced") of the current request, when one is being traced. Must
+// never be called with a cache-shard mutex held (the lockedcall
+// invariant — it shares the forbidden set with metric observation).
+func noteCacheOutcome(ctx context.Context, outcome string) {
+	if info, ok := ctx.Value(requestInfoKey{}).(*requestInfo); ok {
+		info.cache.Store(outcome)
+	}
+}
+
+// nextRequestID assigns a server-generated request ID: a per-process
+// random-ish base (startup clock) plus an atomic sequence number, unique
+// within the deployment without coordination.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.reqIDBase, s.reqIDSeq.Add(1))
+}
+
+// statusWriter captures the status code and body size of a response.
+// WriteHeader-less handlers surface as the implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// endpointLabel normalizes a request path onto the server's known
+// endpoints so metric label cardinality stays bounded no matter what
+// paths clients probe.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/info", "/v1/field", "/v1/point", "/v1/box", "/v1/stats":
+		return path
+	}
+	return "other"
+}
+
+// requestLogLine is the JSON schema of one structured request-log line.
+type requestLogLine struct {
+	Time     string  `json:"time"` // RFC3339Nano, request start
+	ID       string  `json:"id"`   // X-Request-ID (inbound or assigned)
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Bytes    int64   `json:"bytes"`
+	Duration float64 `json:"duration_ms"`
+	// Cache is the outcome of the request's last field-cache access:
+	// "hit", "miss", "coalesced", or "" for queries that never touched
+	// the field cache (point/box series over archived scenarios).
+	Cache string `json:"cache,omitempty"`
+}
+
+// logRequest emits one JSON line to the configured request log. Lines
+// are marshaled outside the log mutex; the lock covers only the write,
+// keeping concurrent lines whole without serializing formatting.
+func (s *Server) logRequest(line requestLogLine) {
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.logMu.Lock()
+	s.cfg.RequestLog.Write(buf)
+	s.logMu.Unlock()
+}
+
+// instrument is the tracing middleware: it assigns (or propagates) the
+// request ID, counts and times the request per endpoint and status
+// code, tracks the in-flight gauge, and emits the structured request
+// log. It wraps the limiter/timeout stack from the outside, so shed and
+// timed-out requests are counted with their real latency — and because
+// it stays outside http.TimeoutHandler, this goroutine is the only
+// writer to the statusWriter.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	if s.metrics == nil && s.cfg.RequestLog == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		info := &requestInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		sw := &statusWriter{ResponseWriter: w}
+		if s.metrics != nil {
+			s.metrics.inFlight.Add(1)
+		}
+		next.ServeHTTP(sw, r)
+		if s.metrics != nil {
+			s.metrics.inFlight.Add(-1)
+		}
+		dur := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		path := endpointLabel(r.URL.Path)
+		if s.metrics != nil {
+			s.metrics.reqTotal.With(path, strconv.Itoa(status)).Inc()
+			s.metrics.reqLatency.With(path).Observe(dur.Seconds())
+		}
+		if s.cfg.RequestLog != nil {
+			outcome, _ := info.cache.Load().(string)
+			s.logRequest(requestLogLine{
+				Time:     start.UTC().Format(time.RFC3339Nano),
+				ID:       id,
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Status:   status,
+				Bytes:    sw.bytes,
+				Duration: float64(dur) / float64(time.Millisecond),
+				Cache:    outcome,
+			})
+		}
+	})
+}

@@ -29,6 +29,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"exaclim/internal/archive"
 	"exaclim/internal/emulator"
 	"exaclim/internal/forcing"
+	"exaclim/internal/obs"
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
 )
@@ -84,6 +86,17 @@ type Config struct {
 	// RequestTimeout bounds each HTTP request's handling time
 	// (0 = none); requests over it answer 503.
 	RequestTimeout time.Duration
+	// RequestLog, when set, receives one JSON line per HTTP request
+	// (method, path, status, duration, request ID, cache outcome).
+	RequestLog io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler — an admin surface; only enable it where operators, not
+	// the public, reach the listener.
+	EnablePprof bool
+	// DisableMetrics turns off metric registration, the /metrics
+	// endpoint, and the instrument middleware (request logging still
+	// works). Mostly for measuring instrumentation overhead.
+	DisableMetrics bool
 }
 
 // withDefaults fills zero fields.
@@ -125,6 +138,12 @@ type Server struct {
 	requests   atomic.Int64 // queries answered (any kind)
 	rejected   atomic.Int64 // requests shed by the in-flight cap (503)
 	inFlight   chan struct{}
+
+	metrics *serveMetrics // nil when Config.DisableMetrics
+
+	reqIDBase string       // per-process request-ID prefix
+	reqIDSeq  atomic.Int64 // request-ID sequence within the process
+	logMu     sync.Mutex   // serializes request-log line writes
 }
 
 // serveScratch is the pooled per-load decode state.
@@ -149,6 +168,12 @@ type Stats struct {
 	Requests int64
 	// Rejected counts HTTP requests shed with 503 by the in-flight cap.
 	Rejected int64
+	// InFlight is the number of requests currently inside the in-flight
+	// limiter (0 when no cap is configured).
+	InFlight int
+	// Archive is the archive reader's counter snapshot, observed via the
+	// server's metric sink (all zero when metrics are disabled).
+	Archive ArchiveStats
 }
 
 // New builds a server over an opened archive. model may be nil (archive
@@ -195,6 +220,13 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 	if cfg.MaxInFlight > 0 {
 		s.inFlight = make(chan struct{}, cfg.MaxInFlight)
 	}
+	// The ID base only needs to differ across server processes; the
+	// startup clock does, and stays readable in logs.
+	s.reqIDBase = fmt.Sprintf("%x", time.Now().UnixNano())
+	if !cfg.DisableMetrics {
+		s.metrics = newServeMetrics(s)
+		r.SetObserver(s.metrics)
+	}
 	s.scratch.New = func() any {
 		return &serveScratch{
 			packed: make([]float64, h.Dim()),
@@ -226,14 +258,29 @@ func (s *Server) Steps(scenario int) int {
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Cache:      s.cache.stats(),
 		Evals:      s.evals.stats(),
 		FieldLoads: s.fieldLoads.Load(),
 		LiveLoads:  s.liveLoads.Load(),
 		Requests:   s.requests.Load(),
 		Rejected:   s.rejected.Load(),
+		Archive:    s.metrics.archiveStats(),
 	}
+	if s.inFlight != nil {
+		st.InFlight = len(s.inFlight)
+	}
+	return st
+}
+
+// Metrics returns the server's metric registry — mount
+// Metrics().Handler() to expose it on an admin listener, or scrape it
+// in-process. Nil when Config.DisableMetrics is set.
+func (s *Server) Metrics() *obs.Registry {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.reg
 }
 
 // liveRF returns the annual forcing of a live scenario: its assigned
