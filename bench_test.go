@@ -569,6 +569,163 @@ func BenchmarkServe_PointSeries(b *testing.B) {
 	})
 }
 
+// BenchmarkServe_FieldF32 is the float32 end-to-end claim at L=64: the
+// `f64-narrow` sub is the old way to produce a float32 field — decode
+// and synthesize in float64, then narrow — and `f32` is the new
+// pipeline that stays float32 from archive band to response buffer.
+// CacheBytes:1 evicts every entry immediately, so each request pays the
+// full decode+synthesis kernel; the acceptance bar is f32 >= 1.5x.
+func BenchmarkServe_FieldF32(b *testing.B) {
+	newSrv := func(b *testing.B) *exaclim.Server {
+		r := pointBenchReader(b)
+		s, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{CacheBytes: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("f64-narrow", func(b *testing.B) {
+		s := newSrv(b)
+		if _, err := s.Field(context.Background(), 0, 0, 0); err != nil { // warm plan calibration
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data, err := s.Field(context.Background(), 0, 0, i%pointBenchSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float32, len(data))
+			for p, v := range data {
+				out[p] = float32(v)
+			}
+			_ = out
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		s := newSrv(b)
+		if _, err := s.FieldF32(context.Background(), 0, 0, 0); err != nil { // warm f32 tables
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.FieldF32(context.Background(), 0, 0, i%pointBenchSteps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServe_PointBatch is the batched point-evaluation claim: 64
+// locations on an 8x8 lat/lon grid (8 distinct rings after colatitude
+// dedup), full 32-step series at L=64. `per-point` answers them as 64
+// independent PointSeries calls — 64 cursor passes over the archive and
+// 64 O(L^2) dot products per step — while `batch` shares one decode and
+// one Legendre fold per (step, ring) across all locations. The
+// acceptance bar is batch >= 3x.
+func BenchmarkServe_PointBatch(b *testing.B) {
+	var lats, lons []float64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			lats = append(lats, -70+float64(i)*20)
+			lons = append(lons, 10+float64(j)*45)
+		}
+	}
+	newSrv := func(b *testing.B) *exaclim.Server {
+		r := pointBenchReader(b)
+		s, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	seriesPerSec := func(b *testing.B) {
+		b.ReportMetric(float64(len(lats))*float64(b.N)/b.Elapsed().Seconds(), "series/s")
+	}
+	b.Run("batch", func(b *testing.B) {
+		s := newSrv(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.PointsSeries(context.Background(), 0, 0, lats, lons, 0, pointBenchSteps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		seriesPerSec(b)
+	})
+	b.Run("per-point", func(b *testing.B) {
+		s := newSrv(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := range lats {
+				if _, err := s.PointSeries(context.Background(), 0, 0, lats[p], lons[p], 0, pointBenchSteps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		seriesPerSec(b)
+	})
+}
+
+// BenchmarkServe_FieldGzip prices response compression on the serving
+// hot path: the same cache-resident L=64 field served as JSON over real
+// HTTP, identity vs gzip (BestSpeed, pooled writers). The gzip sub
+// reports the measured compression ratio; the ns/op delta is what one
+// request pays for the severalfold smaller body.
+func BenchmarkServe_FieldGzip(b *testing.B) {
+	r := pointBenchReader(b)
+	s, err := exaclim.NewServer(r, nil, exaclim.ServeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	b.Cleanup(hs.Close)
+	url := hs.URL + "/v1/field?member=0&scenario=0&t=0"
+	// The transport's transparent decompression is off so the gzip sub
+	// measures serving cost, not client-side gunzip.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	fetch := func(gz bool) (int, error) {
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			return 0, err
+		}
+		if gz {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %s", resp.Status)
+		}
+		return int(n), err
+	}
+	identityBytes, err := fetch(false) // also warms the cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("identity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fetch(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gzip", func(b *testing.B) {
+		gzipBytes := 0
+		for i := 0; i < b.N; i++ {
+			n, err := fetch(true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gzipBytes = n
+		}
+		b.ReportMetric(float64(identityBytes)/float64(gzipBytes), "ratio")
+	})
+}
+
 // BenchmarkTrainFrom_ParallelTrend tracks the trend-pass fan-out:
 // `serial` trains with one worker (single accumulator, one cursor at a
 // time), `parallel` lets the trend pass fork per-realization-span

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -47,11 +48,15 @@ func benchKey(r Record) string {
 }
 
 // compare matches the documents and computes the deltas plus the names
-// present on only one side.
-func compare(oldDoc, newDoc *Document, threshold float64) (deltas []delta, added, removed []string) {
+// present on only one side. A non-nil match restricts the whole report
+// to keys it accepts — the tracked-kernel regression gate, which must
+// fail on a hot-path regression without also gating every noisy
+// single-iteration science benchmark.
+func compare(oldDoc, newDoc *Document, threshold float64, match *regexp.Regexp) (deltas []delta, added, removed []string) {
+	keep := func(key string) bool { return match == nil || match.MatchString(key) }
 	oldNs := map[string]float64{}
 	for _, r := range oldDoc.Benchmarks {
-		if ns, ok := r.Metrics["ns/op"]; ok {
+		if ns, ok := r.Metrics["ns/op"]; ok && keep(benchKey(r)) {
 			oldNs[benchKey(r)] = ns
 		}
 	}
@@ -59,7 +64,7 @@ func compare(oldDoc, newDoc *Document, threshold float64) (deltas []delta, added
 	for _, r := range newDoc.Benchmarks {
 		key := benchKey(r)
 		ns, ok := r.Metrics["ns/op"]
-		if !ok {
+		if !ok || !keep(key) {
 			continue
 		}
 		seen[key] = true
@@ -77,7 +82,7 @@ func compare(oldDoc, newDoc *Document, threshold float64) (deltas []delta, added
 		deltas = append(deltas, d)
 	}
 	for _, r := range oldDoc.Benchmarks {
-		if key := benchKey(r); !seen[key] {
+		if key := benchKey(r); !seen[key] && keep(key) {
 			if _, hasNs := r.Metrics["ns/op"]; hasNs {
 				removed = append(removed, key)
 			}
@@ -96,7 +101,16 @@ func compare(oldDoc, newDoc *Document, threshold float64) (deltas []delta, added
 }
 
 // runCompare prints the trend report and returns the regression count.
-func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+// matchExpr, when non-empty, is a regexp restricting the report to
+// matching benchmark keys.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64, matchExpr string) (int, error) {
+	var match *regexp.Regexp
+	if matchExpr != "" {
+		var err error
+		if match, err = regexp.Compile(matchExpr); err != nil {
+			return 0, fmt.Errorf("-match: %w", err)
+		}
+	}
 	oldDoc, err := loadDocument(oldPath)
 	if err != nil {
 		return 0, err
@@ -105,7 +119,7 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 	if err != nil {
 		return 0, err
 	}
-	deltas, added, removed := compare(oldDoc, newDoc, threshold)
+	deltas, added, removed := compare(oldDoc, newDoc, threshold, match)
 	fmt.Fprintf(w, "bench trend: %s (commit %.10s) -> %s (commit %.10s), threshold %.0f%%\n",
 		oldPath, oldDoc.Commit, newPath, newDoc.Commit, threshold*100)
 	regressions := 0

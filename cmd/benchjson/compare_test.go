@@ -47,7 +47,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		},
 	})
 	var out bytes.Buffer
-	regressions, err := runCompare(&out, oldPath, newPath, 0.25)
+	regressions, err := runCompare(&out, oldPath, newPath, 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +77,52 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareMatchFilter pins the tracked-kernel gate: with -match only
+// the selected benchmarks count toward the regression total, so a noisy
+// science benchmark outside the filter cannot fail the gate — and a
+// bad regexp is an error, not a silent match-all.
+func TestCompareMatchFilter(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Document{
+		Benchmarks: []Record{
+			rec("exaclim", "BenchmarkServe_FieldF32", 1000),
+			rec("exaclim", "BenchmarkFig2_HourlyEmulation", 1000),
+			rec("exaclim", "BenchmarkServe_Gone", 100),
+		},
+	})
+	newPath := writeDoc(t, dir, "new.json", Document{
+		Benchmarks: []Record{
+			rec("exaclim", "BenchmarkServe_FieldF32", 1050),       // +5%: fine
+			rec("exaclim", "BenchmarkFig2_HourlyEmulation", 9000), // +800%, but unmatched
+		},
+	})
+	var out bytes.Buffer
+	regressions, err := runCompare(&out, oldPath, newPath, 0.10, "Serve_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0 (unmatched benchmark must not gate)\n%s", regressions, out.String())
+	}
+	report := out.String()
+	if strings.Contains(report, "Fig2") {
+		t.Errorf("unmatched benchmark in report:\n%s", report)
+	}
+	if !strings.Contains(report, "gone exaclim.BenchmarkServe_Gone") {
+		t.Errorf("matched removed benchmark missing:\n%s", report)
+	}
+	if _, err := runCompare(&bytes.Buffer{}, oldPath, newPath, 0.10, "(["); err == nil {
+		t.Error("expected error for a malformed -match regexp")
+	}
+}
+
 func TestCompareNoRegressions(t *testing.T) {
 	dir := t.TempDir()
 	doc := Document{Benchmarks: []Record{rec("p", "BenchmarkA", 100)}}
 	oldPath := writeDoc(t, dir, "old.json", doc)
 	newPath := writeDoc(t, dir, "new.json", doc)
 	var out bytes.Buffer
-	regressions, err := runCompare(&out, oldPath, newPath, 0.25)
+	regressions, err := runCompare(&out, oldPath, newPath, 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,12 +137,12 @@ func TestCompareNoRegressions(t *testing.T) {
 func TestCompareBadFile(t *testing.T) {
 	dir := t.TempDir()
 	good := writeDoc(t, dir, "good.json", Document{})
-	if _, err := runCompare(&bytes.Buffer{}, filepath.Join(dir, "missing.json"), good, 0.25); err == nil {
+	if _, err := runCompare(&bytes.Buffer{}, filepath.Join(dir, "missing.json"), good, 0.25, ""); err == nil {
 		t.Error("expected error for missing old file")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("not json"), 0o644)
-	if _, err := runCompare(&bytes.Buffer{}, good, bad, 0.25); err == nil {
+	if _, err := runCompare(&bytes.Buffer{}, good, bad, 0.25, ""); err == nil {
 		t.Error("expected error for malformed new file")
 	}
 }

@@ -54,13 +54,14 @@ func main() {
 		doCompare = flag.Bool("compare", false, "compare two archived JSON artifacts: benchjson -compare old.json new.json")
 		threshold = flag.Float64("threshold", 0.25, "relative ns/op increase flagged as a regression in -compare mode")
 		failOnReg = flag.Bool("fail", false, "exit nonzero when -compare finds regressions")
+		match     = flag.String("match", "", "regexp restricting -compare to matching package.Benchmark keys (default: all)")
 	)
 	flag.Parse()
 	if *doCompare {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two JSON files, got %d args", flag.NArg()))
 		}
-		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *match)
 		if err != nil {
 			fatal(err)
 		}

@@ -106,11 +106,21 @@ func TestCLIEndToEnd(t *testing.T) {
 	// Serve: answer one field request plus a coalesced point-series
 	// burst through the HTTP API.
 	out = run(t, bin, "serve", "-archive", arch, "-smoke", "/v1/field?member=0&scenario=0&t=3")
-	expect(t, "serve", out, `"member":0`, `"t":3`, "smoke: 1 requests")
+	expect(t, "serve", out, `"member":0`, `"t":3`, "smoke: 1 requests", "gzip: ")
 
 	out = run(t, bin, "serve", "-archive", arch,
 		"-smoke", "/v1/point?lat=30&lon=100&member=1&t0=0&t1=12", "-smoke-n", "16")
 	expect(t, "serve point", out, `"values":[`, "smoke: 16 requests")
+
+	// The raw float32 field path, gzip round-tripped by the smoke probe.
+	out = run(t, bin, "serve", "-archive", arch,
+		"-smoke", "/v1/field?member=0&scenario=0&t=3&format=f32")
+	expect(t, "serve f32", out, "bytes)", "gzip: ")
+
+	// Batched multi-point series.
+	out = run(t, bin, "serve", "-archive", arch,
+		"-smoke", "/v1/points?lat=10,20&lon=30,40&t0=0&t1=12")
+	expect(t, "serve points", out, `"series":[[`, "smoke: 1 requests")
 
 	// Serve with live scenarios: scenario 1 does not exist in the
 	// archive and is emulated on demand from the model.

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -190,6 +192,43 @@ func runServeSmoke(srv *exaclim.Server, path string, n int) {
 		st.FieldLoads+st.LiveLoads, st.Cache.Hits, st.Cache.Coalesced, st.Cache.Misses,
 		st.Cache.Entries, float64(st.Cache.Bytes)/1e3)
 
+	// Gzip round-trip over the same listener: the compressed body must
+	// decompress to exactly the identity body. The transport's own
+	// decompression is disabled so the header and the gunzip are really
+	// exercised, not silently handled by net/http.
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	resp, err := client.Do(req)
+	if err != nil {
+		fatal(fmt.Errorf("smoke gzip: %w", err))
+	}
+	compressed, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("smoke gzip: %w", err))
+	}
+	if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+		fatal(fmt.Errorf("smoke gzip: Content-Encoding %q, want gzip", ce))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(compressed))
+	if err != nil {
+		fatal(fmt.Errorf("smoke gzip: %w", err))
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		fatal(fmt.Errorf("smoke gzip: %w", err))
+	}
+	if !bytes.Equal(plain, body) {
+		fatal(fmt.Errorf("smoke gzip: decompressed body (%d bytes) differs from identity body (%d bytes)",
+			len(plain), len(body)))
+	}
+	fmt.Printf("gzip: %d -> %d bytes (%.2fx)\n", len(body), len(compressed),
+		float64(len(body))/float64(len(compressed)))
+
 	// One-shot operator visibility: the full stats snapshot, then a
 	// real scrape of /readyz and /metrics through the listener — the
 	// same surfaces Prometheus and an orchestrator would hit — with the
@@ -200,7 +239,7 @@ func runServeSmoke(srv *exaclim.Server, path string, n int) {
 	}
 	fmt.Printf("stats: %s\n", stJSON)
 	base := "http://" + ln.Addr().String()
-	resp, err := http.Get(base + "/readyz")
+	resp, err = http.Get(base + "/readyz")
 	if err != nil {
 		fatal(err)
 	}

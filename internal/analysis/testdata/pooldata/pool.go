@@ -55,3 +55,62 @@ func panics(fail bool) {
 	}
 	bufs.Put(b)
 }
+
+// The serving gzip idiom: a pooled compressor whose Put rides in a
+// returned closure. The value escapes into the closure, an ownership
+// transfer the analyzer must accept — the caller's done() is the Put.
+type compressor struct{}
+
+func (c *compressor) Reset(dst any) {}
+func (c *compressor) Close() error  { return nil }
+
+var compressors = sync.Pool{New: func() any { return new(compressor) }}
+
+func pooledCompressor(dst any) (c *compressor, done func()) {
+	zw := compressors.Get().(*compressor)
+	zw.Reset(dst)
+	return zw, func() {
+		zw.Close()
+		compressors.Put(zw)
+	}
+}
+
+// But a compressor taken and abandoned on the error path is a leak the
+// analyzer must still catch, closure idiom or not.
+func compressorLeak(fail bool) *compressor {
+	zw := compressors.Get().(*compressor) // want:pooldiscipline "not returned to the pool on every path"
+	if fail {
+		return nil
+	}
+	compressors.Put(zw)
+	return nil
+}
+
+// The float32 scratch idiom from the binary field writer: Get a pooled
+// chunk, deref through the pointer, deferred Put covers the early
+// return inside the write loop.
+var f32Chunks = sync.Pool{New: func() any { s := make([]float32, 256); return &s }}
+
+func writeChunks(vals []float32, sink func([]float32) bool) {
+	bp := f32Chunks.Get().(*[]float32)
+	defer f32Chunks.Put(bp)
+	buf := *bp
+	for off := 0; off < len(vals); off += len(buf) {
+		n := min(len(buf), len(vals)-off)
+		copy(buf, vals[off:off+n])
+		if !sink(buf[:n]) {
+			return // early return: the deferred Put still runs
+		}
+	}
+}
+
+// A scratch user that Puts only on the happy path leaks on the early
+// return.
+func scratchLeak(vals []float32, sink func([]float32) bool) {
+	bp := f32Chunks.Get().(*[]float32) // want:pooldiscipline "not returned to the pool on every path"
+	if !sink(*bp) {
+		return
+	}
+	_ = vals
+	f32Chunks.Put(bp)
+}

@@ -1,0 +1,62 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"exaclim/internal/half"
+	"exaclim/internal/tile"
+)
+
+// decodeStepF32 decodes one step record straight into a float32 vector
+// (length L^2), the narrow twin of decodeStep. FP32 and FP16 bands
+// dequantize in float64 — the band scale is a power of two that may be
+// subnormal in float32, where multiplying in float32 would flush the
+// result to zero — and narrow once at the end; the product q*s is exact
+// in float64, so the only rounding is the final float32 conversion,
+// which for FP32 bands with a normal scale reproduces the quantized
+// payload bit-for-bit.
+func decodeStepF32(data []byte, bands []Band, dst []float32) error {
+	off := 0
+	for _, b := range bands {
+		if off+8 > len(data) {
+			return fmt.Errorf("archive: step record truncated at band %v", b)
+		}
+		s := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		n := b.Coeffs()
+		seg := dst[b.Lo*b.Lo : b.Hi*b.Hi]
+		switch b.Prec {
+		case tile.FP64:
+			if off+8*n > len(data) {
+				return fmt.Errorf("archive: step record truncated at band %v", b)
+			}
+			for i := 0; i < n; i++ {
+				seg[i] = float32(math.Float64frombits(binary.LittleEndian.Uint64(data[off+8*i:])))
+			}
+			off += 8 * n
+		case tile.FP32:
+			if off+4*n > len(data) {
+				return fmt.Errorf("archive: step record truncated at band %v", b)
+			}
+			for i := 0; i < n; i++ {
+				q := math.Float32frombits(binary.LittleEndian.Uint32(data[off+4*i:]))
+				seg[i] = float32(float64(q) * s)
+			}
+			off += 4 * n
+		case tile.FP16:
+			if off+2*n > len(data) {
+				return fmt.Errorf("archive: step record truncated at band %v", b)
+			}
+			for i := 0; i < n; i++ {
+				seg[i] = float32(half.Float16(binary.LittleEndian.Uint16(data[off+2*i:])).Float64() * s)
+			}
+			off += 2 * n
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("archive: step record has %d trailing bytes", len(data)-off)
+	}
+	return nil
+}

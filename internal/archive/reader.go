@@ -221,26 +221,19 @@ func (r *Reader) readChunk(sid, k int, buf []byte) (raw, payload []byte, t0 int,
 	return buf, buf[chunkHeaderLen : len(buf)-4], t0, nil
 }
 
-// ReadPacked decodes the packed coefficient vector of step t of
-// (member, scenario) into dst (allocated when too small) and returns it.
-// The returned data is always caller-owned: it never aliases the chunk
-// cache, so it stays valid across any later reads.
-func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, error) {
-	if err := r.h.checkCoord(member, scenario, t); err != nil {
-		return nil, err
-	}
-	if cap(dst) < r.dim {
-		dst = make([]float64, r.dim)
-	}
-	dst = dst[:r.dim]
+// fetchRecord copies the raw step record of (member, scenario, t) into
+// a pooled buffer and returns it. The caller must return the buffer
+// with recPool.Put when done decoding.
+//
+// The shard lock covers only cache bookkeeping and one record-sized
+// memcpy; the chunk read and the coefficient decode run outside it,
+// so a slow disk or an expensive dequantization never serializes a
+// whole series (the single-flight shape the analyzers enforce).
+func (r *Reader) fetchRecord(member, scenario, t int) (*[]byte, error) {
 	sid := r.h.seriesID(member, scenario)
 	k := t / r.h.ChunkSteps
 	sh := &r.shards[sid]
 
-	// The shard lock covers only cache bookkeeping and one record-sized
-	// memcpy; the chunk read and the coefficient decode run outside it,
-	// so a slow disk or an expensive dequantization never serializes a
-	// whole series (the single-flight shape the analyzers enforce).
 	recp := r.recPool.Get().(*[]byte)
 	rec := (*recp)[:r.stepB]
 
@@ -268,8 +261,54 @@ func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, 
 		sh.buf, sh.t0, sh.chunk = raw, t0, k
 		sh.mu.Unlock()
 	}
+	return recp, nil
+}
 
-	err := decodeStep(rec, r.h.Bands, dst)
+// ReadPacked decodes the packed coefficient vector of step t of
+// (member, scenario) into dst (allocated when too small) and returns it.
+// The returned data is always caller-owned: it never aliases the chunk
+// cache, so it stays valid across any later reads.
+func (r *Reader) ReadPacked(member, scenario, t int, dst []float64) ([]float64, error) {
+	if err := r.h.checkCoord(member, scenario, t); err != nil {
+		return nil, err
+	}
+	if cap(dst) < r.dim {
+		dst = make([]float64, r.dim)
+	}
+	dst = dst[:r.dim]
+	recp, err := r.fetchRecord(member, scenario, t)
+	if err != nil {
+		return nil, err
+	}
+	err = decodeStep((*recp)[:r.stepB], r.h.Bands, dst)
+	r.recPool.Put(recp)
+	if err != nil {
+		return nil, err
+	}
+	r.observe(MetricStepDecodes, 1)
+	return dst, nil
+}
+
+// ReadPackedF32 decodes the packed coefficient vector of step t of
+// (member, scenario) straight to float32, never materializing a float64
+// vector. Archived payloads are at most float32 wide (FP64 bands
+// excepted), so for FP32 and FP16 bands the narrowing loses nothing
+// beyond what quantization already spent; the float64 grid round-trip
+// the serving hot path used to pay is pure overhead this entry point
+// removes. Data is caller-owned, as with ReadPacked.
+func (r *Reader) ReadPackedF32(member, scenario, t int, dst []float32) ([]float32, error) {
+	if err := r.h.checkCoord(member, scenario, t); err != nil {
+		return nil, err
+	}
+	if cap(dst) < r.dim {
+		dst = make([]float32, r.dim)
+	}
+	dst = dst[:r.dim]
+	recp, err := r.fetchRecord(member, scenario, t)
+	if err != nil {
+		return nil, err
+	}
+	err = decodeStepF32((*recp)[:r.stepB], r.h.Bands, dst)
 	r.recPool.Put(recp)
 	if err != nil {
 		return nil, err
@@ -368,17 +407,13 @@ func (s *Series) Scenario() int { return s.scenario }
 // Steps returns the number of steps in the series.
 func (s *Series) Steps() int { return s.r.h.Steps }
 
-// ReadPacked decodes the packed coefficient vector of step t into dst
-// (allocated when too small) and returns it. Like Reader.ReadPacked, the
-// returned data never aliases cursor state.
-func (s *Series) ReadPacked(t int, dst []float64) ([]float64, error) {
+// record returns a view of the raw step record of step t inside the
+// cursor's chunk buffer, loading the right chunk first. The view is
+// valid until the next record call.
+func (s *Series) record(t int) ([]byte, error) {
 	if err := s.r.h.checkCoord(s.member, s.scenario, t); err != nil {
 		return nil, err
 	}
-	if cap(dst) < s.r.dim {
-		dst = make([]float64, s.r.dim)
-	}
-	dst = dst[:s.r.dim]
 	k := t / s.r.h.ChunkSteps
 	if s.chunk != k {
 		// Invalidate before reading: a failed readChunk clobbers the
@@ -394,8 +429,40 @@ func (s *Series) ReadPacked(t int, dst []float64) ([]float64, error) {
 		s.r.observe(MetricChunkHits, 1)
 	}
 	payload := s.buf[chunkHeaderLen : len(s.buf)-4]
-	rec := payload[(t-s.t0)*s.r.stepB : (t-s.t0+1)*s.r.stepB]
+	return payload[(t-s.t0)*s.r.stepB : (t-s.t0+1)*s.r.stepB], nil
+}
+
+// ReadPacked decodes the packed coefficient vector of step t into dst
+// (allocated when too small) and returns it. Like Reader.ReadPacked, the
+// returned data never aliases cursor state.
+func (s *Series) ReadPacked(t int, dst []float64) ([]float64, error) {
+	if cap(dst) < s.r.dim {
+		dst = make([]float64, s.r.dim)
+	}
+	dst = dst[:s.r.dim]
+	rec, err := s.record(t)
+	if err != nil {
+		return nil, err
+	}
 	if err := decodeStep(rec, s.r.h.Bands, dst); err != nil {
+		return nil, err
+	}
+	s.r.observe(MetricStepDecodes, 1)
+	return dst, nil
+}
+
+// ReadPackedF32 decodes step t straight to float32 (see
+// Reader.ReadPackedF32). Data never aliases cursor state.
+func (s *Series) ReadPackedF32(t int, dst []float32) ([]float32, error) {
+	if cap(dst) < s.r.dim {
+		dst = make([]float32, s.r.dim)
+	}
+	dst = dst[:s.r.dim]
+	rec, err := s.record(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeStepF32(rec, s.r.h.Bands, dst); err != nil {
 		return nil, err
 	}
 	s.r.observe(MetricStepDecodes, 1)

@@ -71,14 +71,16 @@ func AllAt(L int, cosTheta, sinTheta float64, out []float64) []float64 {
 
 // RingTable evaluates AllAt for each of the given colatitudes, returning a
 // matrix with one Idx-layout row per ring. It is the synthesis-side
-// precomputation of the SHT plan.
+// precomputation of the SHT plan. The recursion coefficients are shared
+// across rings via Recur (bit-identical to per-ring AllAt).
 func RingTable(L int, colatitudes []float64) [][]float64 {
 	rows := make([][]float64, len(colatitudes))
 	flat := make([]float64, len(colatitudes)*TriSize(L))
+	rec := SharedRecur(L)
 	for i, theta := range colatitudes {
 		row := flat[i*TriSize(L) : (i+1)*TriSize(L)]
 		s, c := math.Sincos(theta)
-		AllAt(L, c, s, row)
+		rec.Eval(c, s, row)
 		rows[i] = row
 	}
 	return rows

@@ -1,0 +1,112 @@
+package legendre
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Recur holds the colatitude-independent coefficients of the AllAt
+// recursion. AllAt spends two math.Sqrt calls per (l, m) entry on
+// factors that depend only on (l, m), so a table shared across
+// colatitudes (all the rings of a synthesis plan, every location of a
+// batch evaluator) removes the sqrt work from the per-point cost
+// entirely and leaves a pure three-term multiply-add sweep.
+//
+// Eval walks degrees row by row (l outer, m inner), so every read —
+// the previous two rows — and every write is a contiguous run in the
+// Idx layout. AllAt's m-outer order strides through the triangular
+// table with a growing gap instead; for the band limits where the table
+// spills out of L1 the row-major order is what keeps the recursion
+// streaming. The arithmetic is the exact expression AllAt uses with the
+// same operand values, so Eval's output is bit-identical to AllAt's
+// (pinned by TestRecurMatchesAllAt).
+//
+// A Recur is immutable after construction and safe for concurrent use.
+type Recur struct {
+	L    int
+	sect []float64 // -sqrt((2m+1)/(2m)) for m = 1..L-1 (sectoral chain)
+	diag []float64 // sqrt(2m+3) for m = 0..L-1 (first off-diagonal)
+	a    []float64 // sqrt((4l^2-1)/(l^2-m^2)), Idx layout, rows l >= 2
+	b    []float64 // sqrt(((l-1)^2-m^2)/(4(l-1)^2-1)), same layout
+}
+
+// NewRecur precomputes the recursion coefficients for band limit L.
+func NewRecur(L int) *Recur {
+	if L < 1 {
+		panic(fmt.Sprintf("legendre: invalid band limit %d", L))
+	}
+	r := &Recur{
+		L:    L,
+		sect: make([]float64, L),
+		diag: make([]float64, L),
+		a:    make([]float64, TriSize(L)),
+		b:    make([]float64, TriSize(L)),
+	}
+	for m := 1; m < L; m++ {
+		r.sect[m] = -math.Sqrt(float64(2*m+1) / float64(2*m))
+	}
+	for m := 0; m < L; m++ {
+		r.diag[m] = math.Sqrt(float64(2*m + 3))
+	}
+	for l := 2; l < L; l++ {
+		for m := 0; m <= l-2; m++ {
+			r.a[Idx(l, m)] = math.Sqrt(float64(4*l*l-1) / float64(l*l-m*m))
+			r.b[Idx(l, m)] = math.Sqrt(float64((l-1)*(l-1)-m*m) / float64(4*(l-1)*(l-1)-1))
+		}
+	}
+	return r
+}
+
+// Eval evaluates Ptilde_l^m(cos theta) for every l < L, 0 <= m <= l,
+// like AllAt but using the precomputed coefficients and a row-major
+// sweep. Results are bit-identical to AllAt.
+func (r *Recur) Eval(cosTheta, sinTheta float64, out []float64) []float64 {
+	L := r.L
+	n := TriSize(L)
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+
+	out[0] = invSqrt4Pi
+	if L == 1 {
+		return out
+	}
+	// Row l = 1: off-diagonal from row 0, then the sectoral seed.
+	out[1] = r.diag[0] * cosTheta * out[0]
+	out[2] = r.sect[1] * sinTheta * out[0]
+	for l := 2; l < L; l++ {
+		row := out[Idx(l, 0):]
+		p1 := out[Idx(l-1, 0):Idx(l, 0)]
+		p2 := out[Idx(l-2, 0):Idx(l-1, 0)]
+		// Interior orders: three-term recursion from the two rows above,
+		// all four streams contiguous.
+		for m := 0; m <= l-2; m++ {
+			row[m] = r.a[Idx(l, m)] * (cosTheta*p1[m] - r.b[Idx(l, m)]*p2[m])
+		}
+		// Sub-diagonal from the previous row's diagonal, then the
+		// sectoral diagonal continuing the chain.
+		row[l-1] = r.diag[l-1] * cosTheta * p1[l-1]
+		row[l] = r.sect[l] * sinTheta * p1[l-1]
+	}
+	return out
+}
+
+// sharedRecur caches one Recur per band limit: a process serves a
+// handful of distinct L values (typically one), and every evaluator
+// construction at that L shares the same immutable table.
+var sharedRecur sync.Map // int -> *Recur
+
+// SharedRecur returns the process-wide shared coefficient table for
+// band limit L, building it on first use.
+func SharedRecur(L int) *Recur {
+	if v, ok := sharedRecur.Load(L); ok {
+		return v.(*Recur)
+	}
+	r := NewRecur(L)
+	if prev, loaded := sharedRecur.LoadOrStore(L, r); loaded {
+		return prev.(*Recur)
+	}
+	return r
+}

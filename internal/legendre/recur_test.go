@@ -1,0 +1,60 @@
+package legendre
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRecurMatchesAllAt pins Recur.Eval to AllAt bit for bit: the
+// row-major sweep reorders the table walk but evaluates the exact same
+// expressions on the same operands, so blocked consumers (synthesis,
+// evaluators) inherit AllAt's numerics unchanged.
+func TestRecurMatchesAllAt(t *testing.T) {
+	thetas := []float64{0, 1e-9, 0.3, math.Pi / 2, 2.5, math.Pi - 1e-9, math.Pi}
+	for _, L := range []int{1, 2, 3, 5, 16, 64, 129} {
+		r := NewRecur(L)
+		var got []float64
+		for _, theta := range thetas {
+			s, c := math.Sincos(theta)
+			want := AllAt(L, c, s, nil)
+			got = r.Eval(c, s, got)
+			if len(got) != len(want) {
+				t.Fatalf("L=%d: Eval returned %d entries, want %d", L, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("L=%d theta=%g: entry %d = %x, AllAt gives %x",
+						L, theta, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestSharedRecur checks the per-L cache returns one shared table.
+func TestSharedRecur(t *testing.T) {
+	a, b := SharedRecur(33), SharedRecur(33)
+	if a != b {
+		t.Fatalf("SharedRecur(33) returned distinct tables")
+	}
+	if a.L != 33 {
+		t.Fatalf("SharedRecur(33).L = %d", a.L)
+	}
+}
+
+func BenchmarkRecurEval(b *testing.B) {
+	const L = 64
+	r := NewRecur(L)
+	s, c := math.Sincos(1.1)
+	out := make([]float64, TriSize(L))
+	b.Run("recur", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Eval(c, s, out)
+		}
+	})
+	b.Run("allat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AllAt(L, c, s, out)
+		}
+	})
+}

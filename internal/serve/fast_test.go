@@ -1,0 +1,323 @@
+package serve
+
+// Tests for the raw-speed serving paths: the float32 end-to-end field
+// pipeline, the batched multi-point endpoint, gzip response round-trips,
+// and the allocation discipline of the binary field writer.
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"exaclim/internal/sphere"
+)
+
+// TestPointsSeriesMatchesPointSeries checks the batched multi-point path
+// against P independent PointSeries calls. The batch evaluator folds
+// coefficients in a different association order than the per-point
+// evaluator, so agreement is pinned to the 1e-10 acceptance bound rather
+// than bit-identity (see sht/batch_test.go for why exact equality is
+// unattainable).
+func TestPointsSeriesMatchesPointSeries(t *testing.T) {
+	s, _ := testServer(t)
+	lats := []float64{0, 30, 30, -72.5, 89.9, -89.9, 45}
+	lons := []float64{0, 100, 250.25, 359, 10, 180, 100}
+	const t0, t1 = 2, 20
+	series, err := s.PointsSeries(context.Background(), 1, 1, lats, lons, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(lats) {
+		t.Fatalf("got %d series, want %d", len(series), len(lats))
+	}
+	for p := range lats {
+		want, err := s.PointSeries(context.Background(), 1, 1, lats[p], lons[p], t0, t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series[p]) != t1-t0 {
+			t.Fatalf("series %d has %d steps, want %d", p, len(series[p]), t1-t0)
+		}
+		for i := range want {
+			if diff := math.Abs(series[p][i] - want[i]); diff > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("point %d t=%d: batched %g vs per-point %g (diff %g)",
+					p, t0+i, series[p][i], want[i], diff)
+			}
+		}
+	}
+	if st := s.Stats(); st.FieldLoads != 0 {
+		t.Fatalf("multi-point query ran %d full-grid loads; the batch path must never materialize a grid", st.FieldLoads)
+	}
+
+	// Validation surface.
+	bad := [][2][]float64{
+		{{1, 2}, {3}},    // length mismatch
+		{{}, {}},         // empty
+		{nil, {1, 2, 3}}, // nil lats
+	}
+	for i, c := range bad {
+		if _, err := s.PointsSeries(context.Background(), 0, 0, c[0], c[1], 0, 1); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+	big := make([]float64, maxBatchPoints+1)
+	if _, err := s.PointsSeries(context.Background(), 0, 0, big, big, 0, 1); err == nil {
+		t.Error("expected an error beyond the point limit")
+	}
+}
+
+// TestPointsSeriesLive checks the live-scenario batch path against the
+// single-point bilinear sampler, which it must match exactly (both
+// sample the same cached emulated fields).
+func TestPointsSeriesLive(t *testing.T) {
+	model := liveModel(t)
+	r := buildArchive(t, model.Grid, fixL)
+	s, err := New(r, model, Config{
+		CacheBytes: fixCacheCap, LiveScenarios: 1, LiveSteps: 12, BaseSeed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveScen := r.Header().Scenarios
+	lats := []float64{-40, 0, 61.7}
+	lons := []float64{12, 200, 340}
+	series, err := s.PointsSeries(context.Background(), 0, liveScen, lats, lons, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range lats {
+		want, err := s.PointSeries(context.Background(), 0, liveScen, lats[p], lons[p], 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if series[p][i] != want[i] {
+				t.Fatalf("live point %d t=%d: %g != %g", p, i, series[p][i], want[i])
+			}
+		}
+	}
+}
+
+// TestFieldF32Path pins the float32 pipeline's accuracy against the
+// float64 field and the f32 cache's hit behavior. The two pipelines
+// round at different points (f32 decode, f32 Legendre tables), so the
+// bound is float32 working precision relative to the field scale, not
+// bit-identity.
+func TestFieldF32Path(t *testing.T) {
+	s, _ := testServer(t)
+	want, err := s.Field(context.Background(), 2, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.FieldF32(context.Background(), 2, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("f32 field has %d points, want %d", len(got), len(want))
+	}
+	scale := 0.0
+	for p := range want {
+		if a := math.Abs(want[p]); a > scale {
+			scale = a
+		}
+	}
+	for p := range want {
+		if d := math.Abs(float64(got[p]) - want[p]); d > 1e-5*scale {
+			t.Fatalf("pixel %d: f32 %g vs f64 %g (diff %g, scale %g)", p, got[p], want[p], d, scale)
+		}
+	}
+	// Second request is a cache hit on the dedicated f32 cache; the
+	// float64 cache is untouched by the miss+hit pair above beyond its
+	// own single load.
+	again, err := s.FieldF32(context.Background(), 2, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range got {
+		if again[p] != got[p] {
+			t.Fatalf("pixel %d: cache hit %g != first read %g", p, again[p], got[p])
+		}
+	}
+	st := s.Stats()
+	if st.CacheF32.Misses != 1 || st.CacheF32.Hits != 1 {
+		t.Errorf("f32 cache stats %+v, want 1 miss + 1 hit", st.CacheF32)
+	}
+	if st.CacheF32.Bytes != int64(4*len(got)) {
+		t.Errorf("f32 cache holds %d bytes, want %d", st.CacheF32.Bytes, 4*len(got))
+	}
+}
+
+// TestHTTPPointsEndpoint round-trips /v1/points and checks each series
+// against the single-point endpoint.
+func TestHTTPPointsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string, out any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s -> %d: %s", path, resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	var pr PointsResponse
+	get("/v1/points?member=1&scenario=0&lat=10,-45.5&lon=30,300&t0=1&t1=9", &pr)
+	if pr.Member != 1 || pr.T0 != 1 || len(pr.Series) != 2 {
+		t.Fatalf("points response header %+v with %d series", pr, len(pr.Series))
+	}
+	coords := [][2]string{{"10", "30"}, {"-45.5", "300"}}
+	for p, c := range coords {
+		var sr SeriesResponse
+		get("/v1/point?member=1&scenario=0&lat="+c[0]+"&lon="+c[1]+"&t0=1&t1=9", &sr)
+		if len(sr.Values) != len(pr.Series[p]) {
+			t.Fatalf("point %d: %d steps vs %d", p, len(sr.Values), len(pr.Series[p]))
+		}
+		for i := range sr.Values {
+			if diff := math.Abs(pr.Series[p][i] - sr.Values[i]); diff > 1e-10*(1+math.Abs(sr.Values[i])) {
+				t.Fatalf("point %d t=%d: batched %g vs single %g", p, i, pr.Series[p][i], sr.Values[i])
+			}
+		}
+	}
+
+	for _, path := range []string{
+		"/v1/points?lat=1,2&lon=3",   // length mismatch
+		"/v1/points?lat=a,b&lon=1,2", // unparsable
+		"/v1/points?lat=1,2",         // missing lon
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestGzipRoundTrip requests each compressible endpoint twice over a
+// real listener — identity and gzip — and checks the decompressed gzip
+// body is byte-identical to the identity body. The transport disables
+// its own transparent gzip so the Accept-Encoding header and the
+// decompression are fully under test control.
+func TestGzipRoundTrip(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+
+	fetch := func(path string, gz bool) ([]byte, *http.Response) {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gz {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		var body io.Reader = resp.Body
+		if gz {
+			if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+				t.Fatalf("%s: Content-Encoding %q, want gzip", path, ce)
+			}
+			zr, err := gzip.NewReader(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer zr.Close()
+			body = zr
+		} else if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+			t.Fatalf("%s: unexpected Content-Encoding %q on identity request", path, ce)
+		}
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, resp
+	}
+
+	for _, path := range []string{
+		"/v1/field?member=0&scenario=1&t=7",
+		"/v1/field?member=0&scenario=1&t=7&format=f32",
+		"/v1/points?lat=10,20&lon=30,40&t1=5",
+		"/v1/info",
+	} {
+		// Repeat the gzip request so the second run exercises a pooled,
+		// Reset gzip.Writer rather than a fresh one.
+		plain, _ := fetch(path, false)
+		for i := 0; i < 2; i++ {
+			zipped, _ := fetch(path, true)
+			if string(zipped) != string(plain) {
+				t.Fatalf("%s (run %d): gzip body differs from identity body (%d vs %d bytes)",
+					path, i, len(zipped), len(plain))
+			}
+		}
+	}
+
+	// The f32 binary body compresses and keeps its dimension headers.
+	_, resp := fetch("/v1/field?member=0&scenario=1&t=7&format=f32", true)
+	if resp.Header.Get("X-Exaclim-NLat") == "" || resp.Header.Get("X-Exaclim-NLon") == "" {
+		t.Error("gzip f32 response lost its dimension headers")
+	}
+}
+
+// discardRW is a header-only ResponseWriter for allocation measurement.
+type discardRW struct{ h http.Header }
+
+func (d *discardRW) Header() http.Header {
+	if d.h == nil {
+		d.h = http.Header{}
+	}
+	return d.h
+}
+func (d *discardRW) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardRW) WriteHeader(int)             {}
+
+// TestWriteF32NoGridAlloc pins the satellite fix: the binary field
+// writer encodes through a pooled chunk buffer instead of allocating a
+// grid-sized []byte per request. A 512 KiB field must serve with only
+// header-map noise — far under one grid of bytes.
+func TestWriteF32NoGridAlloc(t *testing.T) {
+	g := sphere.NewGrid(256, 512)
+	data := make([]float32, g.Points())
+	for i := range data {
+		data[i] = float32(i)
+	}
+	req := httptest.NewRequest("GET", "/v1/field?format=f32", nil)
+	w := &discardRW{}
+	writeF32(w, req, g, data) // warm the chunk pool
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			writeF32(w, req, g, data)
+		}
+	})
+	if bytes := res.AllocedBytesPerOp(); bytes > 4096 {
+		t.Fatalf("writeF32 allocates %d B/op for a %d B field; the grid-sized buffer is back",
+			bytes, 4*len(data))
+	}
+}

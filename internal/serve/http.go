@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
+	"sync"
 
 	"exaclim/internal/sphere"
 )
@@ -23,10 +27,17 @@ import (
 //	/v1/field?member=&scenario=&t=        full field; &format=f32 streams raw
 //	                                      little-endian float32 (row-major)
 //	/v1/point?member=&scenario=&lat=&lon=&t0=&t1=   point time series
+//	/v1/points?member=&scenario=&lat=&lon=&t0=&t1=  multi-point series; lat and
+//	                                      lon are comma-separated lists
 //	/v1/box?member=&scenario=&lat0=&lat1=&lon0=&lon1=&t0=&t1=  box-mean series
 //	/v1/stats?scenario=&t=                ensemble mean/spread across members
 //
 // t1 defaults to the scenario's step count; t0 defaults to 0.
+//
+// Responses compress with gzip when the request carries
+// Accept-Encoding: gzip — grid-sized JSON bodies shrink several-fold,
+// and the writers are pooled so compression adds no per-request
+// allocation of its 256 KiB state.
 
 // FieldResponse is the JSON body of /v1/field.
 type FieldResponse struct {
@@ -44,6 +55,15 @@ type SeriesResponse struct {
 	Scenario int       `json:"scenario"`
 	T0       int       `json:"t0"`
 	Values   []float64 `json:"values"`
+}
+
+// PointsResponse is the JSON body of /v1/points: one series per
+// requested location, in request order.
+type PointsResponse struct {
+	Member   int         `json:"member"`
+	Scenario int         `json:"scenario"`
+	T0       int         `json:"t0"`
+	Series   [][]float64 `json:"series"`
 }
 
 // StatsResponse is the JSON body of /v1/stats.
@@ -98,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/field", s.handleField)
 	mux.HandleFunc("GET /v1/point", s.handlePoint)
+	mux.HandleFunc("GET /v1/points", s.handlePoints)
 	mux.HandleFunc("GET /v1/box", s.handleBox)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	guarded := s.limitInFlight(mux)
@@ -217,10 +238,106 @@ func queryFloat(r *http.Request, name string) (float64, error) {
 	return f, nil
 }
 
-// writeJSON encodes v as the response body.
-func writeJSON(w http.ResponseWriter, v any) {
+// queryFloatList parses a required comma-separated list of floats.
+func queryFloatList(r *http.Request, name string) ([]float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return nil, badQuery("serve: missing required parameter %s", name)
+	}
+	parts := strings.Split(v, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, badQuery("serve: bad %s=%q: %v", name, v, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// gzipPool recycles compressors across responses: a gzip.Writer carries
+// ~256 KiB of window and huffman state, far too much to allocate per
+// request on the hot serving path. BestSpeed keeps compression CPU well
+// under the synthesis it fronts while still shrinking grid-sized JSON
+// severalfold.
+var gzipPool = sync.Pool{
+	New: func() any {
+		zw, err := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+		if err != nil { // only fires for an invalid level constant
+			panic(err)
+		}
+		return zw
+	},
+}
+
+// compressResponse returns the writer the response body should go
+// through: a pooled gzip writer when the client accepts gzip, else w
+// itself. done must be called exactly once after the body is fully
+// written — it flushes the gzip footer and returns the writer to the
+// pool. Decompressed bytes are byte-identical to the uncompressed
+// response (pinned by the round-trip test over a real listener).
+func compressResponse(w http.ResponseWriter, r *http.Request) (body io.Writer, done func()) {
+	if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		return w, func() {}
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	zw := gzipPool.Get().(*gzip.Writer)
+	zw.Reset(w)
+	return zw, func() {
+		zw.Close()
+		gzipPool.Put(zw)
+	}
+}
+
+// writeJSON encodes v as the response body, gzip-compressed when the
+// client accepts it.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	body, done := compressResponse(w, r)
+	defer done()
+	json.NewEncoder(body).Encode(v)
+}
+
+// f32ChunkBytes is the pooled encode-buffer size of the raw float32
+// body writer: big enough to amortize Write syscalls, small enough to
+// stay cache-resident.
+const f32ChunkBytes = 32 << 10
+
+var f32ChunkPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, f32ChunkBytes)
+		return &b
+	},
+}
+
+// writeF32 streams data as raw row-major little-endian float32 — the
+// layout raw climate archives typically store; dimensions travel in
+// headers. Values encode through a pooled chunk buffer instead of one
+// grid-sized allocation per request (pinned by the handler alloc test),
+// and compress when the client accepts gzip.
+func writeF32(w http.ResponseWriter, r *http.Request, g sphere.Grid, data []float32) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Exaclim-NLat", strconv.Itoa(g.NLat))
+	w.Header().Set("X-Exaclim-NLon", strconv.Itoa(g.NLon))
+	body, done := compressResponse(w, r)
+	defer done()
+	bp := f32ChunkPool.Get().(*[]byte)
+	defer f32ChunkPool.Put(bp)
+	buf := *bp
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > len(buf)/4 {
+			n = len(buf) / 4
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(data[off+i]))
+		}
+		if _, err := body.Write(buf[:4*n]); err != nil {
+			return // client gone; the remaining chunks have no reader
+		}
+		off += n
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -238,7 +355,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	for _, pw := range s.cfg.LivePathways {
 		livePathways = append(livePathways, pw.Name)
 	}
-	writeJSON(w, InfoResponse{
+	writeJSON(w, r, InfoResponse{
 		Grid: h.Grid.String(), NLat: h.Grid.NLat, NLon: h.Grid.NLon, L: h.L,
 		Members: h.Members, Scenarios: h.Scenarios, LiveScenarios: s.cfg.LiveScenarios,
 		Steps: h.Steps, ChunkSteps: h.ChunkSteps, Bands: bands, LiveSteps: liveSteps,
@@ -266,26 +383,24 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	g := s.h.Grid
+	if r.URL.Query().Get("format") == "f32" {
+		// The float32 fast path: decode, synthesis, cache and response
+		// all stay float32 wide; no float64 grid ever exists.
+		data, err := s.FieldF32(r.Context(), member, scenario, t)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeF32(w, r, g, data)
+		return
+	}
 	data, err := s.Field(r.Context(), member, scenario, t)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	g := s.h.Grid
-	if r.URL.Query().Get("format") == "f32" {
-		// Raw row-major little-endian float32, the layout raw climate
-		// archives typically store; dimensions travel in headers.
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-Exaclim-NLat", strconv.Itoa(g.NLat))
-		w.Header().Set("X-Exaclim-NLon", strconv.Itoa(g.NLon))
-		buf := make([]byte, 4*len(data))
-		for i, v := range data {
-			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(v)))
-		}
-		w.Write(buf)
-		return
-	}
-	writeJSON(w, FieldResponse{
+	writeJSON(w, r, FieldResponse{
 		Member: member, Scenario: scenario, T: t,
 		NLat: g.NLat, NLon: g.NLon, Data: data,
 	})
@@ -327,7 +442,31 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, SeriesResponse{Member: member, Scenario: scenario, T0: t0, Values: values})
+	writeJSON(w, r, SeriesResponse{Member: member, Scenario: scenario, T0: t0, Values: values})
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	member, scenario, t0, t1, err := s.seriesParams(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	lats, err := queryFloatList(r, "lat")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	lons, err := queryFloatList(r, "lon")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	series, err := s.PointsSeries(r.Context(), member, scenario, lats, lons, t0, t1)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, r, PointsResponse{Member: member, Scenario: scenario, T0: t0, Series: series})
 }
 
 func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
@@ -358,7 +497,7 @@ func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, SeriesResponse{Member: member, Scenario: scenario, T0: t0, Values: values})
+	writeJSON(w, r, SeriesResponse{Member: member, Scenario: scenario, T0: t0, Values: values})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -380,7 +519,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	g := s.h.Grid
 	gm := sphere.Field{Grid: g, Data: mean}.Mean()
 	gs := sphere.Field{Grid: g, Data: spread}.Mean()
-	writeJSON(w, StatsResponse{
+	writeJSON(w, r, StatsResponse{
 		Scenario: scenario, T: t, Members: s.h.Members,
 		NLat: g.NLat, NLon: g.NLon, Mean: mean, Spread: spread,
 		GlobalMean: gm, GlobalSpread: gs,

@@ -45,7 +45,9 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// CacheBytes bounds the field cache (default 256 MiB).
+	// CacheBytes bounds the field caches (default 256 MiB), split
+	// evenly between the float64 cache (JSON consumers) and the float32
+	// cache (the raw f32 serving path).
 	CacheBytes int64
 	// CacheShards is the shard count, rounded up to a power of two
 	// (default 16). More shards means less lock contention across
@@ -122,12 +124,13 @@ func (c Config) withDefaults(h archive.Header) Config {
 // Server answers field, point, box and ensemble-statistics queries over
 // one spectral archive and (optionally) one trained emulator.
 type Server struct {
-	r     *archive.Reader
-	model *emulator.Model
-	h     archive.Header
-	cfg   Config
-	cache *fieldCache
-	plan  *sht.Plan // shared read-only; synthesis runs sequentially per request
+	r       *archive.Reader
+	model   *emulator.Model
+	h       archive.Header
+	cfg     Config
+	cache   *fieldCache[float64]
+	cache32 *fieldCache[float32] // f32 serving path: fields that never had f64 consumers
+	plan    *sht.Plan            // shared read-only; synthesis runs sequentially per request
 
 	evals *evalCache // point evaluators keyed by quantized (lat, lon)
 
@@ -148,14 +151,18 @@ type Server struct {
 
 // serveScratch is the pooled per-load decode state.
 type serveScratch struct {
-	packed []float64
-	coeffs sht.Coeffs
+	packed   []float64
+	packed32 []float32
+	coeffs   sht.Coeffs
 }
 
 // Stats is a point-in-time snapshot of the server's instrumentation.
 type Stats struct {
-	// Cache is the field cache's counter snapshot.
+	// Cache is the float64 field cache's counter snapshot.
 	Cache CacheStats
+	// CacheF32 is the float32 field cache's counter snapshot (the raw
+	// f32 serving path).
+	CacheF32 CacheStats
 	// Evals is the point-evaluator cache's counter snapshot.
 	Evals EvalCacheStats
 	// FieldLoads counts underlying archive decode+synthesis runs — with
@@ -206,12 +213,13 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 		return nil, err
 	}
 	s := &Server{
-		r:     r,
-		model: model,
-		h:     h,
-		cfg:   cfg,
-		cache: newFieldCache(cfg.CacheBytes, cfg.CacheShards),
-		evals: newEvalCache(cfg.EvalCacheEntries),
+		r:       r,
+		model:   model,
+		h:       h,
+		cfg:     cfg,
+		cache:   newFieldCache[float64](cfg.CacheBytes/2, cfg.CacheShards),
+		cache32: newFieldCache[float32](cfg.CacheBytes/2, cfg.CacheShards),
+		evals:   newEvalCache(cfg.EvalCacheEntries),
 		// Requests fan out across clients, so each synthesis runs on its
 		// own goroutine alone — the same one-level-of-parallelism rule
 		// archive.Series cursors follow.
@@ -229,8 +237,9 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 	}
 	s.scratch.New = func() any {
 		return &serveScratch{
-			packed: make([]float64, h.Dim()),
-			coeffs: sht.NewCoeffs(h.L),
+			packed:   make([]float64, h.Dim()),
+			packed32: make([]float32, h.Dim()),
+			coeffs:   sht.NewCoeffs(h.L),
 		}
 	}
 	return s, nil
@@ -260,6 +269,7 @@ func (s *Server) Steps(scenario int) int {
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Cache:      s.cache.stats(),
+		CacheF32:   s.cache32.stats(),
 		Evals:      s.evals.stats(),
 		FieldLoads: s.fieldLoads.Load(),
 		LiveLoads:  s.liveLoads.Load(),
@@ -398,6 +408,61 @@ func (s *Server) loadArchiveField(member, scenario, t int) ([]float64, error) {
 	return out.Data, nil
 }
 
+// FieldF32 returns the full grid field of (member, scenario, t) as a
+// shared read-only float32 slice — the raw-speed twin of Field. For
+// archived scenarios the whole pipeline stays float32 wide: bands
+// decode straight to a float32 packed vector (archive.ReadPackedF32)
+// and synthesize through the float32 tables (sht.SynthesizeIntoF32),
+// never materializing a float64 grid. Results live in their own cache,
+// so a workload with only f32 consumers stores fields at half the
+// bytes and double the resident entry count.
+func (s *Server) FieldF32(ctx context.Context, member, scenario, t int) ([]float32, error) {
+	if err := s.check(member, scenario, t); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	key := cacheKey{live: s.isLive(scenario), member: member, scenario: scenario, t: t}
+	if key.live {
+		// Live fields are emulated in float64 (pixel-space noise and VAR
+		// state are float64-native); the f32 cache stores the narrowed
+		// copy so repeat f32 requests skip both emulation and narrowing.
+		return s.cache32.getOrLoad(ctx, key, func() ([]float32, error) {
+			data, err := s.field(ctx, member, scenario, t)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float32, len(data))
+			for i, v := range data {
+				out[i] = float32(v)
+			}
+			return out, nil
+		})
+	}
+	return s.cache32.getOrLoad(ctx, key, func() ([]float32, error) {
+		return s.loadArchiveFieldF32(member, scenario, t)
+	})
+}
+
+// loadArchiveFieldF32 is the uncached float32 archive read: decode the
+// packed coefficients straight to float32 and synthesize through the
+// plan's float32 tables.
+func (s *Server) loadArchiveFieldF32(member, scenario, t int) ([]float32, error) {
+	s.fieldLoads.Add(1)
+	sc := s.scratch.Get().(*serveScratch)
+	defer s.scratch.Put(sc)
+	packed, err := s.r.ReadPackedF32(member, scenario, t, sc.packed32)
+	if err != nil {
+		return nil, err
+	}
+	sc.packed32 = packed
+	out := make([]float32, s.h.Grid.Points())
+	s.plan.SynthesizeIntoF32(out, packed)
+	return out, nil
+}
+
 // loadLiveField emulates (member, scenario) from step 0 through t under
 // the scenario's forcing pathway (its what-if pathway when one is
 // assigned, else the training forcing) — VAR generation is sequential,
@@ -496,6 +561,86 @@ func (s *Server) PointSeries(ctx context.Context, member, scenario int, lat, lon
 	return out, nil
 }
 
+// maxBatchPoints bounds one multi-point query, keeping the evaluator's
+// O(points * L) tables and the response size sane.
+const maxBatchPoints = 4096
+
+// PointsSeries returns one time series per location: out[p][i] is the
+// field value at (lats[p], lons[p]) at step t0+i of (member, scenario).
+//
+// For archived scenarios all locations share one coefficient sweep per
+// step through a sht.PointBatchEvaluator — one Legendre fold per
+// distinct latitude and one O(L) gather per point, instead of P
+// independent O(L^2) dot products over P cursor passes. Live scenarios
+// sample the emulated fields bilinearly, as in PointSeries.
+func (s *Server) PointsSeries(ctx context.Context, member, scenario int, lats, lons []float64, t0, t1 int) ([][]float64, error) {
+	if err := s.checkRange(member, scenario, t0, t1); err != nil {
+		return nil, err
+	}
+	if len(lats) != len(lons) {
+		return nil, badQuery("serve: %d latitudes but %d longitudes", len(lats), len(lons))
+	}
+	if len(lats) == 0 {
+		return nil, badQuery("serve: no locations")
+	}
+	if len(lats) > maxBatchPoints {
+		return nil, badQuery("serve: %d locations exceed the %d-point limit", len(lats), maxBatchPoints)
+	}
+	thetas := make([]float64, len(lats))
+	phis := make([]float64, len(lats))
+	for p := range lats {
+		theta, phi, err := angles(lats[p], lons[p])
+		if err != nil {
+			return nil, err
+		}
+		thetas[p], phis[p] = theta, phi
+	}
+	s.requests.Add(1)
+	out := make([][]float64, len(lats))
+	for p := range out {
+		out[p] = make([]float64, t1-t0)
+	}
+	if s.isLive(scenario) {
+		// As in PointSeries: warm the series with one emulation run.
+		if _, err := s.field(ctx, member, scenario, t1-1); err != nil {
+			return nil, err
+		}
+		for t := t0; t < t1; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			data, err := s.field(ctx, member, scenario, t)
+			if err != nil {
+				return nil, err
+			}
+			for p := range out {
+				out[p][t-t0] = bilinear(s.h.Grid, data, thetas[p], phis[p])
+			}
+		}
+		return out, nil
+	}
+	ev := sht.NewPointBatchEvaluator(s.h.L, thetas, phis)
+	cur, err := s.r.Series(member, scenario)
+	if err != nil {
+		return nil, err
+	}
+	var packed, vals []float64
+	for t := t0; t < t1; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		packed, err = cur.ReadPacked(t, packed)
+		if err != nil {
+			return nil, err
+		}
+		vals = ev.EvalPacked(vals, packed)
+		for p, v := range vals {
+			out[p][t-t0] = v
+		}
+	}
+	return out, nil
+}
+
 // Box is a geographic latitude/longitude box in degrees. Longitudes wrap:
 // LonMin > LonMax selects the band crossing the date line.
 type Box struct {
@@ -586,19 +731,27 @@ func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t
 		return out, nil
 	}
 
-	evs := make([]*sht.RingEvaluator, len(rings))
-	for k, i := range rings {
-		evs[k] = sht.NewRingEvaluator(s.h.L, s.h.Grid.Colatitude(i))
+	// One batch evaluator over the box's ring x longitude cross product:
+	// the per-step degree fold streams the packed vector once for all
+	// rings together (the old per-ring SetPacked swept it once per
+	// ring), and each point costs an O(L) gather.
+	thetas := make([]float64, 0, len(rings)*len(lons))
+	phis := make([]float64, 0, len(rings)*len(lons))
+	w := make([]float64, 0, len(rings)*len(lons))
+	for _, i := range rings {
+		theta := s.h.Grid.Colatitude(i)
+		for _, j := range lons {
+			thetas = append(thetas, theta)
+			phis = append(phis, s.h.Grid.Longitude(j))
+			w = append(w, aw[i])
+		}
 	}
-	phis := make([]float64, len(lons))
-	for k, j := range lons {
-		phis[k] = s.h.Grid.Longitude(j)
-	}
+	ev := sht.NewPointBatchEvaluator(s.h.L, thetas, phis)
 	cur, err := s.r.Series(member, scenario)
 	if err != nil {
 		return nil, err
 	}
-	var packed []float64
+	var packed, vals []float64
 	for t := t0; t < t1; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -607,14 +760,10 @@ func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t
 		if err != nil {
 			return nil, err
 		}
+		vals = ev.EvalPacked(vals, packed)
 		sum := 0.0
-		for k, ev := range evs {
-			ev.SetPacked(packed)
-			ringSum := 0.0
-			for _, phi := range phis {
-				ringSum += ev.EvalLon(phi)
-			}
-			sum += aw[rings[k]] * ringSum
+		for k, v := range vals {
+			sum += w[k] * v
 		}
 		out[t-t0] = sum / wsum
 	}

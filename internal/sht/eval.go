@@ -3,6 +3,8 @@ package sht
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"exaclim/internal/legendre"
 )
@@ -38,6 +40,11 @@ type PointEvaluator struct {
 	theta   float64
 	phi     float64
 	weights []float64 // len L^2, PackReal layout
+
+	// w32 is the lazily-built float32 mirror of weights for the float32
+	// packed path; built at most a few times under a race (last store
+	// wins, all stores are identical).
+	w32 atomic.Pointer[[]float32]
 }
 
 // NewPointEvaluator builds an evaluator for band limit L at colatitude
@@ -47,7 +54,7 @@ func NewPointEvaluator(L int, theta, phi float64) *PointEvaluator {
 		panic(fmt.Sprintf("sht: invalid band limit %d", L))
 	}
 	sinT, cosT := math.Sincos(theta)
-	leg := legendre.AllAt(L, cosT, sinT, nil)
+	leg := legendre.SharedRecur(L).Eval(cosT, sinT, nil)
 
 	// cos(m phi), sin(m phi) by stable complex recurrence.
 	cosM := make([]float64, L)
@@ -87,6 +94,32 @@ func (e *PointEvaluator) EvalPacked(packed []float64) float64 {
 	return sum
 }
 
+// EvalPackedF32 evaluates a float32 packed vector (the layout
+// archive.ReadPackedF32 delivers) at the evaluator's location. The dot
+// product streams float32 weights — half the memory traffic of the
+// float64 path — while accumulating in float64; products of two float32
+// operands are exact in float64, so the only extra error over
+// EvalPacked is the 2^-24 rounding of the weights and inputs.
+func (e *PointEvaluator) EvalPackedF32(packed []float32) float64 {
+	if len(packed) != len(e.weights) {
+		panic(fmt.Sprintf("sht: packed length %d does not match evaluator band limit %d", len(packed), e.L))
+	}
+	wp := e.w32.Load()
+	if wp == nil {
+		w := make([]float32, len(e.weights))
+		for i, v := range e.weights {
+			w[i] = float32(v)
+		}
+		e.w32.Store(&w)
+		wp = &w
+	}
+	sum := 0.0
+	for i, w := range *wp {
+		sum += float64(w) * float64(packed[i])
+	}
+	return sum
+}
+
 // Eval evaluates coefficients c at the evaluator's location.
 func (e *PointEvaluator) Eval(c Coeffs) float64 {
 	if c.L != e.L {
@@ -105,24 +138,74 @@ func (e *PointEvaluator) Eval(c Coeffs) float64 {
 	return sum
 }
 
+// epScratch is the pooled one-shot evaluation state: the Legendre table
+// and trig recurrences EvalPoint needs, reused across calls so the
+// one-shot path stops allocating O(L^2) per call.
+type epScratch struct {
+	leg        []float64
+	cosM, sinM []float64
+}
+
+var evalPointScratch = sync.Pool{New: func() any { return &epScratch{} }}
+
 // EvalPoint evaluates coefficients c at a single (theta, phi). For
 // repeated evaluation at one location (time series) build a
-// PointEvaluator once instead.
+// PointEvaluator once instead. Scratch is pooled, so the one-shot path
+// allocates nothing in steady state; the arithmetic is exactly
+// NewPointEvaluator + Eval with the weight products formed on the fly.
 func EvalPoint(c Coeffs, theta, phi float64) float64 {
-	return NewPointEvaluator(c.L, theta, phi).Eval(c)
+	L := c.L
+	if L < 1 {
+		panic(fmt.Sprintf("sht: invalid band limit %d", L))
+	}
+	sc := evalPointScratch.Get().(*epScratch)
+	defer evalPointScratch.Put(sc)
+	sinT, cosT := math.Sincos(theta)
+	sc.leg = legendre.SharedRecur(L).Eval(cosT, sinT, sc.leg)
+	if cap(sc.cosM) < L {
+		sc.cosM = make([]float64, L)
+		sc.sinM = make([]float64, L)
+	}
+	cosM, sinM := sc.cosM[:L], sc.sinM[:L]
+	sinP, cosP := math.Sincos(phi)
+	cm, sm := 1.0, 0.0 // m = 0
+	for m := 0; m < L; m++ {
+		cosM[m], sinM[m] = cm, sm
+		cm, sm = cm*cosP-sm*sinP, sm*cosP+cm*sinP
+	}
+	r2 := math.Sqrt2
+	sum := 0.0
+	for l := 0; l < L; l++ {
+		sum += sc.leg[legendre.Idx(l, 0)] * real(c.C[legendre.Idx(l, 0)])
+		for m := 1; m <= l; m++ {
+			v := c.C[legendre.Idx(l, m)]
+			p := r2 * sc.leg[legendre.Idx(l, m)]
+			sum += r2 * ((p*cosM[m])*real(v) + (-p*sinM[m])*imag(v))
+		}
+	}
+	return sum
 }
 
 // RingEvaluator evaluates band-limited fields at many longitudes of one
 // fixed colatitude — the building block of lat/lon box queries, where a
 // box covers a handful of rings and a contiguous run of longitudes.
 // SetPacked folds the degree sum once per field (O(L^2)); EvalLon is
-// then O(L) per longitude. A RingEvaluator is a streaming scratch
-// holder: use one per goroutine.
+// then O(L) per longitude.
+//
+// Concurrency contract: a RingEvaluator is a streaming scratch holder —
+// SetPacked/SetPackedF32 mutate the fold state that EvalLon reads, so
+// an evaluator must never be shared across goroutines; use one per
+// goroutine. Concurrent Set calls are detected and panic rather than
+// silently corrupting the fold (the EvalLon side of a race is not
+// guarded: the guard exists to surface misuse, not to make sharing
+// safe).
 type RingEvaluator struct {
 	L     int
 	theta float64
 	leg   []float64    // Legendre table at theta
+	leg32 []float32    // float32 mirror for the f32 packed path
 	fm    []complex128 // F(m) = sum_l z_lm Ptilde_l^m for the current field
+	busy  atomic.Bool  // trips the non-concurrent contract
 }
 
 // NewRingEvaluator builds a ring evaluator for band limit L at
@@ -132,21 +215,37 @@ func NewRingEvaluator(L int, theta float64) *RingEvaluator {
 		panic(fmt.Sprintf("sht: invalid band limit %d", L))
 	}
 	sinT, cosT := math.Sincos(theta)
+	leg := legendre.SharedRecur(L).Eval(cosT, sinT, nil)
+	leg32 := make([]float32, len(leg))
+	for i, v := range leg {
+		leg32[i] = float32(v)
+	}
 	return &RingEvaluator{
 		L:     L,
 		theta: theta,
-		leg:   legendre.AllAt(L, cosT, sinT, nil),
+		leg:   leg,
+		leg32: leg32,
 		fm:    make([]complex128, L),
+	}
+}
+
+// setEnter enforces the non-concurrent contract on the Set methods.
+func (e *RingEvaluator) setEnter() {
+	if !e.busy.CompareAndSwap(false, true) {
+		panic("sht: concurrent SetPacked on a shared RingEvaluator; use one evaluator per goroutine")
 	}
 }
 
 // SetPacked folds the packed coefficient vector (length L^2) into the
 // per-order ring spectrum F(m), after which EvalLon evaluates any
-// longitude of this field in O(L).
+// longitude of this field in O(L). It mutates evaluator state: see the
+// type's concurrency contract.
 func (e *RingEvaluator) SetPacked(packed []float64) {
 	if len(packed) != PackDim(e.L) {
 		panic(fmt.Sprintf("sht: packed length %d does not match evaluator band limit %d", len(packed), e.L))
 	}
+	e.setEnter()
+	defer e.busy.Store(false)
 	inv := 1 / math.Sqrt2
 	for m := range e.fm {
 		e.fm[m] = 0
@@ -157,6 +256,31 @@ func (e *RingEvaluator) SetPacked(packed []float64) {
 		for m := 1; m <= l; m++ {
 			p := e.leg[legendre.Idx(l, m)]
 			e.fm[m] += complex(packed[base+2*m-1]*inv*p, packed[base+2*m]*inv*p)
+		}
+	}
+}
+
+// SetPackedF32 is SetPacked for a float32 packed vector (the layout
+// archive.ReadPackedF32 delivers): the fold streams the float32
+// Legendre mirror and input at half the bandwidth while accumulating
+// F(m) in float64 (float32 products are exact in float64). Same
+// concurrency contract as SetPacked.
+func (e *RingEvaluator) SetPackedF32(packed []float32) {
+	if len(packed) != PackDim(e.L) {
+		panic(fmt.Sprintf("sht: packed length %d does not match evaluator band limit %d", len(packed), e.L))
+	}
+	e.setEnter()
+	defer e.busy.Store(false)
+	const inv = 1 / math.Sqrt2
+	for m := range e.fm {
+		e.fm[m] = 0
+	}
+	for l := 0; l < e.L; l++ {
+		base := l * l
+		e.fm[0] += complex(float64(e.leg32[legendre.Idx(l, 0)])*float64(packed[base]), 0)
+		for m := 1; m <= l; m++ {
+			p := float64(e.leg32[legendre.Idx(l, m)]) * inv
+			e.fm[m] += complex(p*float64(packed[base+2*m-1]), p*float64(packed[base+2*m]))
 		}
 	}
 }

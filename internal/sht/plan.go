@@ -3,11 +3,13 @@ package sht
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"exaclim/internal/fft"
 	"exaclim/internal/legendre"
 	"exaclim/internal/par"
 	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
 )
 
 // Plan precomputes everything the transform needs for a fixed grid and
@@ -31,6 +33,25 @@ type Plan struct {
 	iqOffset int
 	phase    [4]complex128 // i^-m by m mod 4
 	workers  int
+
+	// f32 and calib are lazily-filled synthesis state shared by pointer
+	// across Sequential copies of the plan, so every cursor derived from
+	// one plan reuses a single f32 table build and one calibration run.
+	f32   *f32Tables
+	calib *synthCalib
+}
+
+// f32Tables is the lazily-built float32 mirror of the per-ring Legendre
+// tables, halving the table traffic of the float32 synthesis path.
+type f32Tables struct {
+	once  sync.Once
+	rings [][]float32
+}
+
+// synthCalib memoizes the one-time ring-block microcalibration.
+type synthCalib struct {
+	once  sync.Once
+	block int
 }
 
 // Option configures a Plan.
@@ -77,6 +98,8 @@ func NewPlan(grid sphere.Grid, L int, opts ...Option) (*Plan, error) {
 		p.iq[q+p.iqOffset] = v
 	}
 	p.phase = [4]complex128{1, complex(0, -1), -1, complex(0, 1)}
+	p.f32 = &f32Tables{}
+	p.calib = &synthCalib{}
 	return p, nil
 }
 
@@ -221,37 +244,110 @@ func (p *Plan) Synthesize(c Coeffs) sphere.Field {
 
 // SynthesizeInto writes the synthesis into an existing field on the
 // plan's grid, avoiding allocation in time-stepping loops.
+//
+// The per-ring degree fold F_i(m) = sum_l z_{lm} Ptilde_l^m(cos
+// theta_i) runs cache-blocked: rings are processed in blocks of
+// synthBlock() (sized once per plan by tile.PickBlock), and within a
+// block the fold sweeps the coefficient table row-major (l outer, m
+// inner), so each contiguous coefficient row is loaded once per block
+// instead of once per ring and every Legendre table row streams
+// sequentially. Per (ring, m) the additions still arrive in ascending
+// l, so the result is bit-identical to the unblocked m-outer loop for
+// every block size (pinned by TestSynthesizeBlockedMatchesReference).
 func (p *Plan) SynthesizeInto(dst sphere.Field, c Coeffs) {
 	if dst.Grid != p.Grid {
 		panic(fmt.Sprintf("sht: destination grid %v does not match plan grid %v", dst.Grid, p.Grid))
 	}
 	L := p.L
 	nlat, nlon := p.Grid.NLat, p.Grid.NLon
-	par.ForN(p.workers, nlat, func(i int) {
-		tbl := p.ringTab[i]
-		spec := make([]complex128, nlon)
-		// F_i(m) = sum_l z_{lm} Ptilde_l^m(cos theta_i).
-		for m := 0; m < L; m++ {
-			var sum complex128
-			for l := m; l < L; l++ {
-				sum += c.C[legendre.Idx(l, m)] * complex(tbl[legendre.Idx(l, m)], 0)
+	block := p.synthBlock()
+	nBlocks := (nlat + block - 1) / block
+	par.ForN(p.workers, nBlocks, func(bi int) {
+		r0 := bi * block
+		r1 := min(r0+block, nlat)
+		fm := newFmScratch(r1-r0, L)
+		for l := 0; l < L; l++ {
+			base := legendre.Idx(l, 0)
+			row := c.C[base : base+l+1]
+			for ri := r0; ri < r1; ri++ {
+				tbl := p.ringTab[ri][base : base+l+1]
+				f := fm[ri-r0]
+				for m := 0; m <= l; m++ {
+					f[m] += row[m] * complex(tbl[m], 0)
+				}
 			}
-			if m == 0 {
-				spec[0] = complex(real(sum), 0)
-				continue
-			}
-			spec[m] = sum
-			// Hermitian completion from z_{l,-m} = (-1)^m conj(z_{lm})
-			// and Ptilde_l^{-m} = (-1)^m Ptilde_l^m: the ring spectrum of
-			// a real field satisfies spec[-m] = conj(spec[m]).
-			spec[nlon-m] = complex(real(sum), -imag(sum))
 		}
-		p.lonPlan.Clone().Inverse(spec, spec)
-		ring := dst.Ring(i)
-		for j := range ring {
-			ring[j] = real(spec[j]) * float64(nlon)
+		spec := make([]complex128, nlon) // indices [L, nlon-L] stay zero
+		freq := make([]complex128, nlon)
+		lon := p.lonPlan.Clone()
+		for ri := r0; ri < r1; ri++ {
+			f := fm[ri-r0]
+			spec[0] = complex(real(f[0]), 0)
+			for m := 1; m < L; m++ {
+				spec[m] = f[m]
+				// Hermitian completion from z_{l,-m} = (-1)^m conj(z_{lm})
+				// and Ptilde_l^{-m} = (-1)^m Ptilde_l^m: the ring spectrum
+				// of a real field satisfies spec[-m] = conj(spec[m]).
+				spec[nlon-m] = complex(real(f[m]), -imag(f[m]))
+			}
+			lon.Inverse(freq, spec)
+			ring := dst.Ring(ri)
+			for j := range ring {
+				ring[j] = real(freq[j]) * float64(nlon)
+			}
 		}
 	})
+}
+
+// newFmScratch allocates rings x L zeroed fold accumulators backed by
+// one flat slice.
+func newFmScratch(rings, L int) [][]complex128 {
+	flat := make([]complex128, rings*L)
+	fm := make([][]complex128, rings)
+	for i := range fm {
+		fm[i] = flat[i*L : (i+1)*L]
+	}
+	return fm
+}
+
+// synthBlockCandidates are the ring-block sizes the calibration tries:
+// small enough that a block's fold accumulators stay L1-resident, large
+// enough to amortize the coefficient stream across rings.
+var synthBlockCandidates = []int{4, 8, 16, 32}
+
+// synthBlock returns the plan's calibrated ring-block size, measuring
+// once per plan (shared across Sequential copies). The workload is the
+// plan's own fold on synthetic coefficients, so the choice reflects the
+// real table sizes; every candidate computes bit-identical results, so
+// calibration affects time only, never output.
+func (p *Plan) synthBlock() int {
+	p.calib.once.Do(func() {
+		L := p.L
+		nlat := p.Grid.NLat
+		c := NewCoeffs(L)
+		for i := range c.C {
+			c.C[i] = complex(1/float64(i+1), -1/float64(2*i+1))
+		}
+		rings := min(nlat, 64)
+		p.calib.block = tile.PickBlock(synthBlockCandidates, 3, func(b int) {
+			for r0 := 0; r0 < rings; r0 += b {
+				r1 := min(r0+b, rings)
+				fm := newFmScratch(r1-r0, L)
+				for l := 0; l < L; l++ {
+					base := legendre.Idx(l, 0)
+					row := c.C[base : base+l+1]
+					for ri := r0; ri < r1; ri++ {
+						tbl := p.ringTab[ri][base : base+l+1]
+						f := fm[ri-r0]
+						for m := 0; m <= l; m++ {
+							f[m] += row[m] * complex(tbl[m], 0)
+						}
+					}
+				}
+			}
+		})
+	})
+	return p.calib.block
 }
 
 // AnalyzeSeries analyzes a batch of fields in parallel and returns the

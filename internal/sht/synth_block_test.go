@@ -1,0 +1,259 @@
+package sht
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exaclim/internal/legendre"
+	"exaclim/internal/sphere"
+)
+
+// referenceSynthesizeInto is the pre-blocking m-outer synthesis loop,
+// kept verbatim as the bit-identity oracle for the cache-blocked
+// SynthesizeInto: per (ring, m) both orderings add the same products in
+// ascending l starting from zero, so blocking must not change a single
+// bit.
+func referenceSynthesizeInto(p *Plan, dst sphere.Field, c Coeffs) {
+	L := p.L
+	nlat, nlon := p.Grid.NLat, p.Grid.NLon
+	for i := 0; i < nlat; i++ {
+		tbl := p.ringTab[i]
+		spec := make([]complex128, nlon)
+		for m := 0; m < L; m++ {
+			var sum complex128
+			for l := m; l < L; l++ {
+				sum += c.C[legendre.Idx(l, m)] * complex(tbl[legendre.Idx(l, m)], 0)
+			}
+			if m == 0 {
+				spec[0] = complex(real(sum), 0)
+				continue
+			}
+			spec[m] = sum
+			spec[nlon-m] = complex(real(sum), -imag(sum))
+		}
+		p.lonPlan.Clone().Inverse(spec, spec)
+		ring := dst.Ring(i)
+		for j := range ring {
+			ring[j] = real(spec[j]) * float64(nlon)
+		}
+	}
+}
+
+// forceBlock pins a plan's calibrated ring-block size, bypassing the
+// microcalibration so tests can sweep block sizes deterministically.
+func forceBlock(p *Plan, b int) {
+	p.calib.once.Do(func() { p.calib.block = b })
+	if p.calib.block != b {
+		panic("forceBlock: calibration already ran")
+	}
+}
+
+// TestSynthesizeBlockedMatchesReference pins the blocking invariant:
+// for every block size — including 1 (ring-at-a-time), sizes that
+// straddle nlat, and sizes larger than nlat — the blocked synthesis is
+// bit-identical to the historical m-outer loop.
+func TestSynthesizeBlockedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, L := range []int{1, 3, 16, 33} {
+		for _, oversample := range []bool{false, true} {
+			grid := sphere.GridForBandLimit(L)
+			if oversample {
+				grid = sphere.NewGrid(2*L+5, 4*L+3)
+			}
+			want := sphere.NewField(grid)
+			c := randomCoeffs(rng, L)
+			{
+				ref, err := NewPlan(grid, L)
+				if err != nil {
+					t.Fatal(err)
+				}
+				referenceSynthesizeInto(ref, want, c)
+			}
+			for _, b := range []int{1, 2, 5, 8, 32, grid.NLat + 7} {
+				p, err := NewPlan(grid, L, WithWorkers(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				forceBlock(p, b)
+				got := sphere.NewField(grid)
+				p.SynthesizeInto(got, c)
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("L=%d grid=%v block=%d: pixel %d blocked=%x reference=%x",
+							L, grid, b, i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSynthesizeCalibratedMatchesReference runs the real calibration
+// path (no forced block) once, so the microcalibrated production
+// configuration is itself pinned against the reference.
+func TestSynthesizeCalibratedMatchesReference(t *testing.T) {
+	const L = 16
+	grid := sphere.GridForBandLimit(L)
+	p, err := NewPlan(grid, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	c := randomCoeffs(rng, L)
+	got := sphere.NewField(grid)
+	p.SynthesizeInto(got, c)
+	b := p.synthBlock()
+	found := false
+	for _, cand := range synthBlockCandidates {
+		if b == cand {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("calibrated block %d not among candidates %v", b, synthBlockCandidates)
+	}
+	want := sphere.NewField(grid)
+	referenceSynthesizeInto(p, want, c)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("calibrated block %d: pixel %d differs", b, i)
+		}
+	}
+}
+
+// packedF32 converts a float64 packed vector to float32.
+func packedF32(packed []float64) []float32 {
+	out := make([]float32, len(packed))
+	for i, v := range packed {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// TestSynthesizeF32MatchesF64 bounds the float32 end-to-end synthesis
+// against the float64 path on the same coefficients. All accumulation
+// runs in float64 over exactly-representable float32 products, so the
+// error budget is the 2^-24 input rounding amplified by the fold depth
+// — orders of magnitude below the archive's 1e-4 quantization policy
+// that gates what reaches this path in production.
+func TestSynthesizeF32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, L := range []int{1, 5, 16, 33} {
+		grid := sphere.GridForBandLimit(L)
+		p, err := NewPlan(grid, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := randomCoeffs(rng, L)
+		want := p.Synthesize(c)
+		scale := fieldScale(want)
+		packed := c.PackReal(nil)
+		dst := make([]float32, grid.Points())
+		p.SynthesizeIntoF32(dst, packedF32(packed))
+		for i, v := range dst {
+			if d := math.Abs(float64(v) - want.Data[i]); d > 1e-4*scale {
+				t.Fatalf("L=%d pixel %d: f32=%g f64=%g (diff %g, scale %g)",
+					L, i, v, want.Data[i], d, scale)
+			}
+		}
+	}
+}
+
+// TestEvalF32Paths bounds the float32 packed point and ring paths
+// against their float64 counterparts.
+func TestEvalF32Paths(t *testing.T) {
+	const L = 16
+	grid := sphere.GridForBandLimit(L)
+	rng := rand.New(rand.NewSource(24))
+	c := randomCoeffs(rng, L)
+	packed := c.PackReal(nil)
+	p32 := packedF32(packed)
+	scale := 0.0
+	for _, v := range packed {
+		scale += v * v
+	}
+	scale = math.Sqrt(scale)
+	for i := 0; i < grid.NLat; i += 3 {
+		theta := grid.Colatitude(i)
+		rev := NewRingEvaluator(L, theta)
+		rev32 := NewRingEvaluator(L, theta)
+		rev.SetPacked(packed)
+		rev32.SetPackedF32(p32)
+		for j := 0; j < grid.NLon; j += 5 {
+			phi := grid.Longitude(j)
+			ev := NewPointEvaluator(L, theta, phi)
+			want := ev.EvalPacked(packed)
+			if got := ev.EvalPackedF32(p32); math.Abs(got-want) > 1e-4*scale {
+				t.Fatalf("(%d,%d): EvalPackedF32=%g EvalPacked=%g", i, j, got, want)
+			}
+			if got := rev32.EvalLon(phi); math.Abs(got-rev.EvalLon(phi)) > 1e-4*scale {
+				t.Fatalf("(%d,%d): SetPackedF32 ring path %g vs f64 %g", i, j, got, rev.EvalLon(phi))
+			}
+		}
+	}
+}
+
+// TestRingEvaluatorConcurrentSetPanics pins the non-concurrent
+// contract: a Set call that observes another in flight must panic
+// instead of silently corrupting the fold.
+func TestRingEvaluatorConcurrentSetPanics(t *testing.T) {
+	const L = 4
+	ev := NewRingEvaluator(L, 1.0)
+	packed := make([]float64, PackDim(L))
+	ev.busy.Store(true) // simulate a Set in flight on another goroutine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("concurrent SetPacked did not panic")
+		}
+	}()
+	ev.SetPacked(packed)
+}
+
+// TestEvalPointAllocates pins the pooled one-shot path: in steady state
+// EvalPoint performs no allocations per call.
+func TestEvalPointAllocates(t *testing.T) {
+	const L = 16
+	rng := rand.New(rand.NewSource(25))
+	c := randomCoeffs(rng, L)
+	EvalPoint(c, 0.7, 1.3) // warm the pool and the shared recursion
+	allocs := testing.AllocsPerRun(20, func() {
+		EvalPoint(c, 0.7, 1.3)
+	})
+	if allocs > 0 {
+		t.Fatalf("EvalPoint allocates %.1f objects per call; want 0", allocs)
+	}
+}
+
+// BenchmarkSHT_BlockedSynthesize measures the blocked synthesis kernel
+// against the historical m-outer reference loop and the float32
+// end-to-end path at serving resolution (L=64). Tracked by the CI
+// bench-trend comparison.
+func BenchmarkSHT_BlockedSynthesize(b *testing.B) {
+	const L = 64
+	p := benchPlan(b, L)
+	p = p.Sequential() // isolate the kernel from goroutine fan-out
+	rng := rand.New(rand.NewSource(41))
+	c := randomCoeffs(rng, L)
+	packed := c.PackReal(nil)
+	p32 := packedF32(packed)
+	f := sphere.NewField(p.Grid)
+	dst32 := make([]float32, p.Grid.Points())
+	p.synthBlock() // calibrate outside the timed region
+	p.ringTab32()  // build f32 tables outside the timed region
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.SynthesizeInto(f, c)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			referenceSynthesizeInto(p, f, c)
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.SynthesizeIntoF32(dst32, p32)
+		}
+	})
+}

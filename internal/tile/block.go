@@ -1,0 +1,47 @@
+package tile
+
+import (
+	"fmt"
+	"time"
+)
+
+// PickBlock is the one-time microcalibration behind cache-blocked
+// kernels: it times work(b) for each candidate block size and returns
+// the fastest. The kernels that consult it (the SHT's blocked synthesis
+// fold) are bit-identical for every block size, so the choice only
+// moves time, never results — which is why a wall-clock measurement is
+// admissible in an otherwise deterministic pipeline.
+//
+// Each candidate runs once to warm caches and then reps timed passes,
+// keeping the candidate's best (minimum) pass as its score: minimum
+// filters scheduler noise better than the mean on a shared machine.
+// Callers run PickBlock once per process (sync.Once) with a small
+// synthetic workload; a full calibration should stay in the tens of
+// milliseconds.
+func PickBlock(candidates []int, reps int, work func(b int)) int {
+	if len(candidates) == 0 {
+		panic("tile: PickBlock needs at least one candidate")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	best, bestScore := candidates[0], time.Duration(0)
+	for i, b := range candidates {
+		if b < 1 {
+			panic(fmt.Sprintf("tile: invalid block candidate %d", b))
+		}
+		work(b) // warm-up: page in tables, settle the frequency governor
+		score := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			work(b)
+			if d := time.Since(start); r == 0 || d < score {
+				score = d
+			}
+		}
+		if i == 0 || score < bestScore {
+			best, bestScore = b, score
+		}
+	}
+	return best
+}

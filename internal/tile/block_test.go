@@ -1,0 +1,37 @@
+package tile
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPickBlockReturnsACandidate(t *testing.T) {
+	cands := []int{4, 8, 16}
+	got := PickBlock(cands, 2, func(b int) {})
+	ok := false
+	for _, c := range cands {
+		if got == c {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("PickBlock returned %d, not a candidate of %v", got, cands)
+	}
+}
+
+func TestPickBlockPrefersFaster(t *testing.T) {
+	// A workload whose cost is proportional to the block size must pick
+	// the smallest candidate; the sleep dwarfs scheduler noise.
+	got := PickBlock([]int{1, 50}, 3, func(b int) {
+		time.Sleep(time.Duration(b) * time.Millisecond)
+	})
+	if got != 1 {
+		t.Fatalf("PickBlock picked %d, want 1", got)
+	}
+}
+
+func TestPickBlockSingleCandidate(t *testing.T) {
+	if got := PickBlock([]int{7}, 1, func(b int) {}); got != 7 {
+		t.Fatalf("PickBlock([7]) = %d", got)
+	}
+}
