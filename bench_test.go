@@ -472,6 +472,52 @@ func BenchmarkServe_Concurrent(b *testing.B) {
 	})
 }
 
+// BenchmarkServe_Traced prices the request tracer on the hot serving
+// path: the same cache-resident full-field load as Serve_Concurrent,
+// `bare` with every observability layer off, `sampled` with metrics on
+// and head sampling at 100% — every request captures a span tree into
+// the trace store, the most expensive tracing configuration there is.
+// The acceptance bar is sampled within 5% of bare req/s; unsampled
+// production configs sit strictly between the two.
+func BenchmarkServe_Traced(b *testing.B) {
+	get := func(client *http.Client, url string) error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %s", resp.Status)
+		}
+		return err
+	}
+	run := func(b *testing.B, cfg exaclim.ServeConfig) {
+		_, hs := serveBenchServer(b, cfg)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := hs.Client()
+			for pb.Next() {
+				i := int(next.Add(1))
+				url := fmt.Sprintf("%s/v1/field?member=%d&t=%d",
+					hs.URL, i%replayBenchMembers, (i/replayBenchMembers)%replayBenchSteps)
+				if err := get(client, url); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+	b.Run("bare", func(b *testing.B) {
+		run(b, exaclim.ServeConfig{DisableMetrics: true})
+	})
+	b.Run("sampled", func(b *testing.B) {
+		run(b, exaclim.ServeConfig{TraceSampleRate: 1, TraceStoreCapacity: 1024})
+	})
+}
+
 // pointBench caches a high-resolution (L=64) archive so the point-query
 // benchmark measures serving cost, not fixture construction.
 var pointBench struct {

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +46,9 @@ func runServe(args []string) {
 		metrics   = fs.Bool("metrics", true, "expose Prometheus text metrics on /metrics")
 		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (admin surface; keep off public listeners)")
 		logReq    = fs.String("log-requests", "", "write one JSON line per request to this file ('-' = stdout)")
+		traceRate = fs.Float64("trace-sample", 0, "fraction of requests traced head-sampled in [0,1]; sampled spans are kept in the in-memory trace store")
+		slowMS    = fs.Int("slow-ms", 0, "capture and log any request slower than this many milliseconds, sampled or not (0 = off)")
+		traceDbg  = fs.Bool("trace-debug", false, "mount the trace store on /debug/traces (admin surface; keep off public listeners)")
 		smoke     = fs.String("smoke", "", "issue one-shot requests for this path (e.g. /v1/field?t=3), print, exit")
 		smokeN    = fs.Int("smoke-n", 1, "concurrent requests issued in -smoke mode")
 	)
@@ -98,18 +102,21 @@ func runServe(args []string) {
 		reqLog = f
 	}
 	srv, err := exaclim.NewServer(r, model, exaclim.ServeConfig{
-		CacheBytes:     int64(*cacheMB) << 20,
-		CacheShards:    *shards,
-		LiveScenarios:  *live,
-		LiveSteps:      *liveSteps,
-		LiveT0:         *liveT0,
-		BaseSeed:       *seed,
-		LivePathways:   livePathways,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *timeout,
-		RequestLog:     reqLog,
-		EnablePprof:    *pprofFlag,
-		DisableMetrics: !*metrics,
+		CacheBytes:         int64(*cacheMB) << 20,
+		CacheShards:        *shards,
+		LiveScenarios:      *live,
+		LiveSteps:          *liveSteps,
+		LiveT0:             *liveT0,
+		BaseSeed:           *seed,
+		LivePathways:       livePathways,
+		MaxInFlight:        *inflight,
+		RequestTimeout:     *timeout,
+		RequestLog:         reqLog,
+		EnablePprof:        *pprofFlag,
+		DisableMetrics:     !*metrics,
+		TraceSampleRate:    *traceRate,
+		SlowTraceThreshold: time.Duration(*slowMS) * time.Millisecond,
+		EnableTraceDebug:   *traceDbg,
 	})
 	if err != nil {
 		fatal(err)
@@ -128,6 +135,9 @@ func runServe(args []string) {
 	}
 	if *pprofFlag {
 		endpoints += " /debug/pprof/"
+	}
+	if *traceDbg {
+		endpoints += " /debug/traces"
 	}
 	fmt.Printf("listening on %s (endpoints: %s)\n", *addr, endpoints)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
@@ -276,4 +286,42 @@ func runServeSmoke(srv *exaclim.Server, path string, n int) {
 		samples += len(f.Samples)
 	}
 	fmt.Printf("metrics: %d families, %d samples, exposition verified\n", len(fams), samples)
+
+	// Per-stage latency attribution: the smoke requests above ran through
+	// the instrumented handler, so the stage histogram must exist and
+	// must have recorded at least the encode stage (every successful
+	// response encodes). Print p50/p99 per stage from this server's own
+	// exposition — the same numbers a dashboard would derive.
+	stageFam := fams["exaclim_stage_duration_seconds"]
+	if stageFam == nil {
+		fatal(fmt.Errorf("smoke: /metrics missing family exaclim_stage_duration_seconds"))
+	}
+	if err := obs.CheckHistogram(stageFam); err != nil {
+		fatal(fmt.Errorf("smoke: %w", err))
+	}
+	stages := map[string]bool{}
+	for _, s := range stageFam.Samples {
+		if st := s.Labels["stage"]; st != "" {
+			stages[st] = true
+		}
+	}
+	if !stages["encode"] {
+		fatal(fmt.Errorf("smoke: stage histogram recorded no encode stage (stages seen: %v)", stages))
+	}
+	names := make([]string, 0, len(stages))
+	for st := range stages {
+		names = append(names, st)
+	}
+	sort.Strings(names)
+	for _, st := range names {
+		p50, err := obs.HistogramQuantile(stageFam, map[string]string{"stage": st}, 0.5)
+		if err != nil {
+			fatal(fmt.Errorf("smoke: stage %s p50: %w", st, err))
+		}
+		p99, err := obs.HistogramQuantile(stageFam, map[string]string{"stage": st}, 0.99)
+		if err != nil {
+			fatal(fmt.Errorf("smoke: stage %s p99: %w", st, err))
+		}
+		fmt.Printf("stage %-10s p50 %8.3fms  p99 %8.3fms\n", st, p50*1e3, p99*1e3)
+	}
 }

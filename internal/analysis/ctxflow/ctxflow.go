@@ -7,10 +7,19 @@
 // that work. Derivations that drop cancellation on purpose must say so
 // with context.WithoutCancel(r.Context()), which keeps request values
 // and stays visibly rooted in the request.
+//
+// The same invariant governs trace roots: trace.New mints a root span
+// detached from any parent, which is correct exactly once per request —
+// in the middleware, where the traceparent header is parsed and the
+// sampling decision is made. Everywhere else in the serving tier the
+// span must come from the request context (trace.SpanFromContext or the
+// stage helpers), so the analyzer confines trace.New to middleware.go.
 package ctxflow
 
 import (
 	"go/ast"
+	"path/filepath"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -27,7 +36,10 @@ var pkgs string
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc: "forbid context.Background/TODO in the serving tier; request work must " +
-		"derive its context from r.Context() so timeouts and shedding govern it",
+		"derive its context from r.Context() so timeouts and shedding govern it. " +
+		"Also confine trace.New to middleware.go: root spans are minted once per " +
+		"request where traceparent is parsed; everything else derives child spans " +
+		"from the request context",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -54,6 +66,23 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					name)
 			}
 		}
+		if traceNewCall(pass, call) &&
+			filepath.Base(pass.Fset.Position(call.Pos()).Filename) != "middleware.go" {
+			pass.Reportf(call.Pos(),
+				"trace.New outside middleware.go mints a detached root span; the middleware creates one root per request — derive child spans from the request context")
+		}
 	})
 	return nil, nil
+}
+
+// traceNewCall reports whether call invokes New from a package whose
+// import path is "trace" or ends in "/trace" (the repo's tracing core
+// and the golden-test stub alike).
+func traceNewCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "New" {
+		return false
+	}
+	p := scope.ImportedPkg(pass, sel.X)
+	return p == "trace" || strings.HasSuffix(p, "/trace")
 }

@@ -14,7 +14,12 @@
 //     observe, logRequest, noteCacheOutcome): recording takes label-map
 //     locks and log writes serialize on the log mutex, so doing either
 //     under a shard lock couples every request on that shard to the
-//     observability path's latency.
+//     observability path's latency;
+//   - trace operations (trace-package calls, beginStage, recordStage):
+//     span finalization stamps clocks and appends to the parent's child
+//     list, and store publication takes the stripe lock, so tracing
+//     under a shard lock adds the tracer's latency to the critical
+//     section exactly where contention hurts most.
 //
 // The fieldCache's getOrLoad documents the intended shape: register a
 // flight under the lock, run the load with the lock released, publish
@@ -43,8 +48,8 @@ var pkgs string
 var Analyzer = &analysis.Analyzer{
 	Name: "lockedcall",
 	Doc: "forbid SHT synthesis, chunk decode, ResponseWriter writes, metric observation, " +
-		"and request logging while holding a mutex (the single-flight invariant: heavy " +
-		"work runs outside the lock)",
+		"request logging, and trace operations while holding a mutex (the single-flight " +
+		"invariant: heavy work runs outside the lock)",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -73,6 +78,13 @@ var shtHeavy = map[string]bool{
 // serve tier's request-trace writers.
 var obsNames = map[string]bool{
 	"observe": true, "logRequest": true, "noteCacheOutcome": true,
+}
+
+// traceNames lists the serve tier's stage-instrumentation entry points,
+// forbidden under a lock by name: they stamp clocks and (when sampled)
+// touch the span tree.
+var traceNames = map[string]bool{
+	"beginStage": true, "recordStage": true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -303,8 +315,17 @@ func heavyCall(pass *analysis.Pass, call *ast.CallExpr, rw *types.Interface) (na
 		if fromPackage(pass, fun, "obs") {
 			return exprString(pass, fun), "metric observation"
 		}
+		// Tracing: any call into the trace package (span End/SetAttr,
+		// store Add, trace.New) runs the tracer inside the critical
+		// section.
+		if fromPackage(pass, fun, "trace") {
+			return exprString(pass, fun), "trace operation"
+		}
 		if obsNames[sel] {
 			return exprString(pass, fun), "metric observation or request logging"
+		}
+		if traceNames[sel] {
+			return exprString(pass, fun), "trace operation"
 		}
 		if heavyNames[sel] {
 			return exprString(pass, fun), "chunk I/O or decode"
@@ -312,6 +333,9 @@ func heavyCall(pass *analysis.Pass, call *ast.CallExpr, rw *types.Interface) (na
 	case *ast.Ident:
 		if obsNames[fun.Name] {
 			return fun.Name, "metric observation or request logging"
+		}
+		if traceNames[fun.Name] {
+			return fun.Name, "trace operation"
 		}
 		if heavyNames[fun.Name] {
 			return fun.Name, "chunk I/O or decode"

@@ -1,0 +1,19 @@
+// middleware.go is the one file in the serving tier where ctxflow
+// permits trace.New: the middleware parses the inbound traceparent,
+// makes the sampling decision, and mints exactly one root span per
+// request. This file is the golden-test negative control for that rule.
+package serve
+
+import (
+	"net/http"
+
+	"vetdata/trace"
+)
+
+// instrument is the sanctioned root-span site: one trace.New per
+// request, in middleware.go, no diagnostic.
+func (h *handler) instrument(w http.ResponseWriter, r *http.Request) {
+	_, sp := trace.New(r.Method, trace.Options{Sampled: true})
+	h.serveWith(r.Context(), w)
+	sp.End()
+}

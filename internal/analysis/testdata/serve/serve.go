@@ -9,6 +9,7 @@ import (
 
 	"vetdata/obs"
 	"vetdata/sht"
+	"vetdata/trace"
 )
 
 type handler struct {
@@ -18,6 +19,8 @@ type handler struct {
 	hits    *obs.Counter
 	latency *obs.Histogram
 	sink    obs.Sink
+	span    *trace.Span
+	traces  *trace.Store
 }
 
 // A detached context escapes the request's timeout/shedding layer.
@@ -102,4 +105,47 @@ func (h *handler) goodCountAfterUnlock() {
 	h.hits.Inc()
 	h.latency.Observe(float64(len(data)))
 	h.logRequest()
+}
+
+// Finalizing a span under the shard lock puts the tracer's clock stamp
+// and child-list append inside the critical section.
+func (h *handler) badSpanEndUnderLock() {
+	h.mu.Lock()
+	h.span.End() // want:lockedcall "trace operation"
+	h.mu.Unlock()
+}
+
+// Publishing to the trace store takes the stripe lock while the shard
+// lock is held — lock nesting the invariant exists to prevent.
+func (h *handler) badStoreAddUnderLock(tr *trace.Trace) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.traces.Add(tr) // want:lockedcall "trace operation"
+}
+
+func beginStage() {}
+
+// The stage-instrumentation entry points are trace operations by name.
+func (h *handler) badBeginStageUnderLock() {
+	h.mu.Lock()
+	beginStage() // want:lockedcall "trace operation"
+	h.mu.Unlock()
+}
+
+// Tracing after the unlock is the sanctioned shape.
+func (h *handler) goodTraceAfterUnlock(tr *trace.Trace) {
+	h.mu.Lock()
+	data := h.data
+	h.mu.Unlock()
+	h.span.SetAttr("len", int64(len(data)))
+	h.span.End()
+	h.traces.Add(tr)
+	beginStage()
+}
+
+// A root span minted outside the middleware detaches from the request's
+// trace; child spans must come from the request context.
+func (h *handler) badRootSpan() {
+	_, sp := trace.New("detached", trace.Options{}) // want:ctxflow "trace.New outside middleware.go"
+	sp.End()
 }

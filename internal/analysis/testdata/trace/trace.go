@@ -1,0 +1,30 @@
+// Package trace is a golden-test stub of the tracing core: just enough
+// surface for the lockedcall and ctxflow analyzers to resolve receiver
+// types and call sites into a "trace"-suffixed package path.
+package trace
+
+// Options is the stub of the root-span options.
+type Options struct{ Sampled bool }
+
+// Trace is a stub trace handle.
+type Trace struct{ sampled bool }
+
+// Span is a stub span.
+type Span struct{ name string }
+
+// New mints a stub root span; only middleware.go may call it.
+func New(name string, opts Options) (*Trace, *Span) {
+	return &Trace{sampled: opts.Sampled}, &Span{name: name}
+}
+
+// End finalizes the span.
+func (s *Span) End() {}
+
+// SetAttr attaches an attribute.
+func (s *Span) SetAttr(key string, v int64) {}
+
+// Store is a stub trace ring store.
+type Store struct{ n int }
+
+// Add publishes a finished trace.
+func (st *Store) Add(tr *Trace) { st.n++ }

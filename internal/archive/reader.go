@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"exaclim/internal/obs"
 	"exaclim/internal/sht"
 	"exaclim/internal/sphere"
 )
@@ -396,6 +397,25 @@ type Series struct {
 	plan   *sht.Plan // lazily built; sequential unless overridden
 	packed []float64
 	coeffs sht.Coeffs
+
+	sink obs.Sink // optional per-cursor sink; see Series.SetObserver
+}
+
+// SetObserver installs (or, with nil, removes) a per-cursor sink that
+// receives this cursor's metric events in addition to the parent
+// reader's sink. A cursor is single-goroutine by contract, so a plain
+// field suffices; the serving layer uses it to attribute chunk and
+// decode counts to the one request driving the cursor (trace span
+// attributes) while the reader-level sink keeps the process totals.
+func (s *Series) SetObserver(sink obs.Sink) { s.sink = sink }
+
+// observe reports one metric event to the reader's sink and, when set,
+// the cursor's own. Like all sink calls, it is made outside shard locks.
+func (s *Series) observe(metric string, delta int64) {
+	s.r.observe(metric, delta)
+	if s.sink != nil {
+		s.sink.Add(metric, delta)
+	}
 }
 
 // Member returns the cursor's member index.
@@ -419,14 +439,20 @@ func (s *Series) record(t int) ([]byte, error) {
 		// Invalidate before reading: a failed readChunk clobbers the
 		// reused buffer, so the old cache key must not survive it.
 		s.chunk = -1
-		s.r.observe(MetricChunkMisses, 1)
+		s.observe(MetricChunkMisses, 1)
 		raw, _, t0, err := s.r.readChunk(s.sid, k, s.buf)
 		if err != nil {
 			return nil, err
 		}
+		if s.sink != nil {
+			// readChunk reports its byte count to the reader sink only;
+			// mirror it to the cursor sink so per-request attribution sees
+			// the I/O its own chunk misses caused.
+			s.sink.Add(MetricReadBytes, int64(len(raw)))
+		}
 		s.buf, s.t0, s.chunk = raw, t0, k
 	} else {
-		s.r.observe(MetricChunkHits, 1)
+		s.observe(MetricChunkHits, 1)
 	}
 	payload := s.buf[chunkHeaderLen : len(s.buf)-4]
 	return payload[(t-s.t0)*s.r.stepB : (t-s.t0+1)*s.r.stepB], nil
@@ -447,7 +473,7 @@ func (s *Series) ReadPacked(t int, dst []float64) ([]float64, error) {
 	if err := decodeStep(rec, s.r.h.Bands, dst); err != nil {
 		return nil, err
 	}
-	s.r.observe(MetricStepDecodes, 1)
+	s.observe(MetricStepDecodes, 1)
 	return dst, nil
 }
 
@@ -465,7 +491,7 @@ func (s *Series) ReadPackedF32(t int, dst []float32) ([]float32, error) {
 	if err := decodeStepF32(rec, s.r.h.Bands, dst); err != nil {
 		return nil, err
 	}
-	s.r.observe(MetricStepDecodes, 1)
+	s.observe(MetricStepDecodes, 1)
 	return dst, nil
 }
 

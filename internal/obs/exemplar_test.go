@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExemplarRoundTrip drives an exemplar from ObserveExemplar through
+// WriteText, back through ParseText, and past CheckHistogram.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("stage_seconds", "per-stage time", []float64{0.01, 0.1, 1}, "stage")
+	hv.With("decode").ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	hv.With("decode").Observe(0.002)
+	hv.With("encode").Observe(0.2) // no exemplar on this series
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	want := `stage_seconds_bucket{stage="decode",le="0.1"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, text)
+	}
+
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText on exemplar exposition: %v", err)
+	}
+	f := fams["stage_seconds"]
+	if f == nil {
+		t.Fatal("family missing after parse")
+	}
+	if err := CheckHistogram(f); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range f.Samples {
+		if s.Name != "stage_seconds_bucket" || s.Exemplar == nil {
+			continue
+		}
+		found = true
+		if s.Labels["stage"] != "decode" || s.Labels["le"] != "0.1" {
+			t.Fatalf("exemplar on wrong series: %v", s.Labels)
+		}
+		if s.Exemplar.Labels["trace_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Fatalf("exemplar labels %v", s.Exemplar.Labels)
+		}
+		if s.Exemplar.Value != 0.05 {
+			t.Fatalf("exemplar value %g", s.Exemplar.Value)
+		}
+	}
+	if !found {
+		t.Fatal("no parsed sample carries the exemplar")
+	}
+}
+
+func TestCheckHistogramRejectsExemplarAboveBound(t *testing.T) {
+	in := `# TYPE h histogram
+h_bucket{le="0.1"} 1 # {trace_id="aa"} 0.5
+h_bucket{le="+Inf"} 1
+h_sum 0.5
+h_count 1
+`
+	fams, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHistogram(fams["h"]); err == nil {
+		t.Fatal("exemplar above its bucket bound must fail CheckHistogram")
+	}
+}
+
+// TestParseSampleBraces pins the quote-aware label-set scan: '}' inside
+// quoted values and exemplar braces must not confuse the parser.
+func TestParseSampleBraces(t *testing.T) {
+	s, err := parseSample(`m{path="/v1/{x}"} 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Labels["path"] != "/v1/{x}" || s.Value != 3 {
+		t.Fatalf("parsed %+v", s)
+	}
+	s, err = parseSample(`m_bucket{le="1"} 7 # {trace_id="ab}cd"} 0.3 1712345`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 7 || s.Exemplar == nil || s.Exemplar.Labels["trace_id"] != "ab}cd" || s.Exemplar.Value != 0.3 {
+		t.Fatalf("parsed %+v exemplar %+v", s, s.Exemplar)
+	}
+	// Unlabeled sample followed by an exemplar-style comment.
+	s, err = parseSample(`m 4 # {trace_id="ee"} 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "m" || s.Value != 4 || s.Exemplar == nil {
+		t.Fatalf("parsed %+v", s)
+	}
+	for _, bad := range []string{
+		`m{path="open} 3`,
+		`m_bucket{le="1"} 7 # trace_id 0.3`,
+		`m_bucket{le="1"} 7 # {trace_id="aa"}`,
+		`m_bucket{le="1"} 7 # {trace_id="aa"} x`,
+	} {
+		if _, err := parseSample(bad); err == nil {
+			t.Fatalf("parseSample(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("q_seconds", "", []float64{0.1, 0.2, 0.4, 0.8}, "stage")
+	h := hv.With("decode")
+	// 100 observations spread evenly through (0, 0.2]: p50 ≈ 0.1.
+	for i := 1; i <= 100; i++ {
+		h.Observe(0.002 * float64(i))
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["q_seconds"]
+	p50, err := HistogramQuantile(f, map[string]string{"stage": "decode"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 < 0.09 || p50 > 0.11 {
+		t.Fatalf("p50 = %g, want ~0.1", p50)
+	}
+	p99, err := HistogramQuantile(f, map[string]string{"stage": "decode"}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 < 0.19 || p99 > 0.21 {
+		t.Fatalf("p99 = %g, want ~0.2", p99)
+	}
+	// Observations above every finite bound: quantile caps at the top
+	// finite bucket bound.
+	h2 := hv.With("emulate")
+	h2.Observe(5)
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if fams, err = ParseText(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	top, err := HistogramQuantile(fams["q_seconds"], map[string]string{"stage": "emulate"}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top != 0.8 {
+		t.Fatalf("quantile in +Inf bucket = %g, want top finite bound 0.8", top)
+	}
+	if _, err := HistogramQuantile(f, map[string]string{"stage": "nope"}, 0.5); err == nil {
+		t.Fatal("missing series must error")
+	}
+	if _, err := HistogramQuantile(f, map[string]string{"stage": "decode"}, math.NaN()); err == nil {
+		t.Fatal("NaN quantile must error")
+	}
+}

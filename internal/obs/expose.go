@@ -62,17 +62,34 @@ func (f *family) writeChild(w io.Writer, ch *child) {
 	case typeHistogram:
 		cum, sum := ch.h.snapshot()
 		for i, ub := range f.buckets {
-			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-				labelString(f.labels, ch.values, "le", formatFloat(ub)), cum[i])
+			fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+				labelString(f.labels, ch.values, "le", formatFloat(ub)), cum[i],
+				exemplarSuffix(ch.h, i))
 		}
 		total := cum[len(cum)-1]
-		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-			labelString(f.labels, ch.values, "le", "+Inf"), total)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+			labelString(f.labels, ch.values, "le", "+Inf"), total,
+			exemplarSuffix(ch.h, len(f.buckets)))
 		fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
 			labelString(f.labels, ch.values, "", ""), formatFloat(sum))
 		fmt.Fprintf(w, "%s_count%s %d\n", f.name,
 			labelString(f.labels, ch.values, "", ""), total)
 	}
+}
+
+// exemplarSuffix renders the OpenMetrics-style exemplar annotation for
+// bucket i, or "" when none has been recorded. The Prometheus text
+// parser treats everything after '#' as a comment, so exemplar-carrying
+// expositions stay readable by plain 0.0.4 scrapers.
+func exemplarSuffix(h *Histogram, i int) string {
+	if h.exemplars == nil {
+		return ""
+	}
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", escapeLabel(ex.TraceID), formatFloat(ex.Value))
 }
 
 // labelString renders {k="v",...}, appending the extra pair (the
@@ -149,6 +166,15 @@ type Sample struct {
 	// Name is the full sample name, including _bucket/_sum/_count
 	// suffixes on histogram series.
 	Name   string
+	Labels map[string]string
+	Value  float64
+	// Exemplar carries the parsed `# {labels} value` annotation when the
+	// line has one (histogram bucket lines with a recorded exemplar).
+	Exemplar *SampleExemplar
+}
+
+// SampleExemplar is one parsed exemplar annotation.
+type SampleExemplar struct {
 	Labels map[string]string
 	Value  float64
 }
@@ -251,15 +277,21 @@ func sampleBelongsTo(name string, f *ParsedFamily) bool {
 	return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
 }
 
-// parseSample parses `name{k="v",...} value`.
+// parseSample parses `name{k="v",...} value`, with an optional
+// OpenMetrics-style `# {k="v",...} value` exemplar annotation after the
+// sample value.
 func parseSample(line string) (Sample, error) {
 	s := Sample{Labels: map[string]string{}}
 	rest := line
 	brace := strings.IndexByte(rest, '{')
-	if brace >= 0 {
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
 		s.Name = rest[:brace]
-		end := strings.LastIndexByte(rest, '}')
-		if end < brace {
+		// The label set ends at the first *unquoted* '}': a byte scan
+		// from the right would trip over the braces of an exemplar
+		// annotation (and '}' inside quoted label values).
+		end := labelSetEnd(rest, brace)
+		if end < 0 {
 			return s, fmt.Errorf("unterminated label set in %q", line)
 		}
 		if err := parseLabels(rest[brace+1:end], s.Labels); err != nil {
@@ -276,7 +308,13 @@ func parseSample(line string) (Sample, error) {
 	if !nameRE.MatchString(s.Name) {
 		return s, fmt.Errorf("invalid sample name %q", s.Name)
 	}
-	valStr := strings.Fields(strings.TrimSpace(rest))
+	rest = strings.TrimSpace(rest)
+	var exPart string
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		exPart = strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	valStr := strings.Fields(rest)
 	if len(valStr) < 1 {
 		return s, fmt.Errorf("sample %q has no value", line)
 	}
@@ -285,7 +323,57 @@ func parseSample(line string) (Sample, error) {
 		return s, fmt.Errorf("bad value %q: %w", valStr[0], err)
 	}
 	s.Value = v
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the `{k="v",...} value` tail of an exemplar
+// annotation.
+func parseExemplar(in string) (*SampleExemplar, error) {
+	if in == "" || in[0] != '{' {
+		return nil, fmt.Errorf("malformed exemplar %q", in)
+	}
+	end := labelSetEnd(in, 0)
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set in %q", in)
+	}
+	ex := &SampleExemplar{Labels: map[string]string{}}
+	if err := parseLabels(in[1:end], ex.Labels); err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(strings.TrimSpace(in[end+1:]))
+	if len(fields) < 1 {
+		return nil, fmt.Errorf("exemplar %q has no value", in)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %w", fields[0], err)
+	}
+	ex.Value = v
+	return ex, nil
+}
+
+// labelSetEnd returns the index of the '}' closing the label set opened
+// at s[brace], skipping quoted values (and escapes inside them), or -1.
+func labelSetEnd(s string, brace int) int {
+	inQuote := false
+	for i := brace + 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
 }
 
 // parseLabels parses k="v",k2="v2" (escaped values unescaped).

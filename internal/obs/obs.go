@@ -86,6 +86,20 @@ type Histogram struct {
 	upper  []float64      // ascending upper bounds; +Inf is implicit
 	counts []atomic.Int64 // len(upper)+1, last is the +Inf bucket
 	sum    atomic.Uint64  // float64 bits
+	// exemplars[i] is the most recent trace-linked observation that
+	// landed in bucket i (OpenMetrics exemplars); nil until one is
+	// recorded. Last-writer-wins is the intended semantic: exemplars
+	// point at *recent* traces, not extremes.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recorded observation to the trace that produced
+// it, rendered as an OpenMetrics-style `# {trace_id="..."} v` suffix on
+// bucket lines so dashboards can jump from a latency bucket to a
+// concrete trace in /debug/traces.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // newHistogram validates the bucket layout.
@@ -102,11 +116,28 @@ func newHistogram(buckets []float64) *Histogram {
 	if math.IsInf(upper[len(upper)-1], +1) {
 		upper = upper[:len(upper)-1] // +Inf is always implicit
 	}
-	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Int64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v) }
+
+// ObserveExemplar records one value and attaches the trace that
+// produced it to the bucket the value lands in. An empty traceID
+// degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" && h.exemplars != nil {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// observe records one value and returns its bucket index.
+func (h *Histogram) observe(v float64) int {
 	// Linear scan: latency bucket layouts are short (~15 bounds) and the
 	// common case lands early, so this beats a binary search in practice.
 	i := 0
@@ -117,7 +148,7 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
+			return i
 		}
 	}
 }
@@ -336,7 +367,11 @@ func (f *family) child(values []string) *child {
 	case typeGauge:
 		ch.g = &Gauge{}
 	case typeHistogram:
-		ch.h = &Histogram{upper: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+		ch.h = &Histogram{
+			upper:     f.buckets,
+			counts:    make([]atomic.Int64, len(f.buckets)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
+		}
 	}
 	f.children[key] = ch
 	return ch

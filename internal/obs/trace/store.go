@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store keeps the most recent captured traces in a lock-striped ring
+// buffer. Appends hash the trace-id to a stripe and hold only that
+// stripe's mutex for a pointer swap, so concurrent request completions
+// on different stripes never contend; a /debug/traces export walks the
+// stripes one at a time, so a slow scrape client never blocks appends
+// for longer than one pointer copy.
+type Store struct {
+	stripes []storeStripe
+	perCap  int           // ring capacity per stripe
+	dropped atomic.Uint64 // traces evicted by ring wraparound
+}
+
+type storeStripe struct {
+	mu   sync.Mutex
+	ring []*Trace // fixed-size ring, nil until filled
+	next int      // next write position
+	n    int      // traces currently held
+	_    [24]byte // keep neighboring stripes off one cache line
+}
+
+// storeStripes is the stripe count; a power of two so the id hash maps
+// with a mask. Eight stripes outpace the request-completion rate of any
+// single node while keeping the capacity arithmetic simple.
+const storeStripes = 8
+
+// NewStore returns a store holding up to capacity traces (rounded up to
+// a multiple of the stripe count; capacities < 1 default to 256).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 256
+	}
+	per := (capacity + storeStripes - 1) / storeStripes
+	s := &Store{stripes: make([]storeStripe, storeStripes), perCap: per}
+	return s
+}
+
+// Capacity returns the total number of traces the store can hold.
+func (s *Store) Capacity() int { return s.perCap * storeStripes }
+
+// Len returns the number of traces currently held.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.n
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Dropped returns the number of traces evicted by ring wraparound.
+func (s *Store) Dropped() uint64 { return s.dropped.Load() }
+
+// Add appends a completed (or completing — see package doc) trace,
+// evicting the oldest trace on its stripe when the ring is full. Add
+// must never be called with a cache-shard mutex held.
+func (s *Store) Add(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h = h<<8 | uint64(tr.id[i]^tr.id[i+8])
+	}
+	st := &s.stripes[splitmix64(h)%storeStripes]
+	st.mu.Lock()
+	if st.ring == nil {
+		st.ring = make([]*Trace, s.perCap)
+	}
+	evict := st.ring[st.next] != nil
+	st.ring[st.next] = tr
+	st.next = (st.next + 1) % s.perCap
+	if !evict {
+		st.n++
+	}
+	st.mu.Unlock()
+	if evict {
+		s.dropped.Add(1)
+	}
+}
+
+// snapshot copies the current trace pointers, newest request first.
+func (s *Store) snapshot() []*Trace {
+	out := make([]*Trace, 0, s.perCap*storeStripes)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, tr := range st.ring {
+			if tr != nil {
+				out = append(out, tr)
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].startTime().After(out[j].startTime())
+	})
+	return out
+}
+
+// startTime returns the root span's start (the trace start).
+func (t *Trace) startTime() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return time.Time{}
+	}
+	return t.spans[0].start
+}
+
+// SpanJSON is one span of the /debug/traces export. Offsets are
+// milliseconds from the trace start so a reader can lay spans on a
+// timeline without parsing timestamps.
+type SpanJSON struct {
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_span_id,omitempty"`
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	InFlight   bool           `json:"in_flight,omitempty"` // span not yet ended at export time
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceJSON is one trace of the /debug/traces export.
+type TraceJSON struct {
+	TraceID string `json:"trace_id"`
+	// RemoteParent is the inbound traceparent parent-id: the gateway
+	// span this trace hangs under, when one exists.
+	RemoteParent string     `json:"remote_parent_span_id,omitempty"`
+	Sampled      bool       `json:"sampled"`
+	Slow         bool       `json:"slow"`
+	Start        time.Time  `json:"start"`
+	DurationMS   float64    `json:"duration_ms"`
+	Spans        []SpanJSON `json:"spans"`
+}
+
+// StoreJSON is the /debug/traces document.
+type StoreJSON struct {
+	Capacity int         `json:"capacity"`
+	Stored   int         `json:"stored"`
+	Dropped  uint64      `json:"dropped"`
+	Traces   []TraceJSON `json:"traces"`
+}
+
+// Export snapshots the store into its JSON document form, newest trace
+// first. Each trace is snapshotted under its own mutex, so traces whose
+// handler goroutines are still running (the TimeoutHandler tail) export
+// a consistent prefix with in-flight spans flagged.
+func (s *Store) Export() StoreJSON {
+	trs := s.snapshot()
+	doc := StoreJSON{
+		Capacity: s.Capacity(),
+		Stored:   len(trs),
+		Dropped:  s.Dropped(),
+		Traces:   make([]TraceJSON, 0, len(trs)),
+	}
+	for _, tr := range trs {
+		doc.Traces = append(doc.Traces, tr.export())
+	}
+	return doc
+}
+
+// export renders one trace under its mutex.
+func (t *Trace) export() TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceJSON{
+		TraceID: t.id.String(),
+		Sampled: t.sampled,
+		Slow:    t.slow,
+		Spans:   make([]SpanJSON, 0, len(t.spans)),
+	}
+	if !t.remote.IsZero() {
+		out.RemoteParent = t.remote.String()
+	}
+	var start time.Time
+	if len(t.spans) > 0 {
+		start = t.spans[0].start
+		out.Start = start
+		if t.spans[0].done {
+			out.DurationMS = toMS(t.spans[0].duration)
+		} else {
+			out.DurationMS = toMS(time.Since(start))
+		}
+	}
+	for _, sp := range t.spans {
+		j := SpanJSON{
+			SpanID:     sp.id.String(),
+			Name:       sp.name,
+			StartMS:    toMS(sp.start.Sub(start)),
+			DurationMS: toMS(sp.duration),
+			InFlight:   !sp.done,
+		}
+		if !sp.done {
+			j.DurationMS = toMS(time.Since(sp.start))
+		}
+		if !sp.parent.IsZero() {
+			j.ParentID = sp.parent.String()
+		}
+		if len(sp.attrs) > 0 {
+			j.Attrs = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				if a.IsS {
+					j.Attrs[a.Key] = a.Str
+				} else {
+					j.Attrs[a.Key] = a.Int
+				}
+			}
+		}
+		out.Spans = append(out.Spans, j)
+	}
+	return out
+}
+
+// WriteJSON writes the export document to w — the /debug/traces body.
+func (s *Store) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}
+
+// toMS converts a duration to fractional milliseconds.
+func toMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,330 @@
+// Package trace is exaclim's dependency-free request-tracing core:
+// spans with monotonic start/duration, parent/child links and key/value
+// attributes, assembled into one per-request trace carried through
+// context.Context. It is the substrate the serving tier's per-stage
+// latency attribution (decode vs synthesis vs cache-wait) and the
+// /debug/traces dump stand on, and it speaks W3C traceparent so a
+// future gateway can stitch cross-shard traces into one tree.
+//
+// Design constraints, in order:
+//
+//   - No dependencies beyond the standard library, mirroring obs: the
+//     serving tier must not pull an OpenTelemetry SDK into the
+//     reproducibility-audited build.
+//   - Untraced requests are free: every *Span method is nil-receiver
+//     safe, so instrumentation sites call Child/End/SetAttr
+//     unconditionally and the unsampled path does no allocation and
+//     takes no lock (the nil-span fast path, pinned by an alloc test).
+//   - Traced requests stay cheap: span creation is one small allocation
+//     plus one mutex-guarded append on the trace; IDs come from a
+//     splitmix64 counter, not crypto/rand, because trace IDs need
+//     uniqueness, not unpredictability.
+//   - A trace may be scraped (via the Store) while its request is still
+//     running — http.TimeoutHandler keeps handler goroutines alive past
+//     the response — so all span mutation and all export snapshots
+//     synchronize on the owning trace's mutex.
+//
+// Like obs, this package never observes metrics itself and is never
+// called with a cache-shard mutex held (the lockedcall invariant);
+// deterministic tiers (archive, sht, emulator) stay clock-free — spans
+// around their work are opened and closed by the serving layer.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-id: 16 bytes, rendered as 32 lowercase hex
+// digits. The all-zero value is invalid per the spec and doubles as
+// "no trace" here.
+type TraceID [16]byte
+
+// SpanID is a W3C parent-id/span-id: 8 bytes, 16 hex digits. All-zero
+// means "no span".
+type SpanID [8]byte
+
+// IsZero reports whether id is the invalid all-zero trace-id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether id is the invalid all-zero span-id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// idState seeds the splitmix64 ID stream once per process. Seeding from
+// the wall clock keeps IDs distinct across restarts; everything after
+// the seed is a deterministic permutation, which is all uniqueness
+// needs.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()))
+}
+
+// splitmix64 is the finalizer from Steele et al.'s SplitMix generator:
+// a cheap bijection with full avalanche, so sequential counter values
+// map to well-spread IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextID returns the next nonzero 64-bit id value.
+func nextID() uint64 {
+	for {
+		if v := splitmix64(idState.Add(1)); v != 0 {
+			return v
+		}
+	}
+}
+
+// NewTraceID returns a fresh nonzero trace-id.
+func NewTraceID() TraceID {
+	var id TraceID
+	hi, lo := nextID(), nextID()
+	putUint64(id[0:8], hi)
+	putUint64(id[8:16], lo)
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	putUint64(id[:], nextID())
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Sampler makes the head-based keep/drop decision as a pure function of
+// the trace-id, so every shard of a future sharded deployment reaches
+// the same verdict for the same inbound id without coordination.
+type Sampler struct {
+	threshold uint64 // keep when hash(id) < threshold
+}
+
+// NewSampler returns a sampler keeping approximately the given fraction
+// of traces. Rates at or below 0 keep nothing; at or above 1 keep all.
+func NewSampler(rate float64) Sampler {
+	switch {
+	case rate <= 0:
+		return Sampler{threshold: 0}
+	case rate >= 1:
+		return Sampler{threshold: ^uint64(0)}
+	}
+	return Sampler{threshold: uint64(rate * float64(1<<63) * 2)}
+}
+
+// Sample reports whether a trace with this id should be captured. The
+// decision hashes the id once more through splitmix64 so locally
+// generated (counter-derived) ids sample at the configured rate rather
+// than in runs.
+func (s Sampler) Sample(id TraceID) bool {
+	if s.threshold == 0 {
+		return false
+	}
+	if s.threshold == ^uint64(0) {
+		return true
+	}
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h = h<<8 | uint64(id[i]^id[i+8])
+	}
+	return splitmix64(h) < s.threshold
+}
+
+// Attr is one key/value span attribute. Values are kept typed (string
+// or int64) rather than stringified so the JSON export stays faithful.
+type Attr struct {
+	Key string
+	Str string
+	Int int64
+	IsS bool // true when Str carries the value
+}
+
+// Span is one timed operation inside a trace. The zero *Span (nil) is
+// the universal no-op: every method is nil-receiver safe so call sites
+// never branch on "am I sampled".
+type Span struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	name   string
+
+	// Guarded by tr.mu: a span may be exported (by a /debug/traces
+	// scrape) while its goroutine is still filling it in.
+	start    time.Time
+	duration time.Duration
+	done     bool
+	attrs    []Attr
+}
+
+// Trace is one request's span tree plus its identity and capture flags.
+type Trace struct {
+	id      TraceID
+	remote  SpanID // inbound traceparent parent-id; zero when locally rooted
+	sampled bool
+
+	mu    sync.Mutex
+	slow  bool
+	spans []*Span // all spans, root first; tree structure via parent ids
+}
+
+// Options configures New. The zero value roots a fresh unsampled trace
+// with a generated id.
+type Options struct {
+	// TraceID continues an inbound trace; zero generates a fresh id.
+	TraceID TraceID
+	// Remote is the inbound traceparent parent-id, recorded so a
+	// gateway can stitch this trace under its own span.
+	Remote SpanID
+	// Sampled records the head-sampling verdict. A trace started only
+	// because the slow-trace trigger is armed carries Sampled=false and
+	// is kept at request end only if it actually ran slow.
+	Sampled bool
+}
+
+// New starts a trace and returns it with its root span. The caller owns
+// the sampling decision (see Sampler); New is called only for requests
+// that will be captured or are slow-armed.
+func New(name string, opts Options) (*Trace, *Span) {
+	id := opts.TraceID
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	tr := &Trace{id: id, remote: opts.Remote, sampled: opts.Sampled}
+	root := &Span{tr: tr, id: newSpanID(), parent: opts.Remote, name: name, start: time.Now()}
+	tr.spans = append(tr.spans, root)
+	return tr, root
+}
+
+// ID returns the trace-id.
+func (t *Trace) ID() TraceID { return t.id }
+
+// Sampled reports the head-sampling verdict recorded at New.
+func (t *Trace) Sampled() bool { return t.sampled }
+
+// SetSlow marks the trace as captured by the slow-trace trigger.
+func (t *Trace) SetSlow() {
+	t.mu.Lock()
+	t.slow = true
+	t.mu.Unlock()
+}
+
+// SpanCount returns the number of spans recorded so far.
+func (t *Trace) SpanCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Child opens a sub-span under s. It returns nil when s is nil, so
+// unsampled call sites pay only the nil check.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, id: newSpanID(), parent: s.id, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Second and later Ends are
+// no-ops so defer-plus-explicit call patterns stay safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	if !s.done {
+		s.done, s.duration = true, d
+	}
+	s.tr.mu.Unlock()
+}
+
+// EndAggregate closes the span with an explicit start and duration —
+// the shape loop-heavy stages use when they accumulate time across
+// iterations and report one aggregated span.
+func (s *Span) EndAggregate(start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.start, s.duration = start, d
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr records an integer attribute on the span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v})
+	s.tr.mu.Unlock()
+}
+
+// SetAttrString records a string attribute on the span.
+func (s *Span) SetAttrString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsS: true})
+	s.tr.mu.Unlock()
+}
+
+// TraceID returns the owning trace's id, or the zero id for nil spans.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.tr.id
+}
+
+// SpanID returns the span's id, or the zero id for nil spans.
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// ctxKey keys the current span in a context.Context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. Passing
+// a nil span returns ctx unchanged, keeping the unsampled path free of
+// context allocations.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the current span, or nil when ctx carries none.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

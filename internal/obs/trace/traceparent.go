@@ -1,0 +1,100 @@
+package trace
+
+import "fmt"
+
+// Header is the W3C Trace Context header name. Go's http.Header
+// canonicalizes it on the wire; lookups through Header.Get are
+// case-insensitive either way.
+const Header = "Traceparent"
+
+// FlagSampled is the traceparent trace-flags bit meaning "the caller
+// sampled this trace"; exaclim honors it as a capture request so a
+// gateway can force end-to-end traces through every shard it fans out
+// to.
+const FlagSampled = 0x01
+
+// ParseTraceparent parses a W3C traceparent header value:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^ trace-id (32 hex) ^^^^^ ^ parent-id ^^^^^ ^^ flags
+//
+// Per the spec, version ff is invalid, future versions are accepted if
+// the prefix parses (forward compatibility), and all-zero ids are
+// rejected. Parsing allocates nothing, so the serving tier can inspect
+// the header on every request for free.
+func ParseTraceparent(h string) (id TraceID, parent SpanID, flags byte, err error) {
+	// version "00" is 2 bytes; the fixed layout is 55 bytes. Longer
+	// values are only valid for versions > 00, which must still open
+	// with the 55-byte prefix followed by a dash.
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, parent, 0, fmt.Errorf("trace: malformed traceparent %q", h)
+	}
+	ver, ok := hexByte(h[0], h[1])
+	if !ok || ver == 0xff {
+		return id, parent, 0, fmt.Errorf("trace: bad traceparent version in %q", h)
+	}
+	if len(h) > 55 && (ver == 0 || h[55] != '-') {
+		return id, parent, 0, fmt.Errorf("trace: trailing data in traceparent %q", h)
+	}
+	for i := 0; i < 16; i++ {
+		id[i], ok = hexByte(h[3+2*i], h[4+2*i])
+		if !ok {
+			return TraceID{}, parent, 0, fmt.Errorf("trace: bad trace-id in %q", h)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		parent[i], ok = hexByte(h[36+2*i], h[37+2*i])
+		if !ok {
+			return TraceID{}, SpanID{}, 0, fmt.Errorf("trace: bad parent-id in %q", h)
+		}
+	}
+	flags, ok = hexByte(h[53], h[54])
+	if !ok {
+		return TraceID{}, SpanID{}, 0, fmt.Errorf("trace: bad trace-flags in %q", h)
+	}
+	if id.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, 0, fmt.Errorf("trace: all-zero id in traceparent %q", h)
+	}
+	return id, parent, flags, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent value for the
+// response echo (and, later, for outbound fan-out requests).
+func FormatTraceparent(id TraceID, span SpanID, flags byte) string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, id[:])
+	b = append(b, '-')
+	b = appendHex(b, span[:])
+	b = append(b, '-')
+	b = append(b, hexDigits[flags>>4], hexDigits[flags&0xf])
+	return string(b)
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(b, src []byte) []byte {
+	for _, c := range src {
+		b = append(b, hexDigits[c>>4], hexDigits[c&0xf])
+	}
+	return b
+}
+
+// hexByte decodes two lowercase-or-uppercase hex digits.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexVal(hi)
+	l, ok2 := hexVal(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -59,6 +59,10 @@ func CheckHistogram(f *ParsedFamily) error {
 				return fmt.Errorf("obs: %s{%s}: cumulative count %g < previous %g at le=%s",
 					f.Name, k, s.Value, sr.lastCum, le)
 			}
+			if s.Exemplar != nil && s.Exemplar.Value > bound {
+				return fmt.Errorf("obs: %s{%s}: exemplar value %g above bucket bound le=%s",
+					f.Name, k, s.Exemplar.Value, le)
+			}
 			sr.lastLe, sr.lastCum = bound, s.Value
 		case f.Name + "_count":
 			sr.count = s.Value
@@ -77,6 +81,71 @@ func CheckHistogram(f *ParsedFamily) error {
 		}
 	}
 	return nil
+}
+
+// HistogramQuantile estimates the q-quantile (0..1) of one series of a
+// parsed histogram family, selecting the bucket samples whose labels
+// include every pair in match (match must identify a single series —
+// for the stage-duration family, {"stage": name}). It interpolates
+// linearly within the winning bucket, Prometheus histogram_quantile
+// style, and reports the highest finite bound when the quantile lands
+// in the +Inf bucket. Smoke probes use it to print per-stage p50/p99
+// from their own /metrics scrape.
+func HistogramQuantile(f *ParsedFamily, match map[string]string, q float64) (float64, error) {
+	if f == nil || f.Type != typeHistogram {
+		return 0, fmt.Errorf("obs: HistogramQuantile needs a histogram family")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("obs: quantile %g outside [0,1]", q)
+	}
+	type bkt struct{ le, cum float64 }
+	var buckets []bkt
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_bucket" {
+			continue
+		}
+		matched := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		le := math.Inf(+1)
+		if l := s.Labels["le"]; l != "+Inf" {
+			var err error
+			if le, err = strconv.ParseFloat(l, 64); err != nil {
+				return 0, fmt.Errorf("obs: %s: bad le %q", f.Name, l)
+			}
+		}
+		buckets = append(buckets, bkt{le: le, cum: s.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, fmt.Errorf("obs: %s: no bucket series matches %v", f.Name, match)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, fmt.Errorf("obs: %s: series %v has no observations", f.Name, match)
+	}
+	rank := q * total
+	prevLe, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, +1) {
+				return prevLe, nil
+			}
+			if b.cum == prevCum {
+				return b.le, nil
+			}
+			return prevLe + (b.le-prevLe)*(rank-prevCum)/(b.cum-prevCum), nil
+		}
+		prevLe, prevCum = b.le, b.cum
+	}
+	return prevLe, nil
 }
 
 // labelKey canonicalizes a sample's labels (minus le) into a series key.

@@ -182,10 +182,15 @@ func (c *fieldCache[E]) getOrLoad(ctx context.Context, key cacheKey, load func()
 		sh.mu.Unlock()
 		c.coalesced.Add(1)
 		noteCacheOutcome(ctx, "coalesced")
+		// The wait on someone else's load is its own stage: a trace of
+		// a coalesced request shows time blocked, not time working.
+		wt := beginStage(ctx, stageCacheWait)
 		select {
 		case <-f.done:
+			wt.end()
 			return f.val, f.err
 		case <-ctx.Done():
+			wt.end()
 			return nil, ctx.Err()
 		}
 	}

@@ -49,10 +49,11 @@ func newEvalCache(capEntries int) *evalCache {
 }
 
 // get returns a shared evaluator for (lat, lon) in degrees, building and
-// caching one on miss. theta/phi follow the angles() convention.
-func (c *evalCache) get(L int, lat, lon, theta, phi float64) *sht.PointEvaluator {
+// caching one on miss; hit reports whether a cached one was reused (the
+// trace eval span records it). theta/phi follow the angles() convention.
+func (c *evalCache) get(L int, lat, lon, theta, phi float64) (ev *sht.PointEvaluator, hit bool) {
 	if c.cap < 1 {
-		return sht.NewPointEvaluator(L, theta, phi)
+		return sht.NewPointEvaluator(L, theta, phi), false
 	}
 	key := evalKey{qlat: quantize(lat), qlon: quantize(lon)}
 	c.mu.Lock()
@@ -62,14 +63,14 @@ func (c *evalCache) get(L int, lat, lon, theta, phi float64) *sht.PointEvaluator
 			c.ll.MoveToFront(el)
 			c.mu.Unlock()
 			c.hits.Add(1)
-			return e.ev
+			return e.ev, true
 		}
 	}
 	c.mu.Unlock()
 	// Build outside the lock: the recursion is the expensive part, and
 	// a duplicate build under a race is harmless (last insert wins).
 	c.misses.Add(1)
-	ev := sht.NewPointEvaluator(L, theta, phi)
+	ev = sht.NewPointEvaluator(L, theta, phi)
 	e := &evalEntry{key: key, lat: lat, lon: lon, ev: ev}
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
@@ -84,7 +85,7 @@ func (c *evalCache) get(L int, lat, lon, theta, phi float64) *sht.PointEvaluator
 		}
 	}
 	c.mu.Unlock()
-	return ev
+	return ev, false
 }
 
 // EvalCacheStats is the evaluator cache's counter snapshot.

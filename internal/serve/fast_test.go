@@ -302,6 +302,9 @@ func (d *discardRW) WriteHeader(int)             {}
 // grid-sized []byte per request. A 512 KiB field must serve with only
 // header-map noise — far under one grid of bytes.
 func TestWriteF32NoGridAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping inflates AllocedBytesPerOp")
+	}
 	g := sphere.NewGrid(256, 512)
 	data := make([]float32, g.Points())
 	for i := range data {

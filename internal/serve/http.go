@@ -23,6 +23,8 @@ import (
 //	/readyz                               readiness probe ("send me traffic")
 //	/metrics                              Prometheus text exposition
 //	/debug/pprof/                         profiling (Config.EnablePprof only)
+//	/debug/traces                         captured span trees, newest first
+//	                                      (Config.EnableTraceDebug only)
 //	/v1/info                              archive + server metadata, cache stats
 //	/v1/field?member=&scenario=&t=        full field; &format=f32 streams raw
 //	                                      little-endian float32 (row-major)
@@ -134,6 +136,9 @@ func (s *Server) Handler() http.Handler {
 	outer.HandleFunc("GET /readyz", s.handleReady)
 	if s.metrics != nil {
 		outer.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
+	if s.tracer != nil && s.cfg.EnableTraceDebug {
+		outer.HandleFunc("GET /debug/traces", s.handleTraces)
 	}
 	if s.cfg.EnablePprof {
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
@@ -291,11 +296,17 @@ func compressResponse(w http.ResponseWriter, r *http.Request) (body io.Writer, d
 }
 
 // writeJSON encodes v as the response body, gzip-compressed when the
-// client accepts it.
+// client accepts it. Encoding (and the gzip flush inside done) is the
+// request's encode stage.
 func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	et := beginStage(r.Context(), stageEncode)
+	defer et.end()
 	body, done := compressResponse(w, r)
 	defer done()
+	if w.Header().Get("Content-Encoding") == "gzip" {
+		et.attrStr("encoding", "gzip")
+	}
 	json.NewEncoder(body).Encode(v)
 }
 
@@ -320,8 +331,13 @@ func writeF32(w http.ResponseWriter, r *http.Request, g sphere.Grid, data []floa
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Exaclim-NLat", strconv.Itoa(g.NLat))
 	w.Header().Set("X-Exaclim-NLon", strconv.Itoa(g.NLon))
+	et := beginStage(r.Context(), stageEncode)
+	defer et.end()
 	body, done := compressResponse(w, r)
 	defer done()
+	if w.Header().Get("Content-Encoding") == "gzip" {
+		et.attrStr("encoding", "gzip")
+	}
 	bp := f32ChunkPool.Get().(*[]byte)
 	defer f32ChunkPool.Put(bp)
 	buf := *bp

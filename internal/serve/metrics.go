@@ -20,9 +20,10 @@ type serveMetrics struct {
 	reg *obs.Registry
 
 	// Recorded by the instrument middleware (http.go).
-	reqTotal   *obs.CounterVec   // exaclim_http_requests_total{path,code}
-	reqLatency *obs.HistogramVec // exaclim_http_request_duration_seconds{path}
-	inFlight   *obs.Gauge        // exaclim_http_in_flight_requests
+	reqTotal      *obs.CounterVec   // exaclim_http_requests_total{path,code}
+	reqLatency    *obs.HistogramVec // exaclim_http_request_duration_seconds{path}
+	inFlight      *obs.Gauge        // exaclim_http_in_flight_requests
+	stageDuration *obs.HistogramVec // exaclim_stage_duration_seconds{stage}
 
 	// Fed by the archive reader through the Sink interface.
 	archStepDecodes *obs.Counter
@@ -44,6 +45,9 @@ func newServeMetrics(s *Server) *serveMetrics {
 		"HTTP request latency in seconds, by endpoint.", obs.DefLatencyBuckets, "path")
 	m.inFlight = reg.Gauge("exaclim_http_in_flight_requests",
 		"HTTP requests currently being served.")
+	m.stageDuration = reg.HistogramVec("exaclim_stage_duration_seconds",
+		"Per-request time attributed to each serving stage (cache, decode, synthesis, eval, emulate, encode); sampled requests attach trace-ID exemplars.",
+		stageDurationBuckets, "stage")
 
 	m.archStepDecodes = reg.Counter("exaclim_archive_step_decodes_total",
 		"Coefficient records decoded from the archive.")

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that this binary was built with -race.
+// Allocation-measurement tests skip their byte thresholds under the
+// race detector, whose shadow bookkeeping inflates AllocedBytesPerOp.
+const raceEnabled = true

@@ -99,6 +99,24 @@ type Config struct {
 	// endpoint, and the instrument middleware (request logging still
 	// works). Mostly for measuring instrumentation overhead.
 	DisableMetrics bool
+	// TraceSampleRate is the fraction of requests (0..1) whose span
+	// tree is captured into the trace store. Sampling is head-based and
+	// deterministic on the trace ID, so a request sampled here is
+	// sampled on every shard it fans out to. 0 disables sampling;
+	// requests carrying an inbound sampled traceparent are always
+	// captured.
+	TraceSampleRate float64
+	// SlowTraceThreshold, when positive, captures (and logs) any
+	// request at or above this duration regardless of sampling — the
+	// always-on net under probabilistic sampling, so the outlier that
+	// matters is never the one that got away.
+	SlowTraceThreshold time.Duration
+	// TraceStoreCapacity bounds the in-memory ring of kept traces
+	// served by /debug/traces (default 256; oldest evicted first).
+	TraceStoreCapacity int
+	// EnableTraceDebug mounts /debug/traces on the handler — an admin
+	// surface, gated like EnablePprof.
+	EnableTraceDebug bool
 }
 
 // withDefaults fills zero fields.
@@ -143,6 +161,7 @@ type Server struct {
 	inFlight   chan struct{}
 
 	metrics *serveMetrics // nil when Config.DisableMetrics
+	tracer  *tracer       // nil unless a tracing knob is configured
 
 	reqIDBase string       // per-process request-ID prefix
 	reqIDSeq  atomic.Int64 // request-ID sequence within the process
@@ -235,6 +254,7 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 		s.metrics = newServeMetrics(s)
 		r.SetObserver(s.metrics)
 	}
+	s.tracer = newTracer(cfg)
 	s.scratch.New = func() any {
 		return &serveScratch{
 			packed:   make([]float64, h.Dim()),
@@ -381,30 +401,42 @@ func (s *Server) Field(ctx context.Context, member, scenario, t int) ([]float64,
 // composite queries (statistics, live series) fetch through, so one
 // client query counts once no matter how many fields it touches.
 func (s *Server) field(ctx context.Context, member, scenario, t int) ([]float64, error) {
+	ct := beginStage(ctx, stageCache)
+	defer ct.end()
+	ctx = ct.ctx(ctx) // load stages (decode, synthesis, emulate) nest under the cache span
 	key := cacheKey{live: s.isLive(scenario), member: member, scenario: scenario, t: t}
 	if key.live {
 		return s.cache.getOrLoad(ctx, key, func() ([]float64, error) {
-			return s.loadLiveField(member, scenario, t)
+			return s.loadLiveField(ctx, member, scenario, t)
 		})
 	}
 	return s.cache.getOrLoad(ctx, key, func() ([]float64, error) {
-		return s.loadArchiveField(member, scenario, t)
+		return s.loadArchiveField(ctx, member, scenario, t)
 	})
 }
 
 // loadArchiveField is the uncached archive read: decode the packed
-// coefficients and synthesize on the serving grid.
-func (s *Server) loadArchiveField(member, scenario, t int) ([]float64, error) {
+// coefficients and synthesize on the serving grid. ctx carries the
+// request's trace state only — the load itself is not cancellable
+// (single-flight waiters share its result).
+func (s *Server) loadArchiveField(ctx context.Context, member, scenario, t int) ([]float64, error) {
 	s.fieldLoads.Add(1)
 	sc := s.scratch.Get().(*serveScratch)
 	defer s.scratch.Put(sc)
+	dt := beginStage(ctx, stageDecode)
 	packed, err := s.r.ReadPacked(member, scenario, t, sc.packed)
 	if err != nil {
+		dt.end()
 		return nil, err
 	}
+	dt.attr("coeffs", int64(len(packed)))
+	dt.end()
 	sc.packed = packed
 	out := sphere.NewField(s.h.Grid)
+	st := beginStage(ctx, stageSynthesis)
+	st.attr("block", int64(s.plan.SynthBlock()))
 	s.plan.SynthesizeInto(out, sht.UnpackRealInto(sc.coeffs, packed))
+	st.end()
 	return out.Data, nil
 }
 
@@ -424,11 +456,17 @@ func (s *Server) FieldF32(ctx context.Context, member, scenario, t int) ([]float
 		return nil, err
 	}
 	s.requests.Add(1)
+	ct := beginStage(ctx, stageCache)
+	defer ct.end()
+	ctx = ct.ctx(ctx)
 	key := cacheKey{live: s.isLive(scenario), member: member, scenario: scenario, t: t}
 	if key.live {
 		// Live fields are emulated in float64 (pixel-space noise and VAR
 		// state are float64-native); the f32 cache stores the narrowed
 		// copy so repeat f32 requests skip both emulation and narrowing.
+		// A captured trace shows the inner f64 fetch as a second,
+		// nested "cache" span — the two caches really are consulted in
+		// sequence on this path.
 		return s.cache32.getOrLoad(ctx, key, func() ([]float32, error) {
 			data, err := s.field(ctx, member, scenario, t)
 			if err != nil {
@@ -442,24 +480,31 @@ func (s *Server) FieldF32(ctx context.Context, member, scenario, t int) ([]float
 		})
 	}
 	return s.cache32.getOrLoad(ctx, key, func() ([]float32, error) {
-		return s.loadArchiveFieldF32(member, scenario, t)
+		return s.loadArchiveFieldF32(ctx, member, scenario, t)
 	})
 }
 
 // loadArchiveFieldF32 is the uncached float32 archive read: decode the
 // packed coefficients straight to float32 and synthesize through the
 // plan's float32 tables.
-func (s *Server) loadArchiveFieldF32(member, scenario, t int) ([]float32, error) {
+func (s *Server) loadArchiveFieldF32(ctx context.Context, member, scenario, t int) ([]float32, error) {
 	s.fieldLoads.Add(1)
 	sc := s.scratch.Get().(*serveScratch)
 	defer s.scratch.Put(sc)
+	dt := beginStage(ctx, stageDecode)
 	packed, err := s.r.ReadPackedF32(member, scenario, t, sc.packed32)
 	if err != nil {
+		dt.end()
 		return nil, err
 	}
+	dt.attr("coeffs", int64(len(packed)))
+	dt.end()
 	sc.packed32 = packed
 	out := make([]float32, s.h.Grid.Points())
+	st := beginStage(ctx, stageSynthesis)
+	st.attr("block", int64(s.plan.SynthBlock()))
 	s.plan.SynthesizeIntoF32(out, packed)
+	st.end()
 	return out, nil
 }
 
@@ -471,8 +516,11 @@ func (s *Server) loadArchiveFieldF32(member, scenario, t int) ([]float32, error)
 // queries exploit this by fetching their last step first, so a whole
 // range costs one run). Coalescing still holds: concurrent requests for
 // one step share a single run.
-func (s *Server) loadLiveField(member, scenario, t int) ([]float64, error) {
+func (s *Server) loadLiveField(ctx context.Context, member, scenario, t int) ([]float64, error) {
 	s.liveLoads.Add(1)
+	et := beginStage(ctx, stageEmulate)
+	defer et.end()
+	et.attr("steps", int64(t+1))
 	seed := emulator.MemberSeed(s.cfg.BaseSeed, member, scenario)
 	var want []float64
 	err := s.model.EmulateUnderForEach(s.liveRF(scenario), seed, s.cfg.LiveT0, t+1, func(tt int, f sphere.Field) {
@@ -542,23 +590,61 @@ func (s *Server) PointSeries(ctx context.Context, member, scenario int, lat, lon
 		}
 		return out, nil
 	}
-	ev := s.evals.get(s.h.L, lat, lon, theta, phi)
+	// Series endpoints are loops: instead of a span per step they
+	// split each iteration's time into decode vs eval with a loopClock
+	// and report one aggregate span per stage.
+	clk := newLoopClock(ctx)
+	loopStart := time.Now()
+	var decodeD, evalD time.Duration
+	clk.tick()
+	ev, evHit := s.evals.get(s.h.L, lat, lon, theta, phi)
+	clk.tock(&evalD)
 	cur, err := s.r.Series(member, scenario)
 	if err != nil {
 		return nil, err
 	}
+	cs := attachCursorStats(ctx, cur)
 	var packed []float64
 	for t := t0; t < t1; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		clk.tick()
 		packed, err = cur.ReadPacked(t, packed)
+		clk.tock(&decodeD)
 		if err != nil {
 			return nil, err
 		}
+		clk.tick()
 		out[t-t0] = ev.EvalPacked(packed)
+		clk.tock(&evalD)
 	}
+	steps := int64(t1 - t0)
+	cs.annotate(recordStage(ctx, stageDecode, loopStart, decodeD, steps))
+	esp := recordStage(ctx, stageEval, loopStart, evalD, steps)
+	esp.SetAttrString("evalcache", hitMiss(evHit))
 	return out, nil
+}
+
+// attachCursorStats hooks a per-request sink onto a series cursor so
+// the decode span can carry chunk/IO attribution; nil (and no hook)
+// outside an instrumented request, keeping the bare path allocation
+// free.
+func attachCursorStats(ctx context.Context, cur *archive.Series) *cursorStats {
+	if stageInfo(ctx) == nil {
+		return nil
+	}
+	cs := &cursorStats{}
+	cur.SetObserver(cs)
+	return cs
+}
+
+// hitMiss renders a cache outcome as a span attribute value.
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // maxBatchPoints bounds one multi-point query, keeping the evaluator's
@@ -619,25 +705,39 @@ func (s *Server) PointsSeries(ctx context.Context, member, scenario int, lats, l
 		}
 		return out, nil
 	}
+	clk := newLoopClock(ctx)
+	loopStart := time.Now()
+	var decodeD, evalD time.Duration
+	clk.tick()
 	ev := sht.NewPointBatchEvaluator(s.h.L, thetas, phis)
+	clk.tock(&evalD)
 	cur, err := s.r.Series(member, scenario)
 	if err != nil {
 		return nil, err
 	}
+	cs := attachCursorStats(ctx, cur)
 	var packed, vals []float64
 	for t := t0; t < t1; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		clk.tick()
 		packed, err = cur.ReadPacked(t, packed)
+		clk.tock(&decodeD)
 		if err != nil {
 			return nil, err
 		}
+		clk.tick()
 		vals = ev.EvalPacked(vals, packed)
 		for p, v := range vals {
 			out[p][t-t0] = v
 		}
+		clk.tock(&evalD)
 	}
+	steps := int64(t1 - t0)
+	cs.annotate(recordStage(ctx, stageDecode, loopStart, decodeD, steps))
+	esp := recordStage(ctx, stageEval, loopStart, evalD, steps)
+	esp.SetAttr("points", int64(len(lats)))
 	return out, nil
 }
 
@@ -746,27 +846,41 @@ func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t
 			w = append(w, aw[i])
 		}
 	}
+	clk := newLoopClock(ctx)
+	loopStart := time.Now()
+	var decodeD, evalD time.Duration
+	clk.tick()
 	ev := sht.NewPointBatchEvaluator(s.h.L, thetas, phis)
+	clk.tock(&evalD)
 	cur, err := s.r.Series(member, scenario)
 	if err != nil {
 		return nil, err
 	}
+	cs := attachCursorStats(ctx, cur)
 	var packed, vals []float64
 	for t := t0; t < t1; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		clk.tick()
 		packed, err = cur.ReadPacked(t, packed)
+		clk.tock(&decodeD)
 		if err != nil {
 			return nil, err
 		}
+		clk.tick()
 		vals = ev.EvalPacked(vals, packed)
 		sum := 0.0
 		for k, v := range vals {
 			sum += w[k] * v
 		}
 		out[t-t0] = sum / wsum
+		clk.tock(&evalD)
 	}
+	steps := int64(t1 - t0)
+	cs.annotate(recordStage(ctx, stageDecode, loopStart, decodeD, steps))
+	esp := recordStage(ctx, stageEval, loopStart, evalD, steps)
+	esp.SetAttr("points", int64(len(thetas)))
 	return out, nil
 }
 

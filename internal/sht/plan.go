@@ -350,6 +350,12 @@ func (p *Plan) synthBlock() int {
 	return p.calib.block
 }
 
+// SynthBlock reports the calibrated ring-block size blocked synthesis
+// runs with, triggering the one-time calibration if it has not run yet.
+// Observability surfaces (trace span attributes) use it to record which
+// tile a synthesis executed under.
+func (p *Plan) SynthBlock() int { return p.synthBlock() }
+
 // AnalyzeSeries analyzes a batch of fields in parallel and returns the
 // real-packed coefficient vectors (each of length L^2), the layout the
 // VAR stage consumes. Fields must all live on the plan's grid.
