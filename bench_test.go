@@ -712,6 +712,116 @@ func BenchmarkServe_PointBatch(b *testing.B) {
 	})
 }
 
+// batchBench is the chunk-granular decode fixture: one 64-step series
+// whose chunk size covers the whole series (ChunkSteps=64), stored
+// FP16-heavy (degrees 4..64) the way planned precision tables actually
+// store the high-degree tail. A 64-step query over it is the best case
+// the batch path was built for: one chunk load, 64 decodes.
+var batchBench struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+const batchBenchSteps = 64
+
+func batchBenchReader(b *testing.B) *exaclim.ArchiveReader {
+	batchBench.once.Do(func() {
+		const L = pointBenchL
+		grid := exaclim.GridForBandLimit(L)
+		var buf bytes.Buffer
+		w, err := exaclim.NewArchiveWriter(&buf, exaclim.ArchiveHeader{
+			Grid: grid, L: L, Members: 1, Scenarios: 1, Steps: batchBenchSteps,
+			ChunkSteps: batchBenchSteps,
+			Bands: []exaclim.ArchiveBand{
+				{Lo: 0, Hi: 4, Prec: exaclim.FP64},
+				{Lo: 4, Hi: L, Prec: exaclim.FP16},
+			},
+		})
+		if err != nil {
+			batchBench.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(23))
+		packed := make([]float64, L*L)
+		for t := 0; t < batchBenchSteps; t++ {
+			for i := range packed {
+				// Decaying spectrum keeps FP16 quantization in range.
+				packed[i] = rng.NormFloat64() / (1 + float64(i)/64)
+			}
+			if err := w.AddPacked(0, 0, t, packed); err != nil {
+				batchBench.err = err
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			batchBench.err = err
+			return
+		}
+		batchBench.data = buf.Bytes()
+	})
+	if batchBench.err != nil {
+		b.Fatal(batchBench.err)
+	}
+	r, err := exaclim.NewArchiveReader(bytes.NewReader(batchBench.data), int64(len(batchBench.data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkServe_SeriesBatchDecode is the chunk-granular batch decode
+// claim: a 64-step same-chunk series query decoded through
+// ReadPackedRange (`range`, one chunk load + LUT decode, what the series
+// endpoints now run) vs step-at-a-time ReadPacked calls (`perstep`, the
+// retired per-step loop: a coordinate check, chunk lookup and branchy
+// FP16 conversion per step). The acceptance bar is range >= 1.5x.
+func BenchmarkServe_SeriesBatchDecode(b *testing.B) {
+	stepsPerSec := func(b *testing.B) {
+		b.ReportMetric(float64(batchBenchSteps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("perstep", func(b *testing.B) {
+		r := batchBenchReader(b)
+		cur, err := r.Series(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf []float64
+		var sink float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < batchBenchSteps; t++ {
+				buf, err = cur.ReadPacked(t, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += buf[0]
+			}
+		}
+		stepsPerSec(b)
+		_ = sink
+	})
+	b.Run("range", func(b *testing.B) {
+		r := batchBenchReader(b)
+		cur, err := r.Series(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cur.ReadPackedRange(0, batchBenchSteps, func(t int, packed []float64) error {
+				sink += packed[0]
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stepsPerSec(b)
+		_ = sink
+	})
+}
+
 // BenchmarkServe_FieldGzip prices response compression on the serving
 // hot path: the same cache-resident L=64 field served as JSON over real
 // HTTP, identity vs gzip (BestSpeed, pooled writers). The gzip sub

@@ -122,6 +122,19 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64, matchEx
 	deltas, added, removed := compare(oldDoc, newDoc, threshold, match)
 	fmt.Fprintf(w, "bench trend: %s (commit %.10s) -> %s (commit %.10s), threshold %.0f%%\n",
 		oldPath, oldDoc.Commit, newPath, newDoc.Commit, threshold*100)
+	// ns/op across different core counts measures the machine, not the
+	// commit: a 4-core artifact against a 1-core artifact would flag (or
+	// hide) "regressions" that are entirely hardware. Warn loudly and
+	// drop the gate rather than fail a build on a hardware change.
+	crossMachine := oldDoc.CPUCount > 0 && newDoc.CPUCount > 0 && oldDoc.CPUCount != newDoc.CPUCount
+	if crossMachine {
+		fmt.Fprintf(w, "!!! CPU COUNT MISMATCH: old artifact ran on %d CPUs, new on %d — deltas below reflect the\n", oldDoc.CPUCount, newDoc.CPUCount)
+		fmt.Fprintf(w, "!!! machine change, not the code change; regression gating is DISABLED for this report\n")
+	}
+	if oldDoc.KernelVersion != 0 && newDoc.KernelVersion != 0 && oldDoc.KernelVersion != newDoc.KernelVersion {
+		fmt.Fprintf(w, "note: synthesis kernel version changed %d -> %d (an intentional kernel bump; expect moved SHT numbers)\n",
+			oldDoc.KernelVersion, newDoc.KernelVersion)
+	}
 	regressions := 0
 	for _, d := range deltas {
 		mark := "  "
@@ -140,9 +153,13 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64, matchEx
 	for _, name := range removed {
 		fmt.Fprintf(w, "gone %s\n", name)
 	}
-	if regressions > 0 {
+	switch {
+	case crossMachine:
+		fmt.Fprintf(w, "%d benchmark(s) moved beyond %.0f%%, NOT gated (cross-machine comparison)\n", regressions, threshold*100)
+		regressions = 0
+	case regressions > 0:
 		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold*100)
-	} else {
+	default:
 		fmt.Fprintf(w, "no regressions beyond %.0f%% across %d matched benchmarks\n", threshold*100, len(deltas))
 	}
 	return regressions, nil

@@ -134,6 +134,94 @@ func TestCompareNoRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareCPUCountMismatch pins the cross-machine guard: artifacts
+// from hosts with different CPU counts still print their deltas, but
+// the report warns loudly and the regression count is suppressed so a
+// hardware change cannot fail (or silently pass) the perf gate.
+func TestCompareCPUCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Document{
+		CPUCount:   8,
+		GoMaxProcs: 8,
+		Benchmarks: []Record{rec("exaclim", "BenchmarkServe_FieldF32", 1000)},
+	})
+	newPath := writeDoc(t, dir, "new.json", Document{
+		CPUCount:   1,
+		GoMaxProcs: 1,
+		Benchmarks: []Record{rec("exaclim", "BenchmarkServe_FieldF32", 5000)}, // 5x "slower": the machine, not the code
+	})
+	var out bytes.Buffer
+	regressions, err := runCompare(&out, oldPath, newPath, 0.25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0 (cross-machine comparison must not gate)\n%s", regressions, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"CPU COUNT MISMATCH",
+		"old artifact ran on 8 CPUs, new on 1",
+		"regression gating is DISABLED",
+		"NOT gated (cross-machine comparison)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Same CPU count: the gate stays armed.
+	samePath := writeDoc(t, dir, "same.json", Document{
+		CPUCount:   8,
+		Benchmarks: []Record{rec("exaclim", "BenchmarkServe_FieldF32", 5000)},
+	})
+	out.Reset()
+	regressions, err = runCompare(&out, oldPath, samePath, 0.25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 on a same-machine comparison\n%s", regressions, out.String())
+	}
+	// Legacy artifacts without a CPUCount stamp keep the old behavior.
+	bareOld := writeDoc(t, dir, "bare-old.json", Document{
+		Benchmarks: []Record{rec("exaclim", "BenchmarkServe_FieldF32", 1000)},
+	})
+	out.Reset()
+	regressions, err = runCompare(&out, bareOld, samePath, 0.25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 for unstamped artifacts\n%s", regressions, out.String())
+	}
+}
+
+// TestCompareKernelVersionNote pins the informational kernel-bump line:
+// a deliberate synthesis-kernel version change is called out, but the
+// gate stays armed (same machine, real deltas).
+func TestCompareKernelVersionNote(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Document{
+		CPUCount: 4, KernelVersion: 1,
+		Benchmarks: []Record{rec("exaclim", "BenchmarkA", 1000)},
+	})
+	newPath := writeDoc(t, dir, "new.json", Document{
+		CPUCount: 4, KernelVersion: 2,
+		Benchmarks: []Record{rec("exaclim", "BenchmarkA", 2000)},
+	})
+	var out bytes.Buffer
+	regressions, err := runCompare(&out, oldPath, newPath, 0.25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kernel version changed 1 -> 2") {
+		t.Errorf("report missing kernel-bump note:\n%s", out.String())
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (kernel note must not disarm the gate)", regressions)
+	}
+}
+
 func TestCompareBadFile(t *testing.T) {
 	dir := t.TempDir()
 	good := writeDoc(t, dir, "good.json", Document{})

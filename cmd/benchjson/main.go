@@ -26,8 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+
+	"exaclim/internal/sht"
 )
 
 // Record is one benchmark result.
@@ -38,13 +41,20 @@ type Record struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Document is the archived artifact.
+// Document is the archived artifact. Beyond the context lines go-test
+// prints, the converter stamps the machine shape the run actually had
+// (GOMAXPROCS, CPU count) and the synthesis kernel version, because a
+// ns/op comparison across different core counts or kernel generations
+// measures the environment, not the code.
 type Document struct {
-	Commit     string   `json:"commit,omitempty"`
-	GoOS       string   `json:"goos,omitempty"`
-	GoArch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Record `json:"benchmarks"`
+	Commit        string   `json:"commit,omitempty"`
+	GoOS          string   `json:"goos,omitempty"`
+	GoArch        string   `json:"goarch,omitempty"`
+	CPU           string   `json:"cpu,omitempty"`
+	GoMaxProcs    int      `json:"gomaxprocs,omitempty"`
+	CPUCount      int      `json:"cpu_count,omitempty"`
+	KernelVersion int      `json:"kernel_version,omitempty"`
+	Benchmarks    []Record `json:"benchmarks"`
 }
 
 func main() {
@@ -84,6 +94,9 @@ func main() {
 		fatal(err)
 	}
 	doc.Commit = os.Getenv("GITHUB_SHA")
+	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
+	doc.CPUCount = runtime.NumCPU()
+	doc.KernelVersion = sht.SynthKernelVersion
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -516,14 +516,12 @@ func runReplay(args []string) {
 			errs[i] = err
 			return
 		}
-		field := sphere.NewField(h.Grid)
-		for t := 0; t < h.Steps; t++ {
-			if err := cur.ReadFieldInto(field, t); err != nil {
-				errs[i] = err
-				return
-			}
-			agg.Add(s, m, field)
-		}
+		// EachField walks the series chunk-at-a-time: each archive chunk
+		// is loaded and bounds-checked once for all its steps.
+		errs[i] = cur.EachField(0, h.Steps, func(t int, f sphere.Field) error {
+			agg.Add(s, m, f)
+			return nil
+		})
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -49,6 +49,7 @@ func runServe(args []string) {
 		traceRate = fs.Float64("trace-sample", 0, "fraction of requests traced head-sampled in [0,1]; sampled spans are kept in the in-memory trace store")
 		slowMS    = fs.Int("slow-ms", 0, "capture and log any request slower than this many milliseconds, sampled or not (0 = off)")
 		traceDbg  = fs.Bool("trace-debug", false, "mount the trace store on /debug/traces (admin surface; keep off public listeners)")
+		synthW    = fs.Int("synth-workers", 0, "goroutines per full-field synthesis (0 = GOMAXPROCS-aware, capped at 4; negative = sequential). Keep the default under concurrent load: request-level parallelism already fills the cores")
 		smoke     = fs.String("smoke", "", "issue one-shot requests for this path (e.g. /v1/field?t=3), print, exit")
 		smokeN    = fs.Int("smoke-n", 1, "concurrent requests issued in -smoke mode")
 	)
@@ -117,6 +118,7 @@ func runServe(args []string) {
 		TraceSampleRate:    *traceRate,
 		SlowTraceThreshold: time.Duration(*slowMS) * time.Millisecond,
 		EnableTraceDebug:   *traceDbg,
+		SynthWorkers:       *synthW,
 	})
 	if err != nil {
 		fatal(err)
@@ -126,7 +128,7 @@ func runServe(args []string) {
 		*path, h.Grid, h.L, h.Members, h.Scenarios, *live, h.Steps)
 
 	if *smoke != "" {
-		runServeSmoke(srv, *smoke, *smokeN)
+		runServeSmoke(srv, *smoke, *smokeN, h.Steps)
 		return
 	}
 	endpoints := "/v1/info /v1/field /v1/point /v1/box /v1/stats /healthz /readyz"
@@ -147,8 +149,9 @@ func runServe(args []string) {
 
 // runServeSmoke binds an ephemeral loopback port, fires n concurrent
 // requests at the path, prints the first body (truncated) and the
-// serving counters, and returns.
-func runServeSmoke(srv *exaclim.Server, path string, n int) {
+// serving counters, then probes a multi-step /v1/points series (the
+// batched chunk decode path) and the gzip/metrics surfaces, and returns.
+func runServeSmoke(srv *exaclim.Server, path string, n, steps int) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -238,6 +241,46 @@ func runServeSmoke(srv *exaclim.Server, path string, n int) {
 	}
 	fmt.Printf("gzip: %d -> %d bytes (%.2fx)\n", len(body), len(compressed),
 		float64(len(body))/float64(len(compressed)))
+
+	// Multi-step series probe: a two-point /v1/points query spanning
+	// several steps exercises the chunk-granular batch decode end to
+	// end (ReadPackedRange under the series endpoints), whatever path
+	// the -smoke flag asked for.
+	t1 := steps
+	if t1 > 12 {
+		t1 = 12
+	}
+	seriesURL := fmt.Sprintf(
+		"http://%s/v1/points?lat=12.5,-48&lon=30,210.5&t0=0&t1=%d", ln.Addr().String(), t1)
+	resp0, err := http.Get(seriesURL)
+	if err != nil {
+		fatal(fmt.Errorf("smoke series: %w", err))
+	}
+	seriesBody, err := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("smoke series: %w", err))
+	}
+	if resp0.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("smoke series: %s: %s", resp0.Status, seriesBody))
+	}
+	var pts struct {
+		Series [][]float64 `json:"series"`
+	}
+	if err := json.Unmarshal(seriesBody, &pts); err != nil {
+		fatal(fmt.Errorf("smoke series: bad JSON: %w", err))
+	}
+	if len(pts.Series) != 2 {
+		fatal(fmt.Errorf("smoke series: got %d series, want 2", len(pts.Series)))
+	}
+	for i, s := range pts.Series {
+		if len(s) != t1 {
+			fatal(fmt.Errorf("smoke series %d: got %d values, want %d", i, len(s), t1))
+		}
+	}
+	ast := srv.Stats().Archive
+	fmt.Printf("series: 2 points x %d steps ok (archive decodes %d, chunk amortized %d)\n",
+		t1, ast.StepDecodes, ast.ChunkAmortized)
 
 	// One-shot operator visibility: the full stats snapshot, then a
 	// real scrape of /readyz and /metrics through the listener — the

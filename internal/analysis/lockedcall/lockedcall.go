@@ -65,7 +65,7 @@ func init() {
 var heavyNames = map[string]bool{
 	"readChunk": true, "decodeStep": true, "decodeChunk": true,
 	"decodeHeader": true, "decodeIndex": true,
-	"ReadPacked": true, "ReadField": true, "ReadFieldInto": true, "EachField": true,
+	"ReadPacked": true, "ReadPackedRange": true, "ReadField": true, "ReadFieldInto": true, "EachField": true,
 }
 
 // shtHeavy lists the sht transform entry points.

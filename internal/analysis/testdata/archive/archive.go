@@ -54,3 +54,38 @@ func (r *Reader) goodRead(k int, dst []float64) error {
 	}
 	return decodeStep(rec, dst)
 }
+
+// Series mirrors the real batched range cursor enough for the analyzer
+// to see a ReadPackedRange call by name.
+type Series struct {
+	r *Reader
+}
+
+func (s *Series) ReadPackedRange(t0, t1 int, fn func(t int, packed []float64) error) error {
+	return nil
+}
+
+// A batched range walk under the shard lock holds the lock for the
+// whole multi-chunk decode — the worst possible critical section.
+func (r *Reader) badRange(s *Series, dst []float64) error {
+	sh := &r.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.ReadPackedRange(0, 8, func(t int, packed []float64) error { // want:lockedcall "ReadPackedRange"
+		copy(dst, packed)
+		return nil
+	})
+}
+
+// The range walk after the bookkeeping unlock is the intended shape:
+// the cursor does its own per-chunk shard locking internally.
+func (r *Reader) goodRange(s *Series, dst []float64) error {
+	sh := &r.shards[0]
+	sh.mu.Lock()
+	sh.chunk = -1
+	sh.mu.Unlock()
+	return s.ReadPackedRange(0, 8, func(t int, packed []float64) error {
+		copy(dst, packed)
+		return nil
+	})
+}

@@ -114,3 +114,48 @@ func scratchLeak(vals []float32, sink func([]float32) bool) {
 	_ = vals
 	f32Chunks.Put(bp)
 }
+
+// The per-worker scratch-arena idiom from the parallel synthesis
+// kernel: take one pooled scratch per worker up front, hand the slice
+// to the workers, and sweep every entry back with one deferred release.
+// Each Get is bound to an ident and immediately stored into the slice —
+// an ownership transfer into the arena, which the deferred sweep Puts.
+type workerScratch struct{ flat []float64 }
+
+var workerScratches = sync.Pool{New: func() any { return new(workerScratch) }}
+
+func takeScratches(workers int) []*workerScratch {
+	out := make([]*workerScratch, workers)
+	for i := range out {
+		sc := workerScratches.Get().(*workerScratch)
+		out[i] = sc
+	}
+	return out
+}
+
+func releaseScratches(scratch []*workerScratch) {
+	for _, sc := range scratch {
+		workerScratches.Put(sc)
+	}
+}
+
+func parallelWork(workers int, run func(g int, sc *workerScratch)) {
+	scratch := takeScratches(workers)
+	defer releaseScratches(scratch)
+	for g := 0; g < workers; g++ {
+		run(g, scratch[g])
+	}
+}
+
+// The same arena shape with the release forgotten on the error path is
+// still a leak: the Get is bound and used locally but one branch
+// abandons it without a Put or an escape.
+func arenaLeak(fail bool) int {
+	sc := workerScratches.Get().(*workerScratch) // want:pooldiscipline "not returned to the pool on every path"
+	if fail {
+		return 0
+	}
+	n := len(sc.flat)
+	workerScratches.Put(sc)
+	return n
+}

@@ -1,0 +1,184 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"exaclim/internal/half"
+	"exaclim/internal/sht"
+	"exaclim/internal/sphere"
+	"exaclim/internal/tile"
+)
+
+// Chunk-granular batch decode: series queries (/v1/point, /v1/points,
+// /v1/box) and replay cursors iterate many consecutive steps that live
+// in the same archive chunk. ReadPackedRange walks a step range one
+// chunk at a time — coordinate checks, chunk bookkeeping and metric
+// events amortize to once per chunk instead of once per step — and
+// decodes through a float16 lookup table that stays hot across the
+// steps of a chunk. Every decoded value is bit-identical to the
+// per-step ReadPacked path (pinned by TestReadPackedRangeMatchesReadPacked).
+
+// fp16Vals is the lazily built table of every float16 bit pattern's
+// float64 value (512 KiB). Direct indexing replaces the branchy
+// bit-field conversion in the batch decode's inner loop; the table is
+// exact by construction — each entry IS half.Float16(i).Float64() — so
+// LUT decode and conversion decode agree bit for bit. It is built only
+// when a batched range decode first runs: single-step decodes keep the
+// arithmetic conversion, whose cache footprint is zero, because a lone
+// step cannot amortize warming half a megabyte of table.
+var fp16Vals struct {
+	once sync.Once
+	tab  []float64
+}
+
+func fp16Table() []float64 {
+	fp16Vals.once.Do(func() {
+		tab := make([]float64, 1<<16)
+		for i := range tab {
+			tab[i] = half.Float16(uint16(i)).Float64()
+		}
+		fp16Vals.tab = tab
+	})
+	return fp16Vals.tab
+}
+
+// decodeStepLUT is decodeStep with the FP16 bands decoded through
+// fp16Table. Identical output, fewer branches per value; used by the
+// batch range path where the table stays cache-resident across steps.
+func decodeStepLUT(data []byte, bands []Band, dst []float64, f16 []float64) error {
+	off := 0
+	for _, b := range bands {
+		if off+8 > len(data) {
+			return fmt.Errorf("archive: step record truncated at band %v", b)
+		}
+		s := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		n := b.Coeffs()
+		seg := dst[b.Lo*b.Lo : b.Hi*b.Hi]
+		switch b.Prec {
+		case tile.FP64:
+			if off+8*n > len(data) {
+				return fmt.Errorf("archive: step record truncated at band %v", b)
+			}
+			for i := 0; i < n; i++ {
+				seg[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8*i:]))
+			}
+			off += 8 * n
+		case tile.FP32:
+			if off+4*n > len(data) {
+				return fmt.Errorf("archive: step record truncated at band %v", b)
+			}
+			for i := 0; i < n; i++ {
+				seg[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+4*i:]))) * s
+			}
+			off += 4 * n
+		case tile.FP16:
+			if off+2*n > len(data) {
+				return fmt.Errorf("archive: step record truncated at band %v", b)
+			}
+			for i := 0; i < n; i++ {
+				seg[i] = f16[binary.LittleEndian.Uint16(data[off+2*i:])] * s
+			}
+			off += 2 * n
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("archive: step record has %d trailing bytes", len(data)-off)
+	}
+	return nil
+}
+
+// ReadPackedRange decodes steps [t0, t1) in ascending order, calling fn
+// with each step's packed coefficient vector. Consecutive steps of one
+// chunk are served from a single chunk load with per-chunk (not
+// per-step) bookkeeping, so a same-chunk range is substantially cheaper
+// than t1-t0 ReadPacked calls; the decoded values are bit-identical to
+// ReadPacked's.
+//
+// Unlike ReadPacked, the vector passed to fn is cursor-owned scratch,
+// valid only for the duration of the call — copy it to retain it. A
+// non-nil error from fn stops the walk and is returned. An empty range
+// (t0 == t1) is a no-op.
+//
+// Metrics: MetricStepDecodes and MetricChunkHits/Misses count as for
+// per-step reads, and every step beyond a chunk's first adds to
+// MetricChunkAmortized — the count of decodes that skipped per-step
+// chunk lookups because a batched walk kept the chunk in hand.
+func (s *Series) ReadPackedRange(t0, t1 int, fn func(t int, packed []float64) error) error {
+	if t0 == t1 {
+		return nil
+	}
+	if t1 < t0 {
+		return fmt.Errorf("archive: invalid step range [%d, %d)", t0, t1)
+	}
+	if err := s.r.h.checkCoord(s.member, s.scenario, t0); err != nil {
+		return err
+	}
+	if err := s.r.h.checkCoord(s.member, s.scenario, t1-1); err != nil {
+		return err
+	}
+	if cap(s.rangeBuf) < s.r.dim {
+		s.rangeBuf = make([]float64, s.r.dim)
+	}
+	buf := s.rangeBuf[:s.r.dim]
+	f16 := fp16Table()
+	cs := s.r.h.ChunkSteps
+	for t := t0; t < t1; {
+		k := t / cs
+		if s.chunk != k {
+			// Invalidate before reading, as in record: a failed readChunk
+			// clobbers the reused buffer.
+			s.chunk = -1
+			s.observe(MetricChunkMisses, 1)
+			raw, _, ct0, err := s.r.readChunk(s.sid, k, s.buf)
+			if err != nil {
+				return err
+			}
+			if s.sink != nil {
+				s.sink.Add(MetricReadBytes, int64(len(raw)))
+			}
+			s.buf, s.t0, s.chunk = raw, ct0, k
+		} else {
+			s.observe(MetricChunkHits, 1)
+		}
+		payload := s.buf[chunkHeaderLen : len(s.buf)-4]
+		end := min((k+1)*cs, t1)
+		steps := int64(end - t)
+		for ; t < end; t++ {
+			rec := payload[(t-s.t0)*s.r.stepB : (t-s.t0+1)*s.r.stepB]
+			if err := decodeStepLUT(rec, s.r.h.Bands, buf, f16); err != nil {
+				return err
+			}
+			if err := fn(t, buf); err != nil {
+				return err
+			}
+		}
+		s.observe(MetricStepDecodes, steps)
+		if steps > 1 {
+			s.observe(MetricChunkAmortized, steps-1)
+		}
+	}
+	return nil
+}
+
+// EachField streams the fields of steps [t0, t1) through fn in step
+// order over the batched range decode, reusing one decode and synthesis
+// scratch set (copy the field to retain it). A non-nil error from fn
+// stops the replay and is returned.
+func (s *Series) EachField(t0, t1 int, fn func(t int, f sphere.Field) error) error {
+	plan, err := s.ensurePlan()
+	if err != nil {
+		return err
+	}
+	if s.coeffs.L == 0 {
+		s.coeffs = sht.NewCoeffs(s.r.h.L)
+	}
+	field := sphere.NewField(s.r.h.Grid)
+	return s.ReadPackedRange(t0, t1, func(t int, packed []float64) error {
+		plan.SynthesizeInto(field, sht.UnpackRealInto(s.coeffs, packed))
+		return fn(t, field)
+	})
+}

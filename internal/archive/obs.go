@@ -17,6 +17,11 @@ const (
 	MetricChunkHits = "archive_chunk_hits"
 	// MetricChunkMisses counts ReadPacked calls that had to read a chunk.
 	MetricChunkMisses = "archive_chunk_misses"
+	// MetricChunkAmortized counts steps whose decode was amortized onto
+	// an already-loaded chunk by a batched ReadPackedRange call: each
+	// chunk visited contributes its step count minus one. A series query
+	// that decodes 64 steps from one chunk reports 63.
+	MetricChunkAmortized = "archive_chunk_amortized"
 )
 
 // sinkBox wraps the Sink so atomic.Pointer has one concrete type even

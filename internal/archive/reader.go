@@ -335,10 +335,11 @@ func (r *Reader) ReadField(member, scenario, t int) (sphere.Field, error) {
 // EachField streams the full series of (member, scenario) through fn in
 // step order, reusing one decode and synthesis scratch set (copy the
 // field to retain it). A non-nil error from fn stops the replay and is
-// returned. The synthesis uses the reader's parallel plan; callers that
-// fan out over many series should prefer per-goroutine Series cursors,
-// whose transforms run sequentially so the fan-out happens at exactly
-// one level.
+// returned. Decoding runs over the chunk-granular batch path
+// (Series.ReadPackedRange). The synthesis uses the reader's parallel
+// plan; callers that fan out over many series should prefer
+// per-goroutine Series cursors, whose transforms run sequentially so
+// the fan-out happens at exactly one level.
 func (r *Reader) EachField(member, scenario int, fn func(t int, f sphere.Field) error) error {
 	plan, err := r.ensurePlan()
 	if err != nil {
@@ -349,16 +350,7 @@ func (r *Reader) EachField(member, scenario int, fn func(t int, f sphere.Field) 
 		return err
 	}
 	s.plan = plan
-	field := sphere.NewField(r.h.Grid)
-	for t := 0; t < r.h.Steps; t++ {
-		if err := s.ReadFieldInto(field, t); err != nil {
-			return err
-		}
-		if err := fn(t, field); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.EachField(0, r.h.Steps, fn)
 }
 
 // Series opens an independent, race-free streaming cursor over the
@@ -394,9 +386,10 @@ type Series struct {
 	t0    int
 	buf   []byte
 
-	plan   *sht.Plan // lazily built; sequential unless overridden
-	packed []float64
-	coeffs sht.Coeffs
+	plan     *sht.Plan // lazily built; sequential unless overridden
+	packed   []float64
+	rangeBuf []float64 // ReadPackedRange's yielded vector (cursor-owned)
+	coeffs   sht.Coeffs
 
 	sink obs.Sink // optional per-cursor sink; see Series.SetObserver
 }

@@ -1,0 +1,90 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// hermitianSpec builds a random half spectrum of length n/2+1 whose
+// implied full spectrum is Hermitian (so the inverse is real), plus the
+// completed full spectrum for the oracle.
+func hermitianSpec(rng *rand.Rand, n int) (half, full []complex128) {
+	half = make([]complex128, n/2+1)
+	full = make([]complex128, n)
+	half[0] = complex(rng.NormFloat64(), 0)
+	full[0] = half[0]
+	for k := 1; k <= n/2; k++ {
+		c := complex(rng.NormFloat64(), rng.NormFloat64())
+		if 2*k == n { // Nyquist bin of an even length must be real
+			c = complex(real(c), 0)
+		}
+		half[k] = c
+		full[k] = c
+		full[n-k] = complex(real(c), -imag(c))
+	}
+	return half, full
+}
+
+func TestRealPlanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 31, 32, 63, 64, 96, 127, 128, 130, 258} {
+		p := NewRealPlan(n)
+		if p.Len() != n || p.SpecLen() != n/2+1 {
+			t.Fatalf("n=%d: Len=%d SpecLen=%d", n, p.Len(), p.SpecLen())
+		}
+		half, full := hermitianSpec(rng, n)
+		specCopy := append([]complex128(nil), half...)
+		want := Naive(full, true)
+		dst := make([]float64, n)
+		p.Inverse(dst, half)
+		for j := 0; j < n; j++ {
+			if d := math.Abs(dst[j] - real(want[j])); d > 1e-11 {
+				t.Fatalf("n=%d j=%d: got %v want %v (|Δ|=%g)", n, j, dst[j], real(want[j]), d)
+			}
+			if im := math.Abs(imag(want[j])); im > 1e-11 {
+				t.Fatalf("n=%d j=%d: oracle output not real (imag %g)", n, j, im)
+			}
+		}
+		for k := range half {
+			if half[k] != specCopy[k] {
+				t.Fatalf("n=%d: Inverse modified spec[%d]", n, k)
+			}
+		}
+		dst32 := make([]float32, n)
+		p.InverseF32(dst32, half)
+		for j := 0; j < n; j++ {
+			if dst32[j] != float32(dst[j]) {
+				t.Fatalf("n=%d j=%d: InverseF32=%v, narrowed Inverse=%v", n, j, dst32[j], float32(dst[j]))
+			}
+		}
+	}
+}
+
+func TestRealPlanCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{9, 64} {
+		p := NewRealPlan(n)
+		q := p.Clone()
+		half, full := hermitianSpec(rng, n)
+		want := Naive(full, true)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 50; i++ {
+				q.Inverse(b, half)
+			}
+		}()
+		for i := 0; i < 50; i++ {
+			p.Inverse(a, half)
+		}
+		<-done
+		for j := 0; j < n; j++ {
+			if math.Abs(a[j]-real(want[j])) > 1e-11 || a[j] != b[j] {
+				t.Fatalf("n=%d j=%d: plan %v clone %v want %v", n, j, a[j], b[j], real(want[j]))
+			}
+		}
+	}
+}

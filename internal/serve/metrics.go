@@ -26,10 +26,11 @@ type serveMetrics struct {
 	stageDuration *obs.HistogramVec // exaclim_stage_duration_seconds{stage}
 
 	// Fed by the archive reader through the Sink interface.
-	archStepDecodes *obs.Counter
-	archReadBytes   *obs.Counter
-	archChunkHits   *obs.Counter
-	archChunkMisses *obs.Counter
+	archStepDecodes    *obs.Counter
+	archReadBytes      *obs.Counter
+	archChunkHits      *obs.Counter
+	archChunkMisses    *obs.Counter
+	archChunkAmortized *obs.Counter
 }
 
 // newServeMetrics builds the registry for one server. Families are
@@ -57,6 +58,8 @@ func newServeMetrics(s *Server) *serveMetrics {
 		"Archive reads served from a cached chunk.")
 	m.archChunkMisses = reg.Counter("exaclim_archive_chunk_misses_total",
 		"Archive reads that had to fetch a chunk.")
+	m.archChunkAmortized = reg.Counter("exaclim_archive_chunk_amortized_total",
+		"Step decodes that skipped per-step chunk lookups because a batched range walk kept the chunk in hand.")
 
 	// Scrape-time bridges over the server's existing atomic counters.
 	reg.CounterFunc("exaclim_requests_total",
@@ -118,6 +121,8 @@ func (m *serveMetrics) Add(metric string, delta int64) {
 		m.archChunkHits.Add(delta)
 	case archive.MetricChunkMisses:
 		m.archChunkMisses.Add(delta)
+	case archive.MetricChunkAmortized:
+		m.archChunkAmortized.Add(delta)
 	}
 }
 
@@ -132,6 +137,9 @@ type ArchiveStats struct {
 	// past, the per-series chunk cache.
 	ChunkHits   int64
 	ChunkMisses int64
+	// ChunkAmortized counts step decodes amortized onto an
+	// already-loaded chunk by batched range reads.
+	ChunkAmortized int64
 }
 
 // archiveStats snapshots the sink-fed archive counters.
@@ -140,9 +148,10 @@ func (m *serveMetrics) archiveStats() ArchiveStats {
 		return ArchiveStats{}
 	}
 	return ArchiveStats{
-		StepDecodes: m.archStepDecodes.Value(),
-		ReadBytes:   m.archReadBytes.Value(),
-		ChunkHits:   m.archChunkHits.Value(),
-		ChunkMisses: m.archChunkMisses.Value(),
+		StepDecodes:    m.archStepDecodes.Value(),
+		ReadBytes:      m.archReadBytes.Value(),
+		ChunkHits:      m.archChunkHits.Value(),
+		ChunkMisses:    m.archChunkMisses.Value(),
+		ChunkAmortized: m.archChunkAmortized.Value(),
 	}
 }

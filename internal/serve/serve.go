@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +118,14 @@ type Config struct {
 	// EnableTraceDebug mounts /debug/traces on the handler — an admin
 	// surface, gated like EnablePprof.
 	EnableTraceDebug bool
+	// SynthWorkers bounds the goroutines each full-field synthesis fans
+	// out over (sht.WithWorkers). The default (0) resolves to a
+	// GOMAXPROCS-aware value deliberately capped at 4: under concurrent
+	// load request-level parallelism already fills the machine, and a
+	// per-request fan-out wider than a few cores would only add
+	// scheduling churn. Negative forces fully sequential synthesis.
+	// Synthesis output is bit-identical at every setting.
+	SynthWorkers int
 }
 
 // withDefaults fills zero fields.
@@ -136,6 +145,12 @@ func (c Config) withDefaults(h archive.Header) Config {
 	if c.EvalCacheEntries == 0 {
 		c.EvalCacheEntries = 1024
 	}
+	if c.SynthWorkers == 0 {
+		c.SynthWorkers = max(1, min(4, runtime.GOMAXPROCS(0)/2))
+	}
+	if c.SynthWorkers < 0 {
+		c.SynthWorkers = 1
+	}
 	return c
 }
 
@@ -148,7 +163,7 @@ type Server struct {
 	cfg     Config
 	cache   *fieldCache[float64]
 	cache32 *fieldCache[float32] // f32 serving path: fields that never had f64 consumers
-	plan    *sht.Plan            // shared read-only; synthesis runs sequentially per request
+	plan    *sht.Plan            // shared read-only; each synthesis fans out over cfg.SynthWorkers
 
 	evals *evalCache // point evaluators keyed by quantized (lat, lon)
 
@@ -227,7 +242,7 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 			return nil, fmt.Errorf("serve: live pathway %d needs a name and annual values", i)
 		}
 	}
-	plan, err := sht.NewPlan(h.Grid, h.L)
+	plan, err := sht.NewPlan(h.Grid, h.L, sht.WithWorkers(cfg.SynthWorkers))
 	if err != nil {
 		return nil, err
 	}
@@ -239,10 +254,13 @@ func New(r *archive.Reader, model *emulator.Model, cfg Config) (*Server, error) 
 		cache:   newFieldCache[float64](cfg.CacheBytes/2, cfg.CacheShards),
 		cache32: newFieldCache[float32](cfg.CacheBytes/2, cfg.CacheShards),
 		evals:   newEvalCache(cfg.EvalCacheEntries),
-		// Requests fan out across clients, so each synthesis runs on its
-		// own goroutine alone — the same one-level-of-parallelism rule
-		// archive.Series cursors follow.
-		plan: plan.Sequential(),
+		// Each synthesis fans out over at most cfg.SynthWorkers
+		// goroutines (resolved in withDefaults). The cap is deliberate:
+		// requests already fan out across clients, so per-request
+		// parallelism is a latency lever for the lightly loaded case,
+		// not a throughput one. archive.Series cursors keep their fully
+		// sequential plans.
+		plan: plan,
 	}
 	if cfg.MaxInFlight > 0 {
 		s.inFlight = make(chan struct{}, cfg.MaxInFlight)
@@ -604,20 +622,24 @@ func (s *Server) PointSeries(ctx context.Context, member, scenario int, lat, lon
 		return nil, err
 	}
 	cs := attachCursorStats(ctx, cur)
-	var packed []float64
-	for t := t0; t < t1; t++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		clk.tick()
-		packed, err = cur.ReadPacked(t, packed)
+	// Batched decode: ReadPackedRange loads each chunk once and hands
+	// every step in it to the callback, so chunk lookups and metric
+	// events amortize across the range instead of repeating per step.
+	clk.tick()
+	err = cur.ReadPackedRange(t0, t1, func(t int, packed []float64) error {
 		clk.tock(&decodeD)
-		if err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		clk.tick()
 		out[t-t0] = ev.EvalPacked(packed)
 		clk.tock(&evalD)
+		clk.tick()
+		return nil
+	})
+	clk.tock(&decodeD)
+	if err != nil {
+		return nil, err
 	}
 	steps := int64(t1 - t0)
 	cs.annotate(recordStage(ctx, stageDecode, loopStart, decodeD, steps))
@@ -716,16 +738,12 @@ func (s *Server) PointsSeries(ctx context.Context, member, scenario int, lats, l
 		return nil, err
 	}
 	cs := attachCursorStats(ctx, cur)
-	var packed, vals []float64
-	for t := t0; t < t1; t++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		clk.tick()
-		packed, err = cur.ReadPacked(t, packed)
+	var vals []float64
+	clk.tick()
+	err = cur.ReadPackedRange(t0, t1, func(t int, packed []float64) error {
 		clk.tock(&decodeD)
-		if err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		clk.tick()
 		vals = ev.EvalPacked(vals, packed)
@@ -733,6 +751,12 @@ func (s *Server) PointsSeries(ctx context.Context, member, scenario int, lats, l
 			out[p][t-t0] = v
 		}
 		clk.tock(&evalD)
+		clk.tick()
+		return nil
+	})
+	clk.tock(&decodeD)
+	if err != nil {
+		return nil, err
 	}
 	steps := int64(t1 - t0)
 	cs.annotate(recordStage(ctx, stageDecode, loopStart, decodeD, steps))
@@ -857,16 +881,12 @@ func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t
 		return nil, err
 	}
 	cs := attachCursorStats(ctx, cur)
-	var packed, vals []float64
-	for t := t0; t < t1; t++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		clk.tick()
-		packed, err = cur.ReadPacked(t, packed)
+	var vals []float64
+	clk.tick()
+	err = cur.ReadPackedRange(t0, t1, func(t int, packed []float64) error {
 		clk.tock(&decodeD)
-		if err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		clk.tick()
 		vals = ev.EvalPacked(vals, packed)
@@ -876,6 +896,12 @@ func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t
 		}
 		out[t-t0] = sum / wsum
 		clk.tock(&evalD)
+		clk.tick()
+		return nil
+	})
+	clk.tock(&decodeD)
+	if err != nil {
+		return nil, err
 	}
 	steps := int64(t1 - t0)
 	cs.annotate(recordStage(ctx, stageDecode, loopStart, decodeD, steps))
@@ -887,6 +913,9 @@ func (s *Server) BoxSeries(ctx context.Context, member, scenario int, box Box, t
 // EnsembleStats returns the per-pixel ensemble mean and spread (sample
 // standard deviation across members) of scenario at step t, served
 // through the field cache so repeated statistics queries share decodes.
+// Batched range decode does not apply here: the walk varies the member
+// at a fixed step, so consecutive reads never share a chunk, and the
+// field-cache path already deduplicates the decode that matters.
 func (s *Server) EnsembleStats(ctx context.Context, scenario, t int) (mean, spread []float64, err error) {
 	if err := s.check(0, scenario, t); err != nil {
 		return nil, nil, err

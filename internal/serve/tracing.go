@@ -202,6 +202,7 @@ func (c *loopClock) tock(acc *time.Duration) {
 // cursor is single-goroutine by contract, so plain fields suffice.
 type cursorStats struct {
 	decodes, readBytes, chunkHits, chunkMisses int64
+	chunkAmortized                             int64
 }
 
 // Add implements obs.Sink.
@@ -215,6 +216,8 @@ func (c *cursorStats) Add(metric string, delta int64) {
 		c.chunkHits += delta
 	case archive.MetricChunkMisses:
 		c.chunkMisses += delta
+	case archive.MetricChunkAmortized:
+		c.chunkAmortized += delta
 	}
 }
 
@@ -227,6 +230,7 @@ func (c *cursorStats) annotate(sp *trace.Span) {
 	sp.SetAttr("read_bytes", c.readBytes)
 	sp.SetAttr("chunk_hits", c.chunkHits)
 	sp.SetAttr("chunk_misses", c.chunkMisses)
+	sp.SetAttr("chunk_amortized", c.chunkAmortized)
 }
 
 // handleTraces serves /debug/traces: the trace store's JSON export,

@@ -1,0 +1,97 @@
+package sht
+
+import (
+	"sync"
+
+	"exaclim/internal/fft"
+)
+
+// SynthKernelVersion identifies the numerical contract of the synthesis
+// kernels. Benchmark artifacts record it so cross-run comparisons can
+// tell a kernel change from a regression.
+//
+// Version history:
+//
+//	1: blocked m-outer f64 loop, output pinned bit-identical to the
+//	   historical reference loop; f32 path with parity fold + pair FFT.
+//	2: parity-paired Legendre fold and half-spectrum rFFT in BOTH
+//	   precisions. The f64 bit-identity pin is relaxed: output agrees
+//	   with the retired reference loop to <= 1e-12 relative (the parity
+//	   fold regroups sums, so agreement is to rounding, not bits).
+//	   Output remains bit-deterministic across worker counts.
+const SynthKernelVersion = 2
+
+// synthScratch is one worker's reusable synthesis state: the fold
+// accumulators, the half-spectrum buffer, and a per-worker clone of the
+// plan's rFFT engine.
+type synthScratch struct {
+	flat []complex128
+	fm   [][]complex128
+	spec []complex128
+	rp   *fft.RealPlan
+}
+
+// accum returns rows zeroed fold-accumulator slices of width L, backed
+// by one flat allocation that persists across blocks and calls.
+func (sc *synthScratch) accum(rows, L int) [][]complex128 {
+	n := rows * L
+	if cap(sc.flat) < n {
+		sc.flat = make([]complex128, n)
+	}
+	sc.flat = sc.flat[:n]
+	for i := range sc.flat {
+		sc.flat[i] = 0
+	}
+	if cap(sc.fm) < rows {
+		sc.fm = make([][]complex128, rows)
+	}
+	sc.fm = sc.fm[:rows]
+	for i := range sc.fm {
+		sc.fm[i] = sc.flat[i*L : (i+1)*L]
+	}
+	return sc.fm
+}
+
+// ring returns the worker's rFFT clone and half-spectrum buffer. The
+// buffer's tail beyond the plan's band limit is zero at allocation and
+// every kernel writes only indices [0, L), so it stays zero for the
+// scratch's lifetime — the arena is per-plan, so L never changes.
+func (sc *synthScratch) ring(p *Plan) (*fft.RealPlan, []complex128) {
+	if sc.rp == nil || sc.rp.Len() != p.Grid.NLon {
+		sc.rp = p.rlon.Clone()
+		sc.spec = make([]complex128, sc.rp.SpecLen())
+	}
+	return sc.rp, sc.spec
+}
+
+// synthArena pools synthScratch values for a plan and all its Sequential
+// copies. Each synthesis call checks out one scratch per worker up
+// front, hands worker g its own scratch for every block it runs, and
+// returns all of them when the call completes — so steady-state
+// synthesis allocates nothing regardless of worker count.
+type synthArena struct {
+	pool sync.Pool
+}
+
+func newSynthArena() *synthArena {
+	a := &synthArena{}
+	a.pool.New = func() any { return new(synthScratch) }
+	return a
+}
+
+// take checks one scratch out of the pool per worker.
+func (a *synthArena) take(workers int) []*synthScratch {
+	out := make([]*synthScratch, workers)
+	for i := range out {
+		sc := a.pool.Get().(*synthScratch)
+		out[i] = sc
+	}
+	return out
+}
+
+// release returns every scratch taken by take.
+func (a *synthArena) release(scratch []*synthScratch) {
+	for _, sc := range scratch {
+		a.pool.Put(sc)
+	}
+}

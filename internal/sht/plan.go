@@ -26,19 +26,22 @@ type Plan struct {
 	Grid sphere.Grid
 
 	delta    *legendre.Delta
-	ringTab  [][]float64 // per-ring Legendre tables, triangular layout
-	lonPlan  *fft.Plan   // length NLon
-	extPlan  *fft.Plan   // length 2*NLat-2
+	ringTab  [][]float64   // per-ring Legendre tables, triangular layout
+	lonPlan  *fft.Plan     // length NLon (analysis ring stage)
+	rlon     *fft.RealPlan // length NLon real-output inverse (synthesis ring stage)
+	extPlan  *fft.Plan     // length 2*NLat-2
 	iq       []complex128
 	iqOffset int
 	phase    [4]complex128 // i^-m by m mod 4
 	workers  int
 
-	// f32 and calib are lazily-filled synthesis state shared by pointer
-	// across Sequential copies of the plan, so every cursor derived from
-	// one plan reuses a single f32 table build and one calibration run.
+	// f32, calib and arena are synthesis state shared by pointer across
+	// Sequential copies of the plan, so every cursor derived from one
+	// plan reuses a single f32 table build, one calibration run, and one
+	// scratch pool.
 	f32   *f32Tables
 	calib *synthCalib
+	arena *synthArena
 }
 
 // f32Tables is the lazily-built float32 mirror of the per-ring Legendre
@@ -81,6 +84,7 @@ func NewPlan(grid sphere.Grid, L int, opts ...Option) (*Plan, error) {
 	}
 	p.ringTab = legendre.RingTable(L, colat)
 	p.lonPlan = fft.NewPlan(grid.NLon)
+	p.rlon = fft.NewRealPlan(grid.NLon)
 	p.extPlan = fft.NewPlan(2*grid.NLat - 2)
 
 	// I(q) for q in [-(2L-2), 2L-2] (eq. 8).
@@ -100,6 +104,7 @@ func NewPlan(grid sphere.Grid, L int, opts ...Option) (*Plan, error) {
 	p.phase = [4]complex128{1, complex(0, -1), -1, complex(0, 1)}
 	p.f32 = &f32Tables{}
 	p.calib = &synthCalib{}
+	p.arena = newSynthArena()
 	return p, nil
 }
 
@@ -245,58 +250,110 @@ func (p *Plan) Synthesize(c Coeffs) sphere.Field {
 // SynthesizeInto writes the synthesis into an existing field on the
 // plan's grid, avoiding allocation in time-stepping loops.
 //
-// The per-ring degree fold F_i(m) = sum_l z_{lm} Ptilde_l^m(cos
-// theta_i) runs cache-blocked: rings are processed in blocks of
-// synthBlock() (sized once per plan by tile.PickBlock), and within a
-// block the fold sweeps the coefficient table row-major (l outer, m
-// inner), so each contiguous coefficient row is loaded once per block
-// instead of once per ring and every Legendre table row streams
-// sequentially. Per (ring, m) the additions still arrive in ascending
-// l, so the result is bit-identical to the unblocked m-outer loop for
-// every block size (pinned by TestSynthesizeBlockedMatchesReference).
+// The kernel (version SynthKernelVersion) halves both stages by
+// symmetry and fans ring blocks out over a bounded worker pool:
+//
+//   - The per-ring degree fold F_i(m) = sum_l z_{lm} Ptilde_l^m(cos
+//     theta_i) runs over equator-mirrored ring PAIRS: the colatitudes
+//     satisfy theta_{nlat-1-i} = pi - theta_i and Ptilde_l^m(-x) =
+//     (-1)^(l+m) Ptilde_l^m(x), so one sweep of ring i's Legendre table
+//     folds both rings of the pair into even- and odd-parity sums with
+//     F_north = even+odd, F_south = even-odd. Half the table bandwidth
+//     of the dominant loop.
+//   - Each ring's longitude stage consumes only the non-redundant half
+//     spectrum through a half-size real-output rFFT (fft.RealPlan),
+//     roughly halving the FFT stage relative to the retired full
+//     complex transform.
+//
+// Pairs are processed in cache-blocked groups of synthBlock() (sized
+// once per plan by tile.PickBlock) with the fold sweeping the
+// coefficient table row-major (l outer, m inner). Blocks fan out via
+// par.ForNWorker with per-worker scratch from the plan's pooled arena;
+// every pair writes disjoint output rings with its own accumulators, so
+// the output is bit-identical for every worker count and block size
+// (pinned by TestSynthesizeParallelDeterministic). Against the retired
+// reference loop the parity fold regroups sums, so agreement is <=
+// 1e-12 relative rather than bit-exact — the kernel-version-2 contract
+// (TestSynthesizeBlockedMatchesReference).
 func (p *Plan) SynthesizeInto(dst sphere.Field, c Coeffs) {
 	if dst.Grid != p.Grid {
 		panic(fmt.Sprintf("sht: destination grid %v does not match plan grid %v", dst.Grid, p.Grid))
 	}
+	if c.L != p.L {
+		panic(fmt.Sprintf("sht: coefficient band limit %d does not match plan %d", c.L, p.L))
+	}
+	nlat := p.Grid.NLat
+	block := p.synthBlock()
+	nPairs := (nlat + 1) / 2
+	nBlocks := (nPairs + block - 1) / block
+	scratch := p.arena.take(par.SpanWorkers(p.workers, nBlocks))
+	defer p.arena.release(scratch)
+	par.ForNWorker(p.workers, nBlocks, func(g, bi int) {
+		p0 := bi * block
+		p1 := min(p0+block, nPairs)
+		p.synthPairs(dst, c, scratch[g], p0, p1)
+	})
+}
+
+// synthPairs folds and synthesizes the equator-mirrored ring pairs
+// [p0, p1) into dst using one worker's scratch.
+func (p *Plan) synthPairs(dst sphere.Field, c Coeffs, sc *synthScratch, p0, p1 int) {
 	L := p.L
 	nlat, nlon := p.Grid.NLat, p.Grid.NLon
-	block := p.synthBlock()
-	nBlocks := (nlat + block - 1) / block
-	par.ForN(p.workers, nBlocks, func(bi int) {
-		r0 := bi * block
-		r1 := min(r0+block, nlat)
-		fm := newFmScratch(r1-r0, L)
-		for l := 0; l < L; l++ {
-			base := legendre.Idx(l, 0)
-			row := c.C[base : base+l+1]
-			for ri := r0; ri < r1; ri++ {
-				tbl := p.ringTab[ri][base : base+l+1]
-				f := fm[ri-r0]
-				for m := 0; m <= l; m++ {
-					f[m] += row[m] * complex(tbl[m], 0)
-				}
+	// Two accumulator rows per pair: fm[2k] holds the even-parity (l+m
+	// even) sums of pair p0+k, fm[2k+1] the odd-parity sums.
+	fm := sc.accum(2*(p1-p0), L)
+	for l := 0; l < L; l++ {
+		base := legendre.Idx(l, 0)
+		row := c.C[base : base+l+1]
+		for pi := p0; pi < p1; pi++ {
+			tbl := p.ringTab[pi][base : base+l+1]
+			even, odd := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
+			if l&1 == 1 {
+				even, odd = odd, even // m even => l+m odd
+			}
+			for m := 0; m <= l; m += 2 {
+				even[m] += row[m] * complex(tbl[m], 0)
+			}
+			for m := 1; m <= l; m += 2 {
+				odd[m] += row[m] * complex(tbl[m], 0)
 			}
 		}
-		spec := make([]complex128, nlon) // indices [L, nlon-L] stay zero
-		freq := make([]complex128, nlon)
-		lon := p.lonPlan.Clone()
-		for ri := r0; ri < r1; ri++ {
-			f := fm[ri-r0]
-			spec[0] = complex(real(f[0]), 0)
+	}
+	rp, spec := sc.ring(p)
+	// Pre-scale the half spectrum by nlon instead of post-scaling the
+	// output row: the spectrum has L live entries, the row nlon.
+	scale := complex(float64(nlon), 0)
+	for pi := p0; pi < p1; pi++ {
+		fe, fo := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
+		north := dst.Ring(pi)
+		si := nlat - 1 - pi
+		if si == pi {
+			// Odd nlat: the equator ring is its own mirror.
+			spec[0] = complex(real(fe[0])+real(fo[0]), 0) * scale
 			for m := 1; m < L; m++ {
-				spec[m] = f[m]
-				// Hermitian completion from z_{l,-m} = (-1)^m conj(z_{lm})
-				// and Ptilde_l^{-m} = (-1)^m Ptilde_l^m: the ring spectrum
-				// of a real field satisfies spec[-m] = conj(spec[m]).
-				spec[nlon-m] = complex(real(f[m]), -imag(f[m]))
+				// The m >= L tail of spec is permanently zero; the rFFT
+				// completes the conjugate half itself (the ring spectrum of
+				// a real field satisfies spec[-m] = conj(spec[m]), from
+				// z_{l,-m} = (-1)^m conj(z_{lm}) and Ptilde_l^{-m} =
+				// (-1)^m Ptilde_l^m).
+				spec[m] = (fe[m] + fo[m]) * scale
 			}
-			lon.Inverse(freq, spec)
-			ring := dst.Ring(ri)
-			for j := range ring {
-				ring[j] = real(freq[j]) * float64(nlon)
-			}
+			rp.Inverse(north, spec)
+			continue
 		}
-	})
+		south := dst.Ring(si)
+		spec[0] = complex(real(fe[0])+real(fo[0]), 0) * scale
+		for m := 1; m < L; m++ {
+			spec[m] = (fe[m] + fo[m]) * scale
+		}
+		rp.Inverse(north, spec)
+		spec[0] = complex(real(fe[0])-real(fo[0]), 0) * scale
+		for m := 1; m < L; m++ {
+			spec[m] = (fe[m] - fo[m]) * scale
+		}
+		rp.Inverse(south, spec)
+	}
 }
 
 // newFmScratch allocates rings x L zeroed fold accumulators backed by
@@ -310,37 +367,45 @@ func newFmScratch(rings, L int) [][]complex128 {
 	return fm
 }
 
-// synthBlockCandidates are the ring-block sizes the calibration tries:
-// small enough that a block's fold accumulators stay L1-resident, large
-// enough to amortize the coefficient stream across rings.
+// synthBlockCandidates are the pair-block sizes the calibration tries:
+// small enough that a block's fold accumulators (two parity rows per
+// pair) stay L1-resident, large enough to amortize the coefficient
+// stream across ring pairs.
 var synthBlockCandidates = []int{4, 8, 16, 32}
 
-// synthBlock returns the plan's calibrated ring-block size, measuring
+// synthBlock returns the plan's calibrated pair-block size, measuring
 // once per plan (shared across Sequential copies). The workload is the
-// plan's own fold on synthetic coefficients, so the choice reflects the
-// real table sizes; every candidate computes bit-identical results, so
-// calibration affects time only, never output.
+// plan's own parity-paired fold on synthetic coefficients — two
+// accumulator rows per pair, exactly the live kernel's footprint — so
+// the choice reflects the real table and accumulator sizes; every
+// candidate computes bit-identical results, so calibration affects time
+// only, never output.
 func (p *Plan) synthBlock() int {
 	p.calib.once.Do(func() {
 		L := p.L
-		nlat := p.Grid.NLat
 		c := NewCoeffs(L)
 		for i := range c.C {
 			c.C[i] = complex(1/float64(i+1), -1/float64(2*i+1))
 		}
-		rings := min(nlat, 64)
+		pairs := min((p.Grid.NLat+1)/2, 64)
 		p.calib.block = tile.PickBlock(synthBlockCandidates, 3, func(b int) {
-			for r0 := 0; r0 < rings; r0 += b {
-				r1 := min(r0+b, rings)
-				fm := newFmScratch(r1-r0, L)
+			for p0 := 0; p0 < pairs; p0 += b {
+				p1 := min(p0+b, pairs)
+				fm := newFmScratch(2*(p1-p0), L)
 				for l := 0; l < L; l++ {
 					base := legendre.Idx(l, 0)
 					row := c.C[base : base+l+1]
-					for ri := r0; ri < r1; ri++ {
-						tbl := p.ringTab[ri][base : base+l+1]
-						f := fm[ri-r0]
-						for m := 0; m <= l; m++ {
-							f[m] += row[m] * complex(tbl[m], 0)
+					for pi := p0; pi < p1; pi++ {
+						tbl := p.ringTab[pi][base : base+l+1]
+						even, odd := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
+						if l&1 == 1 {
+							even, odd = odd, even
+						}
+						for m := 0; m <= l; m += 2 {
+							even[m] += row[m] * complex(tbl[m], 0)
+						}
+						for m := 1; m <= l; m += 2 {
+							odd[m] += row[m] * complex(tbl[m], 0)
 						}
 					}
 				}
@@ -350,7 +415,7 @@ func (p *Plan) synthBlock() int {
 	return p.calib.block
 }
 
-// SynthBlock reports the calibrated ring-block size blocked synthesis
+// SynthBlock reports the calibrated pair-block size blocked synthesis
 // runs with, triggering the one-time calibration if it has not run yet.
 // Observability surfaces (trace span attributes) use it to record which
 // tile a synthesis executed under.

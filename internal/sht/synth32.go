@@ -44,23 +44,15 @@ func (p *Plan) ringTab32() [][]float32 {
 // the result tracks the float64 path to within the inputs' own float32
 // rounding.
 //
-// Unlike SynthesizeInto — whose output is pinned bit-identical to the
-// historical loop — this path's tolerance contract admits two
-// symmetry halvings of the kernel:
-//
-//  1. The grid's colatitudes are symmetric about the equator
-//     (theta_{nlat-1-i} = pi - theta_i), and P~_l^m(-x) =
-//     (-1)^(l+m) P~_l^m(x), so one sweep of ring i's Legendre table
-//     folds BOTH rings of the pair (i, nlat-1-i): terms accumulate into
-//     even- and odd-parity sums, and F_north = even+odd,
-//     F_south = even-odd. Half the table bandwidth and half the
-//     multiplies of the dominant loop.
-//  2. Both rings of a pair are real sequences, so their two inverse
-//     FFTs collapse into one complex transform of S_n + i*S_s: by
-//     linearity the result is ring_n + i*ring_s. Half the FFT work.
-//
-// Each halving only regroups exactly-representable float64 sums, so the
-// error stays within the float32 input rounding the bound tests pin.
+// Like SynthesizeInto (kernel version SynthKernelVersion), the dominant
+// fold runs over equator-mirrored ring pairs — one sweep of ring i's
+// Legendre table folds both rings of the pair (i, nlat-1-i) into even-
+// and odd-parity sums via P~_l^m(-x) = (-1)^(l+m) P~_l^m(x), halving
+// the table bandwidth — and each ring's longitude stage consumes only
+// the non-redundant half spectrum through a half-size real-output rFFT.
+// Both halvings only regroup float64 sums, so the error stays within
+// the float32 input rounding the bound tests pin. Blocks fan out via
+// par.ForNWorker with per-worker scratch from the plan's pooled arena.
 func (p *Plan) SynthesizeIntoF32(dst []float32, packed []float32) {
 	if len(dst) != p.Grid.Points() {
 		panic(fmt.Sprintf("sht: destination length %d does not match grid %v", len(dst), p.Grid))
@@ -68,83 +60,71 @@ func (p *Plan) SynthesizeIntoF32(dst []float32, packed []float32) {
 	if len(packed) != PackDim(p.L) {
 		panic(fmt.Sprintf("sht: packed length %d does not match band limit %d", len(packed), p.L))
 	}
-	L := p.L
-	nlat, nlon := p.Grid.NLat, p.Grid.NLon
+	nlat := p.Grid.NLat
 	tab := p.ringTab32()
 	block := p.synthBlock()
 	nPairs := (nlat + 1) / 2
 	nBlocks := (nPairs + block - 1) / block
-	const inv = 1 / math.Sqrt2 // undo the PackReal sqrt(2) on m > 0
-	par.ForN(p.workers, nBlocks, func(bi int) {
+	scratch := p.arena.take(par.SpanWorkers(p.workers, nBlocks))
+	defer p.arena.release(scratch)
+	par.ForNWorker(p.workers, nBlocks, func(g, bi int) {
 		p0 := bi * block
 		p1 := min(p0+block, nPairs)
-		// Two accumulator rows per pair: fm[2k] holds the even-parity
-		// (l+m even) sums of pair p0+k, fm[2k+1] the odd-parity sums.
-		fm := newFmScratch(2*(p1-p0), L)
-		for l := 0; l < L; l++ {
-			base := l * l
-			prow := packed[base : base+2*l+1]
-			tbase := legendre.Idx(l, 0)
-			for pi := p0; pi < p1; pi++ {
-				tbl := tab[pi][tbase : tbase+l+1]
-				even, odd := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
-				if l&1 == 1 {
-					even, odd = odd, even // m even => l+m odd
-				}
-				even[0] += complex(float64(tbl[0])*float64(prow[0]), 0)
-				for m := 2; m <= l; m += 2 {
-					t := float64(tbl[m]) * inv
-					even[m] += complex(t*float64(prow[2*m-1]), t*float64(prow[2*m]))
-				}
-				for m := 1; m <= l; m += 2 {
-					t := float64(tbl[m]) * inv
-					odd[m] += complex(t*float64(prow[2*m-1]), t*float64(prow[2*m]))
-				}
-			}
-		}
-		spec := make([]complex128, nlon) // indices [L, nlon-L] stay zero
-		freq := make([]complex128, nlon)
-		lon := p.lonPlan.Clone()
-		scale := float64(nlon)
-		for pi := p0; pi < p1; pi++ {
-			fe, fo := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
-			north := dst[pi*nlon : (pi+1)*nlon]
-			si := nlat - 1 - pi
-			if si == pi {
-				// Odd nlat: the equator ring is its own mirror; synthesize
-				// it alone with the plain Hermitian spectrum.
-				f0 := fe[0] + fo[0]
-				spec[0] = complex(real(f0), 0)
-				for m := 1; m < L; m++ {
-					f := fe[m] + fo[m]
-					spec[m] = f
-					spec[nlon-m] = complex(real(f), -imag(f))
-				}
-				lon.Inverse(freq, spec)
-				for j := range north {
-					north[j] = float32(real(freq[j]) * scale)
-				}
-				continue
-			}
-			south := dst[si*nlon : (si+1)*nlon]
-			// Pack the pair's spectra as S = S_n + i*S_s; the inverse
-			// transform of S is ring_n + i*ring_s because both rings are
-			// real. DC terms are real by construction (m=0 folds add no
-			// imaginary part).
-			n0 := real(fe[0]) + real(fo[0])
-			s0 := real(fe[0]) - real(fo[0])
-			spec[0] = complex(n0, s0)
-			for m := 1; m < L; m++ {
-				nr, ni := real(fe[m])+real(fo[m]), imag(fe[m])+imag(fo[m])
-				sr, sim := real(fe[m])-real(fo[m]), imag(fe[m])-imag(fo[m])
-				spec[m] = complex(nr-sim, ni+sr)
-				spec[nlon-m] = complex(nr+sim, sr-ni)
-			}
-			lon.Inverse(freq, spec)
-			for j := range north {
-				north[j] = float32(real(freq[j]) * scale)
-				south[j] = float32(imag(freq[j]) * scale)
-			}
-		}
+		p.synthPairsF32(dst, packed, tab, scratch[g], p0, p1)
 	})
+}
+
+// synthPairsF32 folds and synthesizes the equator-mirrored ring pairs
+// [p0, p1) of the float32 path using one worker's scratch.
+func (p *Plan) synthPairsF32(dst []float32, packed []float32, tab [][]float32, sc *synthScratch, p0, p1 int) {
+	L := p.L
+	nlat, nlon := p.Grid.NLat, p.Grid.NLon
+	const inv = 1 / math.Sqrt2 // undo the PackReal sqrt(2) on m > 0
+	// Two accumulator rows per pair: fm[2k] holds the even-parity
+	// (l+m even) sums of pair p0+k, fm[2k+1] the odd-parity sums.
+	fm := sc.accum(2*(p1-p0), L)
+	for l := 0; l < L; l++ {
+		base := l * l
+		prow := packed[base : base+2*l+1]
+		tbase := legendre.Idx(l, 0)
+		for pi := p0; pi < p1; pi++ {
+			tbl := tab[pi][tbase : tbase+l+1]
+			even, odd := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
+			if l&1 == 1 {
+				even, odd = odd, even // m even => l+m odd
+			}
+			even[0] += complex(float64(tbl[0])*float64(prow[0]), 0)
+			for m := 2; m <= l; m += 2 {
+				t := float64(tbl[m]) * inv
+				even[m] += complex(t*float64(prow[2*m-1]), t*float64(prow[2*m]))
+			}
+			for m := 1; m <= l; m += 2 {
+				t := float64(tbl[m]) * inv
+				odd[m] += complex(t*float64(prow[2*m-1]), t*float64(prow[2*m]))
+			}
+		}
+	}
+	rp, spec := sc.ring(p)
+	scale := complex(float64(nlon), 0)
+	for pi := p0; pi < p1; pi++ {
+		fe, fo := fm[2*(pi-p0)], fm[2*(pi-p0)+1]
+		north := dst[pi*nlon : (pi+1)*nlon]
+		// DC terms are real by construction (m=0 folds add no imaginary
+		// part); the m >= L tail of spec is permanently zero and the rFFT
+		// completes the conjugate half itself.
+		spec[0] = complex(real(fe[0])+real(fo[0]), 0) * scale
+		for m := 1; m < L; m++ {
+			spec[m] = (fe[m] + fo[m]) * scale
+		}
+		rp.InverseF32(north, spec)
+		si := nlat - 1 - pi
+		if si == pi {
+			continue // odd nlat: the equator ring is its own mirror
+		}
+		spec[0] = complex(real(fe[0])-real(fo[0]), 0) * scale
+		for m := 1; m < L; m++ {
+			spec[m] = (fe[m] - fo[m]) * scale
+		}
+		rp.InverseF32(dst[si*nlon:(si+1)*nlon], spec)
+	}
 }
